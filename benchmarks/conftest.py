@@ -1,0 +1,43 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark reproduces one table or figure from the paper's
+Section 5, prints the regenerated series (for EXPERIMENTS.md), and
+asserts the *qualitative* relations the paper reports -- rankings and
+crossovers, not absolute numbers.
+
+Scale/duration can be overridden through environment variables:
+
+* ``REPRO_BENCH_SCALE``    (default 0.1 -- the paper's own small-scale
+  configuration, Section 5.7)
+* ``REPRO_BENCH_DURATION`` (default 1800 simulated seconds per point)
+* ``REPRO_BENCH_SEED``     (default 7)
+
+Simulation runs are memoised across benchmarks within one pytest
+session, so figures sharing a sweep (3, 4, 5, 7, Table 7) pay for it
+once.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings(
+        scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.1")),
+        duration=float(os.environ.get("REPRO_BENCH_DURATION", "1800")),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "7")),
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a figure function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,47 @@
+"""Extension: FairPMM vs PMM on the multiclass workload (Section 5.6).
+
+The paper closes its evaluation observing that PMM's drift into Max
+mode under a Small-dominated multiclass workload starves the Medium
+class (Figure 18) and announces future work: let an administrator
+specify desired relative class miss ratios.  ``repro`` implements that
+extension (:class:`repro.core.fairness.FairPMM`); this benchmark is its
+ablation -- same workload as Figure 18, PMM vs FairPMM.
+
+Expectations: FairPMM narrows the Medium-vs-Small miss-ratio gap
+without materially hurting the overall system miss ratio.
+"""
+
+from repro.experiments.runner import run_config
+from repro.workloads.presets import multiclass
+
+
+def test_ext_fairness_narrows_figure18_bias(benchmark, settings, once):
+    def run_pair():
+        config = multiclass(
+            small_rate=0.8, medium_rate=0.05, scale=settings.scale, seed=settings.seed
+        )
+        plain = run_config(config, "pmm", settings)
+        fair = run_config(config, "fairpmm", settings)
+        return plain, fair
+
+    plain, fair = once(benchmark, run_pair)
+
+    def describe(result):
+        return (
+            result.per_class["Medium"].miss_ratio,
+            result.per_class["Small"].miss_ratio,
+            result.miss_ratio,
+        )
+
+    plain_medium, plain_small, plain_system = describe(plain)
+    fair_medium, fair_small, fair_system = describe(fair)
+    print("\nExtension: FairPMM vs PMM (multiclass, small_rate=0.8)")
+    print(f"  PMM     : Medium {plain_medium:.3f}  Small {plain_small:.3f}  system {plain_system:.3f}")
+    print(f"  FairPMM : Medium {fair_medium:.3f}  Small {fair_small:.3f}  system {fair_system:.3f}")
+
+    plain_gap = plain_medium - plain_small
+    fair_gap = fair_medium - fair_small
+    # The extension must not widen the bias, and usually narrows it.
+    assert fair_gap <= plain_gap + 0.02
+    # Fairness is not free, but it must not wreck the system ratio.
+    assert fair_system <= plain_system + 0.10

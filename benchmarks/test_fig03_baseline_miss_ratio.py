@@ -1,0 +1,35 @@
+"""Figure 3: miss ratio vs arrival rate, memory-bound baseline.
+
+Paper's claims: MinMax delivers the lowest miss ratio, PMM follows it
+very closely, Proportional deteriorates as load mounts, and Max --
+whose maximum-allocation admission pins the MPL below ~2 -- is worst,
+missing several times as many deadlines as MinMax under heavy load.
+"""
+
+from repro.experiments.figures import figure_03_baseline_miss_ratio
+
+
+def test_fig03_baseline_miss_ratio(benchmark, settings, once):
+    figure = once(benchmark, figure_03_baseline_miss_ratio, settings)
+    print("\n" + figure.render())
+
+    heavy_max = figure.final_value("max")
+    heavy_minmax = figure.final_value("minmax")
+    heavy_prop = figure.final_value("proportional")
+    heavy_pmm = figure.final_value("pmm")
+
+    # MinMax wins under heavy load; Max is clearly the worst.
+    assert heavy_minmax < heavy_max
+    assert heavy_prop < heavy_max
+    assert heavy_max > 1.5 * heavy_minmax
+    # Proportional is inferior to MinMax (Section 5.1 / [Corn89, Yu93]).
+    assert heavy_prop > heavy_minmax
+    # PMM tracks the winner closely (well under Max, near MinMax).
+    assert heavy_pmm < heavy_max
+    assert heavy_pmm <= heavy_prop + 0.05
+    # Light load is benign for the liberal policies.
+    light_rate = figure.series["minmax"][0][0]
+    assert figure.value("minmax", light_rate) < 0.15
+    # Miss ratios grow with load for every policy.
+    for name, points in figure.series.items():
+        assert points[-1][1] >= points[0][1], f"{name} should degrade with load"

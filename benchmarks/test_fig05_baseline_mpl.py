@@ -1,0 +1,27 @@
+"""Figure 5: observed MPL vs arrival rate (baseline).
+
+Paper's claims: Max admits fewer than 2 queries at a time (each needs
+~F*||R|| pages of the pool); MinMax and Proportional reach much higher
+MPLs, growing with the load; PMM achieves high MPLs too, mimicking
+MinMax in this memory-bound setting.
+"""
+
+from repro.experiments.figures import figure_05_baseline_mpl
+
+
+def test_fig05_baseline_mpl(benchmark, settings, once):
+    figure = once(benchmark, figure_05_baseline_mpl, settings)
+    print("\n" + figure.render())
+
+    # Max's observed MPL stays pinned below ~2 at every load.
+    for _x, value in figure.series["max"]:
+        assert value < 2.5
+
+    heavy_rate = figure.series["max"][-1][0]
+    # The liberal policies reach multiples of Max's MPL under load.
+    assert figure.value("minmax", heavy_rate) > 2 * figure.value("max", heavy_rate)
+    assert figure.value("proportional", heavy_rate) > 2 * figure.value("max", heavy_rate)
+    assert figure.value("pmm", heavy_rate) > figure.value("max", heavy_rate)
+    # MPL grows with load for the liberal policies.
+    minmax_series = [value for _x, value in figure.series["minmax"]]
+    assert minmax_series[-1] > minmax_series[0]

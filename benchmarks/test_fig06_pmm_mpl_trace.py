@@ -1,0 +1,32 @@
+"""Figure 6: PMM's target-MPL trajectory at lambda = 0.075 (baseline).
+
+Paper's claims: PMM starts in Max mode, quickly detects that Max
+under-utilises the machine, switches to MinMax with an RU-heuristic
+target, then the miss-ratio projection steers the target into a stable
+band within a few batches.
+"""
+
+from repro.experiments.figures import figure_06_pmm_mpl_trace
+
+
+def test_fig06_pmm_mpl_trace(benchmark, settings, once):
+    figure = once(benchmark, figure_06_pmm_mpl_trace, settings)
+    trace = figure.series["pmm"]
+    print(f"\n{figure.figure_id}: {figure.title}")
+    for time, mpl in trace[:20]:
+        print(f"  t={time:8.1f}s  target MPL = {mpl:.1f}")
+    if len(trace) > 20:
+        print(f"  ... ({len(trace)} batches total)")
+
+    assert len(trace) >= 5, "PMM must re-evaluate several times"
+    result = figure.raw["pmm"][0][1]
+    modes = [mode for _t, mode in result.pmm_mode_trace]
+    # It must leave Max mode (the workload is memory-bound).
+    assert "minmax" in modes
+    # And spend the bulk of the run in MinMax mode.
+    assert modes.count("minmax") > len(modes) / 2
+    # The MinMax-mode targets stabilise: the last third of the trace
+    # varies far less than the whole trace's range.
+    values = [mpl for _t, mpl in trace]
+    tail = values[-max(3, len(values) // 3):]
+    assert max(tail) - min(tail) <= max(3.0, 0.7 * (max(values) - min(values)))

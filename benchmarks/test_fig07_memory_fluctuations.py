@@ -1,0 +1,25 @@
+"""Figure 7: average memory-allocation changes per query (baseline).
+
+Paper's claims: Proportional generates by far the most fluctuations
+(every arrival/departure re-divides memory among all queries); MinMax
+and PMM expose queries to moderate fluctuation (min -> max as the
+deadline nears); Max only ever suspends/resumes, the fewest changes.
+"""
+
+from repro.experiments.figures import figure_07_memory_fluctuations
+
+
+def test_fig07_memory_fluctuations(benchmark, settings, once):
+    figure = once(benchmark, figure_07_memory_fluctuations, settings)
+    print("\n" + figure.render())
+
+    heavy_rate = figure.series["max"][-1][0]
+    proportional = figure.value("proportional", heavy_rate)
+    minmax = figure.value("minmax", heavy_rate)
+    max_policy = figure.value("max", heavy_rate)
+
+    # Proportional fluctuates the most -- by a wide margin.
+    assert proportional > 2 * minmax
+    assert proportional > 2 * figure.value("pmm", heavy_rate)
+    # Max exposes queries to the fewest allocation changes.
+    assert max_policy <= minmax + 0.5

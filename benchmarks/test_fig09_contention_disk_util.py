@@ -1,0 +1,22 @@
+"""Figure 9: disk utilisation with 6 disks (moderate contention).
+
+Paper's claims: unbounded MinMax pushes the (now scarcer) disks to
+high utilisation under heavy load -- the thrashing signal -- while
+Max's stays low and flat.
+"""
+
+from repro.experiments.figures import figure_09_contention_disk_util
+
+
+def test_fig09_contention_disk_util(benchmark, settings, once):
+    figure = once(benchmark, figure_09_contention_disk_util, settings)
+    print("\n" + figure.render())
+
+    heavy_rate = figure.series["max"][-1][0]
+    # MinMax loads the disks far more than Max.
+    assert figure.value("minmax", heavy_rate) > 1.5 * figure.value("max", heavy_rate)
+    # And clearly more than in a comfortable regime.
+    assert figure.value("minmax", heavy_rate) > 0.45
+    # Max stays fairly flat across the sweep.
+    max_series = [value for _x, value in figure.series["max"]]
+    assert max_series[-1] - max_series[0] < 0.15

@@ -1,0 +1,27 @@
+"""Figure 10: observed MPL with 6 disks (moderate contention).
+
+Paper's claims: PMM's observed MPL remains consistently close to
+MinMax-10's (the best static choice), well above Max's and below
+unbounded MinMax's under heavy load.
+"""
+
+from repro.experiments.figures import figure_10_contention_mpl
+
+
+def test_fig10_contention_mpl(benchmark, settings, once):
+    figure = once(benchmark, figure_10_contention_mpl, settings)
+    print("\n" + figure.render())
+
+    heavy_rate = figure.series["max"][-1][0]
+    pmm = figure.value("pmm", heavy_rate)
+    limited = figure.value("minmax-2", heavy_rate)
+    unbounded = figure.value("minmax", heavy_rate)
+    max_policy = figure.value("max", heavy_rate)
+
+    # Max pinned low; the liberal policies well above it.
+    assert max_policy < 2.5
+    assert unbounded > 2 * max_policy
+    # PMM operates in the same region as the limited MinMax, not at
+    # either extreme.
+    assert pmm > max_policy
+    assert pmm <= unbounded + 1.0

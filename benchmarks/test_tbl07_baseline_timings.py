@@ -1,0 +1,29 @@
+"""Table 7: average waiting / execution / response times (baseline).
+
+Paper's claims: Max has large admission waiting times (memory is its
+bottleneck) but one-pass execution times; MinMax waits ~0 but executes
+longer (sub-maximum allocations mean temp I/O); MinMax's total
+response time is nevertheless far below Max's, which is why it misses
+fewer deadlines.  Proportional's execution times exceed MinMax's.
+"""
+
+from repro.experiments.figures import table_07_baseline_timings
+
+
+def test_tbl07_baseline_timings(benchmark, settings, once):
+    table, raw = once(benchmark, table_07_baseline_timings, settings)
+    print("\n" + table)
+
+    heaviest = {policy: points[-1][1] for policy, points in raw.items()}
+
+    # Max waits for memory; MinMax essentially does not.
+    assert heaviest["max"].avg_waiting > 5 * max(0.2, heaviest["minmax"].avg_waiting)
+    # MinMax trades that waiting for longer executions.
+    assert heaviest["minmax"].avg_execution > heaviest["max"].avg_execution
+    # Proportional's divided allocations execute slower than MinMax's.
+    assert (
+        heaviest["proportional"].avg_execution
+        >= 0.95 * heaviest["minmax"].avg_execution
+    )
+    # And the whole point: Max's response is no better than MinMax's.
+    assert heaviest["max"].avg_response > 0.8 * heaviest["minmax"].avg_response

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Memory-adaptive operators under a shrinking / growing grant.
+
+Drives the two operator implementations -- the Partially Preemptible
+Hash Join [Pang93a] and the adaptive external sort [Pang93b] --
+*outside* the simulator, showing exactly how their I/O demand responds
+to memory fluctuations:
+
+* at the maximum allocation both run one-pass (no temp I/O);
+* at the minimum they spool everything and read it back;
+* when memory is yanked away mid-flight they contract (hash join) or
+  split the running merge step (sort), and recover when it returns.
+
+This is the operator-level behaviour PMM relies on (Section 2.2).
+
+Run:  python examples/adaptive_operators.py
+"""
+
+from repro.queries.base import MemoryGrant, OperatorContext
+from repro.queries.hash_join import HashJoinOperator
+from repro.queries.requests import READ, WRITE, CPUBurst, DiskAccess
+from repro.queries.sort import ExternalSortOperator
+from repro.rtdbs.config import CPUCosts
+from repro.rtdbs.database import Relation, TempFile
+
+
+def make_context() -> OperatorContext:
+    def allocate(disk: int, pages: int) -> TempFile:
+        return TempFile(disk, 50_000, pages)
+
+    return OperatorContext(
+        tuples_per_page=40,
+        block_size=6,
+        costs=CPUCosts(),
+        allocate_temp=allocate,
+        release_temp=lambda temp: None,
+    )
+
+
+def summarise(trace) -> str:
+    reads = sum(r.npages for r in trace if isinstance(r, DiskAccess) and r.kind == READ)
+    writes = sum(r.npages for r in trace if isinstance(r, DiskAccess) and r.kind == WRITE)
+    cpu = sum(r.instructions for r in trace if isinstance(r, CPUBurst))
+    return f"pages read={reads:5d}  pages written={writes:5d}  CPU instructions={cpu/1e6:6.2f}M"
+
+
+def run_join(grant_pages, label, shrink_at=None, shrink_to=None):
+    context = make_context()
+    grant = MemoryGrant(0)
+    join = HashJoinOperator(
+        context,
+        grant,
+        inner=Relation(0, 0, 0, 120, 1000),
+        outer=Relation(1, 1, 1, 600, 2000),
+    )
+    grant.set(grant_pages if grant_pages else join.max_pages)
+    trace = []
+    for index, request in enumerate(join.run()):
+        trace.append(request)
+        if shrink_at is not None and index == shrink_at:
+            grant.set(shrink_to)
+    print(f"  {label:34s}: {summarise(trace)}")
+    return join
+
+
+def run_sort(grant_pages, label, shrink_at=None, shrink_to=None):
+    context = make_context()
+    grant = MemoryGrant(0)
+    sort = ExternalSortOperator(context, grant, Relation(0, 0, 0, 240, 1000))
+    grant.set(grant_pages if grant_pages else sort.max_pages)
+    trace = []
+    for index, request in enumerate(sort.run()):
+        trace.append(request)
+        if shrink_at is not None and index == shrink_at:
+            grant.set(shrink_to)
+    print(f"  {label:34s}: {summarise(trace)}  (merge steps: {sort.merge_passes})")
+    return sort
+
+
+def main() -> None:
+    print("PPHJ hash join, R=120 pages, S=600 pages (F=1.1):")
+    join = run_join(None, "max memory (one-pass)")
+    print(f"    demand envelope: min={join.min_pages} max={join.max_pages} pages")
+    run_join(join.min_pages, "min memory (two-pass)")
+    mid = (join.min_pages + join.max_pages) // 2
+    run_join(mid, "half memory (partial contraction)")
+    run_join(None, "memory yanked mid-build", shrink_at=25, shrink_to=join.min_pages)
+
+    print("\nAdaptive external sort, R=240 pages:")
+    sort = run_sort(None, "max memory (in-memory sort)")
+    print(f"    demand envelope: min={sort.min_pages} max={sort.max_pages} pages")
+    run_sort(12, "12 pages (runs + merge)")
+    run_sort(3, "minimum 3 pages (binary merges)")
+    run_sort(30, "merge step split by shrink", shrink_at=80, shrink_to=3)
+
+
+if __name__ == "__main__":
+    main()

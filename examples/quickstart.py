@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's baseline workload under PMM.
+
+Builds the memory-bound baseline of Section 5.1 (one class of hash
+joins over 10 disks) at the paper's validated small scale, runs it
+under the PMM policy, and prints the headline statistics -- miss
+ratio, timings, utilisations -- plus PMM's adaptation story (mode
+switches and the target-MPL trajectory of Figure 6).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RTDBSystem, baseline
+
+
+def main() -> None:
+    config = baseline(
+        arrival_rate=0.045,  # queries/second at full scale
+        scale=0.1,  # the paper's small-scale configuration (Section 5.7)
+        seed=42,
+        duration=2_500.0,  # simulated seconds
+    )
+    system = RTDBSystem(config, "pmm")
+    result = system.run()
+
+    print("=== Baseline workload under PMM ===")
+    print(f"queries served     : {result.served}")
+    print(f"miss ratio         : {result.miss_ratio:.3f}")
+    print(f"avg waiting time   : {result.avg_waiting:.2f} s")
+    print(f"avg execution time : {result.avg_execution:.2f} s")
+    print(f"avg response time  : {result.avg_response:.2f} s")
+    print(f"observed MPL       : {result.observed_mpl:.2f}")
+    print(f"CPU utilisation    : {result.cpu_utilization:.2f}")
+    print(f"disk utilisation   : {result.avg_disk_utilization:.2f}")
+    print(f"memory fluctuations: {result.avg_fluctuations:.2f} per query")
+
+    print("\n=== PMM adaptation ===")
+    policy = system.policy
+    print(f"mode switches      : {policy.mode_switches}")
+    print(f"restarts           : {policy.restarts}")
+    trace = result.pmm_mpl_trace
+    print("target-MPL trace (first 10 batches):")
+    for time, mpl in trace[:10]:
+        print(f"  t={time:8.1f}s  target MPL = {mpl:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim (pip in this environment lacks the wheel package,
+so PEP 517 editable installs are unavailable)."""
+
+from setuptools import setup
+
+setup()

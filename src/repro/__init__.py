@@ -1,0 +1,78 @@
+"""repro -- a reproduction of "Managing Memory for Real-Time Queries"
+(Pang, Carey, Livny, SIGMOD 1994).
+
+The package provides:
+
+* :mod:`repro.core` -- the **PMM** (Priority Memory Management)
+  algorithm: adaptive admission control (miss-ratio projection + the
+  resource-utilisation heuristic) and adaptive memory allocation
+  (Max / MinMax switching), with workload-change detection;
+* :mod:`repro.rtdbs` -- a discrete-event simulator of a firm real-time
+  DBMS (CPU, disks, buffer pool, query manager, workload source);
+* :mod:`repro.queries` -- memory-adaptive operators: the PPHJ hash join
+  [Pang93a] and adaptive external sort [Pang93b];
+* :mod:`repro.policies` -- the static baselines (Max, MinMax-N,
+  Proportional-N) the paper compares against;
+* :mod:`repro.workloads` -- presets for every experiment in Section 5;
+* :mod:`repro.experiments` -- runners that regenerate each figure and
+  table.
+
+Quickstart
+----------
+>>> from repro import RTDBSystem, baseline
+>>> result = RTDBSystem(baseline(arrival_rate=0.06, scale=0.1), "pmm").run(
+...     duration=2000.0)
+>>> 0.0 <= result.miss_ratio <= 1.0
+True
+"""
+
+from repro.core.fairness import FairPMM
+from repro.core.pmm import PMM
+from repro.policies.static import MaxPolicy, MinMaxPolicy, ProportionalPolicy, make_policy
+from repro.rtdbs.config import (
+    CPUCosts,
+    DatabaseParams,
+    PMMParams,
+    QueryClass,
+    RelationGroup,
+    ResourceParams,
+    SimulationConfig,
+    WorkloadParams,
+)
+from repro.rtdbs.system import RTDBSystem, SimulationResult
+from repro.workloads.presets import (
+    baseline,
+    disk_contention,
+    external_sort_workload,
+    multiclass,
+    scaled_contention,
+    workload_changes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPUCosts",
+    "DatabaseParams",
+    "FairPMM",
+    "MaxPolicy",
+    "MinMaxPolicy",
+    "PMM",
+    "PMMParams",
+    "ProportionalPolicy",
+    "QueryClass",
+    "RTDBSystem",
+    "RelationGroup",
+    "ResourceParams",
+    "SimulationConfig",
+    "SimulationResult",
+    "WorkloadParams",
+    "baseline",
+    "disk_contention",
+    "external_sort_workload",
+    "make_policy",
+    "multiclass",
+    "scaled_contention",
+    "workload_changes",
+    "__version__",
+]

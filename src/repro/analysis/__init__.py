@@ -1,0 +1,18 @@
+"""Output analysis: batch-means intervals, series utilities, reports."""
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.output import (
+    departure_miss_series,
+    miss_ratio_confidence,
+    phase_average,
+)
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "departure_miss_series",
+    "format_series",
+    "format_table",
+    "miss_ratio_confidence",
+    "phase_average",
+    "render_chart",
+]

@@ -1,0 +1,88 @@
+"""Terminal line charts for experiment series (no plotting deps).
+
+The reproduction harness prints tables; for eyeballing shapes --
+crossovers, knees, the concavity of Figure 11 -- an ASCII chart is
+often faster to read.  Used by ``python -m repro.experiments --chart``
+and available to notebooks/scripts via :func:`render_chart`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Plot glyph per series, cycled in sorted-name order.
+MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII line chart.
+
+    All series share one pair of axes; y starts at 0 (miss ratios and
+    utilisations are the typical payload).  Returns a multi-line
+    string.
+    """
+    if not series:
+        raise ValueError("no series to chart")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    points = [point for values in series.values() for point in values]
+    if not points:
+        raise ValueError("series contain no points")
+    x_values = [x for x, _y in points]
+    y_values = [y for _x, y in points]
+    x_low, x_high = min(x_values), max(x_values)
+    y_low, y_high = 0.0, max(max(y_values), 1e-12)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _row in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = int(round((x - x_low) / x_span * (width - 1)))
+        row = int(round((y - y_low) / y_span * (height - 1)))
+        row = height - 1 - row  # origin at the bottom
+        existing = grid[row][column]
+        grid[row][column] = "∗" if existing not in (" ", marker) else marker
+
+    legend: List[str] = []
+    for index, name in enumerate(sorted(series)):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker}={name}")
+        values = sorted(series[name])
+        # Linear interpolation between sample points for a line feel.
+        for (x0, y0), (x1, y1) in zip(values, values[1:]):
+            steps = max(
+                2, int(abs(x1 - x0) / x_span * (width - 1)) + 1
+            )
+            for step in range(steps + 1):
+                fraction = step / steps
+                place(x0 + (x1 - x0) * fraction, y0 + (y1 - y0) * fraction, marker)
+        for x, y in values:  # emphasise the actual samples
+            place(x, y, marker)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_low:.3g}".ljust(width - 8) + f"{x_high:.3g}".rjust(8)
+    lines.append(" " * (label_width + 2) + x_axis)
+    lines.append(" " * (label_width + 2) + f"{x_label}  ({y_label}; {', '.join(legend)})")
+    return "\n".join(lines)

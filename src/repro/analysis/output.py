@@ -1,0 +1,89 @@
+"""Statistical post-processing of simulation output.
+
+The paper validates its results with 90% batch-means confidence
+intervals on the miss ratio [Sarg76]; :func:`miss_ratio_confidence`
+reproduces that computation from a departure log.  The time-series
+helpers back the workload-change figures (12-15), which plot miss
+ratios per phase of an alternating workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.monitor import BatchMeans
+
+
+def miss_ratio_confidence(
+    departure_log: Sequence[tuple],
+    batch_size: int = 100,
+    level: float = 0.90,
+    class_name: Optional[str] = None,
+) -> Tuple[float, float, float]:
+    """Batch-means mean and CI for the miss ratio.
+
+    ``departure_log`` entries are the tuples
+    ``(time, class, missed, ...)`` recorded by the Source.  Returns
+    ``(mean, low, high)``; with fewer than two full batches the
+    interval degenerates to the point estimate.
+    """
+    batches = BatchMeans(batch_size)
+    for entry in departure_log:
+        if class_name is not None and entry[1] != class_name:
+            continue
+        batches.record(1.0 if entry[2] else 0.0)
+    mean = batches.mean()
+    if batches.num_batches < 2:
+        return (mean, mean, mean)
+    low, high = batches.confidence_interval(level)
+    return (mean, max(0.0, low), min(1.0, high))
+
+
+def departure_miss_series(
+    departure_log: Sequence[tuple],
+    window_seconds: float,
+    class_name: Optional[str] = None,
+) -> List[Tuple[float, float]]:
+    """Windowed miss-ratio series ``[(window_centre, miss_ratio)]``."""
+    if window_seconds <= 0:
+        raise ValueError("window must be positive")
+    buckets = {}
+    for entry in departure_log:
+        time, cls, missed = entry[0], entry[1], entry[2]
+        if class_name is not None and cls != class_name:
+            continue
+        bucket = int(time // window_seconds)
+        counts = buckets.setdefault(bucket, [0, 0])
+        counts[0] += 1
+        counts[1] += 1 if missed else 0
+    return [
+        ((bucket + 0.5) * window_seconds, counts[1] / counts[0])
+        for bucket, counts in sorted(buckets.items())
+    ]
+
+
+def phase_average(
+    departure_log: Sequence[tuple],
+    phases: Sequence[Tuple[float, float]],
+    class_name: Optional[str] = None,
+) -> List[float]:
+    """Average miss ratio within each ``(start, end)`` phase window.
+
+    The workload-change experiment reports the average miss ratio per
+    alternation interval (the numbers along the top of Figures 12-14).
+    Phases with no departures yield 0.0.
+    """
+    results = []
+    for start, end in phases:
+        served = 0
+        missed = 0
+        for entry in departure_log:
+            time, cls, was_missed = entry[0], entry[1], entry[2]
+            if time < start or time >= end:
+                continue
+            if class_name is not None and cls != class_name:
+                continue
+            served += 1
+            missed += 1 if was_missed else 0
+        results.append(missed / served if served else 0.0)
+    return results

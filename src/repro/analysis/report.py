@@ -1,0 +1,66 @@
+"""Plain-text table / series formatting for experiment reports.
+
+The benchmark harness prints each reproduced figure or table through
+these helpers so the output can be pasted straight into
+``EXPERIMENTS.md`` next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("row arity does not match headers")
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, List[Tuple[Number, Number]]],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+) -> str:
+    """Render several named (x, y) series as one aligned table.
+
+    All series must share the same x grid (which figure sweeps do).
+    """
+    if not series:
+        raise ValueError("no series to format")
+    names = sorted(series)
+    x_grid = [x for x, _y in series[names[0]]]
+    for name in names:
+        xs = [x for x, _y in series[name]]
+        if xs != x_grid:
+            raise ValueError(f"series {name!r} has a different x grid")
+    headers = [x_label] + [f"{name} {y_label}" for name in names]
+    rows = []
+    for index, x in enumerate(x_grid):
+        rows.append([x] + [series[name][index][1] for name in names])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,158 @@
+"""The memory allocation procedures (Section 3.2 and Table 5).
+
+All three allocators take the present queries in **ED order** (most
+urgent first) and the free pool size, and return a page allocation per
+query.  A query allocated 0 pages is not admitted (or, if it was
+running, is suspended).  Admission packs greedily in ED order -- "as
+many queries ... as memory permits" (Section 3.2) -- so a query whose
+entry requirement does not fit is passed over and the scan continues
+with less urgent queries.  (This matters for Max under mixed
+workloads: small queries slip past a blocked large one, which is
+exactly the Medium-class bias the paper reports in Figure 18.)
+
+* :func:`allocate_max` -- each query receives its maximum demand or
+  nothing (the Max strategy; no explicit MPL limit).
+* :func:`allocate_minmax` -- the two-pass MinMax procedure: pass one
+  hands every admissible query its minimum, pass two tops allocations
+  up to the maximum, both in ED order.  At the end the most urgent
+  queries hold their maximum, the least urgent their minimum, and at
+  most one query something in between -- exactly the paper's invariant.
+* :func:`allocate_proportional` -- admits like MinMax but divides
+  memory so every admitted query gets the same fraction of its maximum
+  demand (never below its minimum): the Proportional-N baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class QueryDemand:
+    """What the allocators need to know about one query."""
+
+    #: Stable query identifier.
+    qid: int
+    #: ED priority key (the absolute deadline); informational here --
+    #: callers pass demands already sorted by it.
+    priority: float
+    #: Minimum workspace (multi-pass execution).
+    min_pages: int
+    #: Maximum workspace (one-pass execution).
+    max_pages: int
+    #: Workload class the query belongs to (used by the fairness
+    #: extension; plain PMM and the static baselines ignore it).
+    class_name: str = ""
+
+    def __post_init__(self):
+        if self.min_pages < 0 or self.max_pages < self.min_pages:
+            raise ValueError(
+                f"query {self.qid}: bad demand envelope "
+                f"[{self.min_pages}, {self.max_pages}]"
+            )
+
+
+def allocate_max(demands: Sequence[QueryDemand], memory: int) -> Dict[int, int]:
+    """The Max strategy: maximum allocation or nothing, in ED order."""
+    _validate_memory(memory)
+    allocation = {demand.qid: 0 for demand in demands}
+    remaining = memory
+    for demand in demands:
+        if demand.max_pages > remaining:
+            continue  # blocked: later (smaller) queries may still fit
+        allocation[demand.qid] = demand.max_pages
+        remaining -= demand.max_pages
+    return allocation
+
+
+def allocate_minmax(
+    demands: Sequence[QueryDemand],
+    memory: int,
+    mpl_limit: Optional[int] = None,
+) -> Dict[int, int]:
+    """The two-pass MinMax procedure (MinMax-N when ``mpl_limit=N``)."""
+    _validate_memory(memory)
+    _validate_limit(mpl_limit)
+    allocation = {demand.qid: 0 for demand in demands}
+    admitted = _admit_by_minimum(demands, memory, mpl_limit)
+    remaining = memory - sum(demand.min_pages for demand in admitted)
+    for demand in admitted:
+        allocation[demand.qid] = demand.min_pages
+    # Second pass: top up to the maximum, again most urgent first.
+    for demand in admitted:
+        if remaining <= 0:
+            break
+        top_up = min(demand.max_pages - demand.min_pages, remaining)
+        allocation[demand.qid] += top_up
+        remaining -= top_up
+    return allocation
+
+
+def allocate_proportional(
+    demands: Sequence[QueryDemand],
+    memory: int,
+    mpl_limit: Optional[int] = None,
+) -> Dict[int, int]:
+    """Proportional-N: equal fraction of each maximum, floored at minima."""
+    _validate_memory(memory)
+    _validate_limit(mpl_limit)
+    allocation = {demand.qid: 0 for demand in demands}
+    admitted = _admit_by_minimum(demands, memory, mpl_limit)
+    if not admitted:
+        return allocation
+
+    def total_at(fraction: float) -> int:
+        return sum(
+            min(d.max_pages, max(d.min_pages, int(fraction * d.max_pages)))
+            for d in admitted
+        )
+
+    # Largest fraction whose induced total fits: bisection then fixup.
+    low, high = 0.0, 1.0
+    for _iteration in range(64):
+        mid = (low + high) / 2.0
+        if total_at(mid) <= memory:
+            low = mid
+        else:
+            high = mid
+    for demand in admitted:
+        allocation[demand.qid] = min(
+            demand.max_pages, max(demand.min_pages, int(low * demand.max_pages))
+        )
+    remaining = memory - sum(allocation[d.qid] for d in admitted)
+    # Hand out integer-rounding leftovers in ED order.
+    for demand in admitted:
+        if remaining <= 0:
+            break
+        extra = min(demand.max_pages - allocation[demand.qid], remaining)
+        allocation[demand.qid] += extra
+        remaining -= extra
+    return allocation
+
+
+# ----------------------------------------------------------------------
+def _admit_by_minimum(
+    demands: Sequence[QueryDemand], memory: int, mpl_limit: Optional[int]
+) -> List[QueryDemand]:
+    """ED-order admission: minimum requirement as the entry ticket."""
+    admitted: List[QueryDemand] = []
+    remaining = memory
+    for demand in demands:
+        if mpl_limit is not None and len(admitted) >= mpl_limit:
+            break
+        if demand.min_pages > remaining:
+            continue  # blocked: keep packing less urgent queries
+        admitted.append(demand)
+        remaining -= demand.min_pages
+    return admitted
+
+
+def _validate_memory(memory: int) -> None:
+    if memory < 0:
+        raise ValueError(f"negative memory pool: {memory}")
+
+
+def _validate_limit(mpl_limit: Optional[int]) -> None:
+    if mpl_limit is not None and mpl_limit < 0:
+        raise ValueError(f"negative MPL limit: {mpl_limit}")

@@ -1,0 +1,89 @@
+"""Workload-change detection (Section 3.3).
+
+PMM tailors its MPL and allocation strategy to the workload, so it must
+notice when the workload changes and discard stale statistics.  It
+monitors three characteristics of completed queries:
+
+1. the average **maximum memory demand**;
+2. the average number of **I/Os to read the operand relation(s)** --
+   temp-file I/O is excluded because it depends on allocation
+   decisions, not on the workload;
+3. the average **normalised time constraint**: the time constraint
+   (deadline minus arrival) divided by the operand I/O count.
+
+After every ``SampleSize`` completions each characteristic's current
+batch is compared with its previous batch using a two-sided
+large-sample test at ``ChangeConfLevel``; a significant difference on
+any characteristic reports a change, which makes PMM restart itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.stats_tests import mean_difference_significant
+from repro.sim.monitor import Tally
+
+
+@dataclass(frozen=True)
+class WorkloadSample:
+    """One departed query's monitored characteristics."""
+
+    max_memory_demand: int
+    operand_io_count: int
+    time_constraint: float
+
+    @property
+    def normalized_constraint(self) -> float:
+        """Time constraint per operand I/O (characteristic 3)."""
+        return self.time_constraint / max(1, self.operand_io_count)
+
+
+class WorkloadChangeDetector:
+    """Batch-over-batch comparison of the three characteristics."""
+
+    CHARACTERISTICS = ("memory_demand", "operand_io", "normalized_constraint")
+
+    def __init__(self, confidence: float):
+        if not 0.5 < confidence < 1.0:
+            raise ValueError(f"confidence must lie in (0.5, 1), got {confidence}")
+        self.confidence = confidence
+        self._current = {name: Tally() for name in self.CHARACTERISTICS}
+        self._previous: Optional[dict] = None
+        #: Number of changes detected over the detector's lifetime.
+        self.changes_detected = 0
+
+    def observe(self, sample: WorkloadSample) -> None:
+        """Record one departed query."""
+        self._current["memory_demand"].record(float(sample.max_memory_demand))
+        self._current["operand_io"].record(float(sample.operand_io_count))
+        self._current["normalized_constraint"].record(sample.normalized_constraint)
+
+    def end_batch(self) -> bool:
+        """Close the batch; True when a workload change is detected.
+
+        The first batch only establishes the reference; detection
+        starts with the second.  After a detected change the reference
+        resets so PMM re-learns the new workload from scratch.
+        """
+        current = self._current
+        self._current = {name: Tally() for name in self.CHARACTERISTICS}
+        if self._previous is None:
+            self._previous = current
+            return False
+        changed = any(
+            mean_difference_significant(current[name], self._previous[name], self.confidence)
+            for name in self.CHARACTERISTICS
+        )
+        if changed:
+            self.changes_detected += 1
+            self._previous = None  # re-learn the new workload
+        else:
+            self._previous = current
+        return changed
+
+    def reset(self) -> None:
+        """Full restart (used when PMM restarts for other reasons)."""
+        self._current = {name: Tally() for name in self.CHARACTERISTICS}
+        self._previous = None

@@ -1,0 +1,143 @@
+"""Class-fairness extension to PMM (the paper's stated future work).
+
+Section 5.6 ends: *"we are now working on augmenting PMM with a
+mechanism to allow an RTDBS system administrator to specify the desired
+relative class miss ratios to support applications that require
+'fairer' real-time query services."*  This module implements that
+mechanism.
+
+:class:`FairPMM` keeps PMM's admission control and allocation-strategy
+machinery intact but biases the Earliest-Deadline order used for
+admission and memory allocation: each class carries an exponentially
+weighted moving average of its miss indicator, and a class missing more
+than its administrator-assigned share has its queries' *remaining
+slack* shrunk by a bounded bias factor, pulling them forward in the ED
+order.  A class missing less than its share is pushed back
+symmetrically.  CPU and disk scheduling still use the true deadlines --
+only the memory-side ordering is biased, which is where the Figure 18
+starvation originates (Medium queries blocked out of memory in Max
+mode).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.allocation import QueryDemand
+from repro.core.pmm import PMM
+from repro.policies.base import DepartureRecord
+from repro.rtdbs.config import PMMParams
+
+
+class ClassMissTracker:
+    """EWMA miss ratios per class, plus the overall average."""
+
+    def __init__(self, smoothing: float = 0.02):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must lie in (0, 1], got {smoothing}")
+        self.smoothing = smoothing
+        self._per_class: Dict[str, float] = {}
+        self._overall: float = 0.0
+        self._seen: int = 0
+
+    def observe(self, class_name: str, missed: bool) -> None:
+        """Fold one departure into the averages."""
+        value = 1.0 if missed else 0.0
+        alpha = self.smoothing
+        previous = self._per_class.get(class_name, value)
+        self._per_class[class_name] = (1.0 - alpha) * previous + alpha * value
+        self._overall = (1.0 - alpha) * self._overall + alpha * value
+        self._seen += 1
+
+    def miss_ratio(self, class_name: str) -> float:
+        """Smoothed miss ratio of one class (0 when never seen)."""
+        return self._per_class.get(class_name, 0.0)
+
+    @property
+    def overall(self) -> float:
+        """Smoothed miss ratio across all classes."""
+        return self._overall
+
+    @property
+    def observations(self) -> int:
+        """Departures folded in so far."""
+        return self._seen
+
+    def reset(self) -> None:
+        """Forget everything (PMM restart)."""
+        self._per_class.clear()
+        self._overall = 0.0
+        self._seen = 0
+
+
+class FairPMM(PMM):
+    """PMM with administrator-specified relative class miss ratios.
+
+    ``goals`` maps class names to desired *relative* miss-ratio shares:
+    ``{"Medium": 1.0, "Small": 1.0}`` asks for equal miss ratios, while
+    ``{"Medium": 0.5, "Small": 1.0}`` tolerates only half as many
+    Medium misses as Small ones.  Unlisted classes default to 1.0.
+    """
+
+    name = "FairPMM"
+
+    #: Bias factors are clamped to [1/MAX_BIAS, MAX_BIAS]: fairness may
+    #: bend the ED order, not break it.
+    MAX_BIAS = 3.0
+    #: Ignore fairness until this many departures have been observed
+    #: (the EWMAs are meaningless before that).
+    MIN_OBSERVATIONS = 60
+
+    def __init__(
+        self,
+        params: Optional[PMMParams] = None,
+        goals: Optional[Dict[str, float]] = None,
+        smoothing: float = 0.02,
+    ):
+        super().__init__(params)
+        self.goals = dict(goals or {})
+        for class_name, share in self.goals.items():
+            if share <= 0:
+                raise ValueError(
+                    f"goal for class {class_name!r} must be positive, got {share}"
+                )
+        self.tracker = ClassMissTracker(smoothing)
+
+    # ------------------------------------------------------------------
+    def on_departure(self, record: DepartureRecord) -> None:
+        self.tracker.observe(record.class_name, record.missed)
+        super().on_departure(record)
+
+    def allocate(
+        self, demands: Sequence[QueryDemand], memory: int, now: float = 0.0
+    ) -> Dict[int, int]:
+        """PMM allocation over a fairness-biased ED order."""
+        if self.tracker.observations < self.MIN_OBSERVATIONS:
+            return super().allocate(demands, memory)
+        reordered = sorted(
+            demands, key=lambda demand: self._biased_key(demand, now)
+        )
+        return super().allocate(reordered, memory)
+
+    def bias(self, class_name: str) -> float:
+        """Current bias for a class: >1 pulls its queries forward."""
+        overall = self.tracker.overall
+        if overall <= 1e-9:
+            return 1.0
+        goal = self.goals.get(class_name, 1.0)
+        observed = self.tracker.miss_ratio(class_name)
+        # How far above its fair share the class is missing.
+        excess = observed / (goal * overall)
+        return min(self.MAX_BIAS, max(1.0 / self.MAX_BIAS, excess))
+
+    def _biased_key(self, demand: QueryDemand, now: float) -> float:
+        slack = max(0.0, demand.priority - now)
+        return now + slack / self.bias(demand.class_name)
+
+    def _restart(self, time: float) -> None:
+        super()._restart(time)
+        self.tracker.reset()
+
+    def describe(self) -> str:
+        base = super().describe()
+        return base.replace("PMM[", "FairPMM[goals=%s, " % (self.goals or "equal"))

@@ -1,0 +1,223 @@
+"""The PMM controller (Section 3).
+
+PMM starts in **Max** mode.  After every ``SampleSize`` departures it:
+
+1. runs the workload-change detector and restarts itself on a change;
+2. records the batch's (MPL, miss ratio) pair into the miss-ratio
+   projection and its (MPL, bottleneck utilisation) pair into the RU
+   heuristic's line (Max-mode batches record the *realized* MPL, since
+   Max imposes no explicit limit; MinMax-mode batches record the target
+   MPL, as in the paper's Figure 1 walk-through);
+3. in Max mode, tests the four switch conditions and moves to
+   **MinMax** mode with an RU-suggested target when they all hold;
+4. in MinMax mode, recomputes the target via the projection (falling
+   back on the RU heuristic), and **reverts to Max** when the target
+   drops to or below the average MPL that Max mode realized.
+
+The switch conditions (Section 3.2): the batch had at least one miss;
+every resource is below ``UtilLow``; the mean admission waiting time is
+significantly positive; and the mean (time constraint - execution time)
+of completed queries is significantly positive -- the latter two via
+large-sample tests at ``AdaptConfLevel`` over the statistics gathered
+since the current mode began.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.allocation import QueryDemand, allocate_max, allocate_minmax
+from repro.core.change_detection import WorkloadChangeDetector, WorkloadSample
+from repro.core.projection import CurveType, MissRatioProjection
+from repro.core.ru_heuristic import RUHeuristic
+from repro.core.stats_tests import mean_significantly_positive
+from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
+from repro.rtdbs.config import PMMParams
+from repro.sim.monitor import Tally
+
+MODE_MAX = "max"
+MODE_MINMAX = "minmax"
+
+#: Floor used when a batch's realized MPL is ~0 (idle system); the
+#: regressions need strictly positive MPL values.
+_MPL_FLOOR = 0.1
+
+
+class PMM(MemoryPolicy):
+    """Priority Memory Management, as a pluggable memory policy."""
+
+    name = "PMM"
+
+    def __init__(self, params: Optional[PMMParams] = None):
+        self.params = params or PMMParams()
+        self.params.validate()
+        self.mode: str = MODE_MAX
+        self.target: Optional[int] = None
+        self.projection = MissRatioProjection()
+        self.ru = RUHeuristic(self.params.util_low, self.params.util_high)
+        self.change_detector = WorkloadChangeDetector(self.params.change_conf_level)
+
+        # Mode-scoped accumulators for the switch conditions.
+        self._waiting = Tally()
+        self._slack_minus_exec = Tally()
+        #: Realized MPL per Max-mode batch (the revert threshold).
+        self._max_mode_mpl = Tally()
+
+        # Introspection / figures.
+        self.restarts = 0
+        self.mode_switches: List[Tuple[float, str]] = []
+        #: (time, target-or-realized MPL) trace -- Figures 6 and 15.
+        self.mpl_trace: List[Tuple[float, float]] = []
+        #: (time, mode) trace.
+        self.mode_trace: List[Tuple[float, str]] = []
+        self.batches_seen = 0
+
+    # ------------------------------------------------------------------
+    # MemoryPolicy interface
+    # ------------------------------------------------------------------
+    def allocate(
+        self, demands: Sequence[QueryDemand], memory: int, now: float = 0.0
+    ) -> Dict[int, int]:
+        """Max or MinMax-(target) allocation, per the current mode."""
+        if self.mode == MODE_MAX:
+            return allocate_max(demands, memory)
+        return allocate_minmax(demands, memory, self.target)
+
+    def on_departure(self, record: DepartureRecord) -> None:
+        """Stream per-query feedback into PMM's accumulators."""
+        self.change_detector.observe(
+            WorkloadSample(
+                max_memory_demand=record.max_demand,
+                operand_io_count=record.operand_io_count,
+                time_constraint=record.time_constraint,
+            )
+        )
+        self._waiting.record(record.waiting_time)
+        if not record.missed:
+            self._slack_minus_exec.record(record.time_constraint - record.execution_time)
+
+    def on_batch(self, stats: BatchStats) -> bool:
+        """Re-evaluate MPL target and allocation strategy."""
+        self.batches_seen += 1
+
+        # (1) Workload change: discard everything and restart.
+        if self.change_detector.end_batch():
+            self._restart(stats.time)
+            return True
+
+        # (2) Feed the regressions.
+        observed_mpl = self._observed_mpl(stats)
+        self.projection.observe(observed_mpl, stats.miss_ratio)
+        self.ru.observe(observed_mpl, stats.bottleneck_utilization)
+
+        changed = False
+        if self.mode == MODE_MAX:
+            self._max_mode_mpl.record(stats.realized_mpl)
+            if self._should_switch_to_minmax(stats):
+                self._enter_minmax(stats)
+                changed = True
+        else:
+            changed = self._retarget_minmax(stats)
+
+        self.mpl_trace.append(
+            (stats.time, float(self.target) if self.target else stats.realized_mpl)
+        )
+        self.mode_trace.append((stats.time, self.mode))
+        return changed
+
+    def reset(self) -> None:
+        """Forget everything (fresh run)."""
+        self._restart(0.0)
+        self.restarts = 0
+        self.mode_switches.clear()
+        self.mpl_trace.clear()
+        self.mode_trace.clear()
+        self.batches_seen = 0
+        self.change_detector.reset()
+
+    @property
+    def target_mpl(self) -> Optional[int]:
+        """The MinMax-mode MPL limit (None while in Max mode)."""
+        return self.target if self.mode == MODE_MINMAX else None
+
+    def describe(self) -> str:
+        """One-line state summary."""
+        if self.mode == MODE_MAX:
+            return "PMM[mode=Max]"
+        return f"PMM[mode=MinMax, target={self.target}]"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _observed_mpl(self, stats: BatchStats) -> float:
+        if self.mode == MODE_MINMAX and self.target:
+            return float(self.target)
+        return max(_MPL_FLOOR, stats.realized_mpl)
+
+    def _should_switch_to_minmax(self, stats: BatchStats) -> bool:
+        """The four conditions of Section 3.2, all required."""
+        if stats.missed < 1:
+            return False  # (1) no deadline was missed
+        if stats.bottleneck_utilization >= self.params.util_low:
+            return False  # (2) some resource may be a bottleneck
+        if not mean_significantly_positive(self._waiting, self.params.adapt_conf_level):
+            return False  # (3) no significant memory contention
+        if not mean_significantly_positive(
+            self._slack_minus_exec, self.params.adapt_conf_level
+        ):
+            return False  # (4) longer executions would be infeasible
+        return True
+
+    def _enter_minmax(self, stats: BatchStats) -> None:
+        self.mode = MODE_MINMAX
+        current_mpl = max(_MPL_FLOOR, stats.realized_mpl)
+        self.target = self.ru.recommend(current_mpl, stats.bottleneck_utilization)
+        self.mode_switches.append((stats.time, MODE_MINMAX))
+        self._reset_mode_accumulators()
+
+    def _revert_to_max(self, time: float) -> None:
+        self.mode = MODE_MAX
+        self.target = None
+        self.mode_switches.append((time, MODE_MAX))
+        self._reset_mode_accumulators()
+
+    def _retarget_minmax(self, stats: BatchStats) -> bool:
+        assert self.target is not None
+        projection = self.projection.project()
+        ru_target = self.ru.recommend(
+            float(self.target), stats.bottleneck_utilization
+        )
+        if projection.curve_type is CurveType.BOWL:
+            new_target = projection.target
+        elif projection.curve_type is CurveType.DECREASING:
+            new_target = max(projection.target, ru_target)
+        elif projection.curve_type is CurveType.INCREASING:
+            new_target = min(projection.target, ru_target)
+        else:  # HILL or INSUFFICIENT: the projection failed
+            new_target = ru_target
+        new_target = max(1, int(new_target))
+
+        # Revert test: no point running MinMax at an MPL that Max mode
+        # achieved anyway.
+        max_mode_average = self._max_mode_mpl.mean()
+        if self._max_mode_mpl.count and new_target <= max_mode_average:
+            self._revert_to_max(stats.time)
+            return True
+        if new_target != self.target:
+            self.target = new_target
+            return True
+        return False
+
+    def _restart(self, time: float) -> None:
+        self.mode = MODE_MAX
+        self.target = None
+        self.projection.reset()
+        self.ru.reset()
+        self._max_mode_mpl.reset()
+        self._reset_mode_accumulators()
+        self.restarts += 1
+        self.mode_switches.append((time, "restart"))
+
+    def _reset_mode_accumulators(self) -> None:
+        self._waiting.reset()
+        self._slack_minus_exec.reset()

@@ -1,0 +1,188 @@
+"""The miss-ratio projection method (Section 3.1.1).
+
+PMM approximates the relationship between MPL and miss ratio with a
+concave quadratic ``miss = a*mpl^2 + b*mpl + c`` fitted by least
+squares [Drap81].  Only running sums are stored -- exactly the eight
+quantities the paper lists: k, Σmpl, Σmpl², Σmpl³, Σmpl⁴, Σmiss,
+Σ(mpl·miss), Σ(mpl²·miss).
+
+After each fit the curve is classified over the range of MPLs tried so
+far:
+
+* **Type 1** (bowl with an interior minimum): the target MPL is the
+  curve's minimum -- the expected steady-state case.
+* **Type 2** (monotonic decreasing): the optimum lies beyond the
+  largest MPL tried; probe one above it (the controller may raise this
+  further using the RU heuristic).
+* **Type 3** (monotonic increasing): probe one below the smallest MPL
+  tried (the controller may lower this further using the RU heuristic).
+* **Type 4** (hill): the fit is an artefact of noise; fall back on the
+  RU heuristic.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class CurveType(enum.Enum):
+    """Classification of the fitted quadratic (Section 3.1.1)."""
+
+    BOWL = 1  # interior minimum: adopt it
+    DECREASING = 2  # optimum beyond the largest MPL tried
+    INCREASING = 3  # optimum below the smallest MPL tried
+    HILL = 4  # noise artefact: fall back on the RU heuristic
+    INSUFFICIENT = 0  # fewer than three distinct MPLs observed
+
+
+@dataclass(frozen=True)
+class ProjectionResult:
+    """Outcome of one projection: curve type plus a tentative target."""
+
+    curve_type: CurveType
+    #: Suggested MPL, or None when the projection cannot suggest one
+    #: (INSUFFICIENT data or a HILL-shaped fit).
+    target: Optional[int]
+    #: Fitted coefficients (a, b, c), when a fit was possible.
+    coefficients: Optional[Tuple[float, float, float]] = None
+
+
+class MissRatioProjection:
+    """Least-squares quadratic over (MPL, miss-ratio) observations."""
+
+    #: |a| below this is treated as "no curvature" (a straight line).
+    CURVATURE_EPS = 1e-9
+    #: |slope| below this is treated as flat (no usable direction).
+    SLOPE_EPS = 1e-6
+
+    def __init__(self):
+        self.count = 0
+        self.sum_mpl = 0.0
+        self.sum_mpl2 = 0.0
+        self.sum_mpl3 = 0.0
+        self.sum_mpl4 = 0.0
+        self.sum_miss = 0.0
+        self.sum_mpl_miss = 0.0
+        self.sum_mpl2_miss = 0.0
+        self._min_mpl = math.inf
+        self._max_mpl = -math.inf
+        self._distinct: set = set()
+
+    # ------------------------------------------------------------------
+    def observe(self, mpl: float, miss_ratio: float) -> None:
+        """Record one batch's (MPL, miss ratio) pair."""
+        if mpl <= 0:
+            raise ValueError(f"MPL must be positive, got {mpl}")
+        if not 0.0 <= miss_ratio <= 1.0:
+            raise ValueError(f"miss ratio must lie in [0, 1], got {miss_ratio}")
+        self.count += 1
+        self.sum_mpl += mpl
+        self.sum_mpl2 += mpl**2
+        self.sum_mpl3 += mpl**3
+        self.sum_mpl4 += mpl**4
+        self.sum_miss += miss_ratio
+        self.sum_mpl_miss += mpl * miss_ratio
+        self.sum_mpl2_miss += mpl**2 * miss_ratio
+        self._min_mpl = min(self._min_mpl, mpl)
+        self._max_mpl = max(self._max_mpl, mpl)
+        self._distinct.add(round(mpl, 6))
+
+    def reset(self) -> None:
+        """Discard all observations (on a detected workload change)."""
+        self.__init__()
+
+    @property
+    def min_mpl_tried(self) -> float:
+        """Smallest MPL observed so far."""
+        return self._min_mpl
+
+    @property
+    def max_mpl_tried(self) -> float:
+        """Largest MPL observed so far."""
+        return self._max_mpl
+
+    @property
+    def distinct_mpls(self) -> int:
+        """Number of distinct MPL values observed."""
+        return len(self._distinct)
+
+    # ------------------------------------------------------------------
+    def fit(self) -> Optional[Tuple[float, float, float]]:
+        """Solve the least-squares normal equations for (a, b, c).
+
+        Returns None when fewer than three distinct MPLs have been
+        observed (the system of equations is then singular).
+        """
+        if self.count < 3 or len(self._distinct) < 3:
+            return None
+        normal_matrix = np.array(
+            [
+                [self.count, self.sum_mpl, self.sum_mpl2],
+                [self.sum_mpl, self.sum_mpl2, self.sum_mpl3],
+                [self.sum_mpl2, self.sum_mpl3, self.sum_mpl4],
+            ]
+        )
+        rhs = np.array([self.sum_miss, self.sum_mpl_miss, self.sum_mpl2_miss])
+        try:
+            c, b, a = np.linalg.solve(normal_matrix, rhs)
+        except np.linalg.LinAlgError:
+            solution, *_ = np.linalg.lstsq(normal_matrix, rhs, rcond=None)
+            c, b, a = solution
+        if not all(math.isfinite(x) for x in (a, b, c)):
+            return None
+        return (float(a), float(b), float(c))
+
+    def project(self) -> ProjectionResult:
+        """Fit, classify, and suggest a target MPL."""
+        coefficients = self.fit()
+        if coefficients is None:
+            return ProjectionResult(CurveType.INSUFFICIENT, None)
+        a, b, c = coefficients
+        low, high = self._min_mpl, self._max_mpl
+        slope_low = 2.0 * a * low + b
+        slope_high = 2.0 * a * high + b
+
+        if abs(a) < self.CURVATURE_EPS:
+            # Effectively a line: monotone by the sign of its slope.
+            if b < -self.SLOPE_EPS:
+                return ProjectionResult(
+                    CurveType.DECREASING, self._one_above(high), coefficients
+                )
+            if b > self.SLOPE_EPS:
+                return ProjectionResult(
+                    CurveType.INCREASING, self._one_below(low), coefficients
+                )
+            return ProjectionResult(CurveType.HILL, None, coefficients)
+
+        vertex = -b / (2.0 * a)
+        if a > 0 and low <= vertex <= high:
+            # Type 1: a bowl with an interior minimum.
+            return ProjectionResult(
+                CurveType.BOWL, max(1, int(round(vertex))), coefficients
+            )
+        if slope_low <= 0 and slope_high <= 0:
+            # Type 2: decreasing throughout the range tried.
+            return ProjectionResult(
+                CurveType.DECREASING, self._one_above(high), coefficients
+            )
+        if slope_low >= 0 and slope_high >= 0:
+            # Type 3: increasing throughout the range tried.
+            return ProjectionResult(
+                CurveType.INCREASING, self._one_below(low), coefficients
+            )
+        # Type 4: a hill (interior maximum) -- noise artefact.
+        return ProjectionResult(CurveType.HILL, None, coefficients)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _one_above(high: float) -> int:
+        return max(1, int(math.floor(high)) + 1)
+
+    @staticmethod
+    def _one_below(low: float) -> int:
+        return max(1, int(math.ceil(low)) - 1)

@@ -1,0 +1,109 @@
+"""The resource-utilisation heuristic (Section 3.1.2).
+
+When the miss-ratio projection cannot produce a target MPL (fewer than
+three observations, or a hill-shaped fit), PMM extrapolates from the
+bottleneck resource's utilisation:
+
+    MPL_new = (UtilLow + UtilHigh) / (2 * Util_current) * MPL_current
+
+``Util_current`` is *not* the most recent reading -- random workload
+fluctuations make single batches unreliable -- but the value at the
+current MPL of a straight line fitted by least squares through all
+(MPL, utilisation) pairs observed so far.  Only the running sums
+k, Σmpl, Σmpl², Σutil, Σ(mpl·util) are stored, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class UtilizationLine:
+    """Least-squares line through (MPL, bottleneck-utilisation) pairs."""
+
+    def __init__(self):
+        self.count = 0
+        self.sum_mpl = 0.0
+        self.sum_mpl2 = 0.0
+        self.sum_util = 0.0
+        self.sum_mpl_util = 0.0
+
+    def observe(self, mpl: float, utilization: float) -> None:
+        """Record one batch's (MPL, utilisation) pair."""
+        if mpl <= 0:
+            raise ValueError(f"MPL must be positive, got {mpl}")
+        if not 0.0 <= utilization <= 1.0 + 1e-9:
+            raise ValueError(f"utilisation must lie in [0, 1], got {utilization}")
+        self.count += 1
+        self.sum_mpl += mpl
+        self.sum_mpl2 += mpl * mpl
+        self.sum_util += utilization
+        self.sum_mpl_util += mpl * utilization
+
+    def reset(self) -> None:
+        """Discard all observations (on a detected workload change)."""
+        self.__init__()
+
+    def predict(self, mpl: float) -> Optional[float]:
+        """Utilisation the fitted line predicts at ``mpl``.
+
+        None when fewer than two observations exist or every
+        observation shares a single MPL (the slope is then undefined).
+        """
+        if self.count < 2:
+            return None
+        denominator = self.count * self.sum_mpl2 - self.sum_mpl**2
+        if abs(denominator) < 1e-12:
+            return None
+        slope = (self.count * self.sum_mpl_util - self.sum_mpl * self.sum_util) / denominator
+        intercept = (self.sum_util - slope * self.sum_mpl) / self.count
+        return intercept + slope * mpl
+
+
+class RUHeuristic:
+    """The MPL extrapolation formula with its utilisation smoothing."""
+
+    #: Utilisation floor: protects the formula from division blow-ups
+    #: in a nearly idle system (the suggested MPL is capped anyway).
+    UTIL_FLOOR = 0.02
+    #: Cap on the multiplicative step the heuristic may take at once;
+    #: the linearity assumption does not hold far from the current MPL.
+    MAX_GROWTH = 8.0
+
+    def __init__(self, util_low: float, util_high: float):
+        if not 0.0 < util_low < util_high <= 1.0:
+            raise ValueError(
+                f"need 0 < UtilLow < UtilHigh <= 1, got [{util_low}, {util_high}]"
+            )
+        self.util_low = util_low
+        self.util_high = util_high
+        self.line = UtilizationLine()
+
+    def observe(self, mpl: float, utilization: float) -> None:
+        """Feed one batch's (MPL, bottleneck utilisation) pair."""
+        self.line.observe(mpl, min(1.0, utilization))
+
+    def reset(self) -> None:
+        """Discard accumulated utilisation statistics."""
+        self.line.reset()
+
+    def recommend(self, current_mpl: float, current_utilization: float) -> int:
+        """Target MPL expected to land utilisation mid-range.
+
+        Uses the fitted line's value at the current MPL when available,
+        falling back on the raw current reading otherwise.
+        """
+        if current_mpl <= 0:
+            raise ValueError(f"current MPL must be positive, got {current_mpl}")
+        smoothed = self.line.predict(current_mpl)
+        utilization = smoothed if smoothed is not None else current_utilization
+        utilization = min(1.0, max(self.UTIL_FLOOR, utilization))
+        midpoint = (self.util_low + self.util_high) / 2.0
+        ratio = min(self.MAX_GROWTH, midpoint / utilization)
+        target = ratio * current_mpl
+        return max(1, int(round(target)))
+
+    def in_desirable_range(self, utilization: float) -> bool:
+        """Whether utilisation already sits inside [UtilLow, UtilHigh]."""
+        return self.util_low <= utilization <= self.util_high

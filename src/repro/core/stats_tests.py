@@ -1,0 +1,71 @@
+"""Large-sample statistical tests [Devo91] used by PMM.
+
+PMM guards two kinds of decisions with hypothesis tests:
+
+* the Max -> MinMax switch (conditions 3 and 4 of Section 3.2) uses a
+  one-sided large-sample test that a mean is positive, at confidence
+  ``AdaptConfLevel``;
+* workload-change detection (Section 3.3) uses a two-sided two-sample
+  test that two batch means differ, at confidence ``ChangeConfLevel``.
+
+Both are z tests, valid for the "large" samples PMM accumulates (a
+batch is ``SampleSize`` = 30 queries by default).  With fewer than
+:data:`MIN_SAMPLES` observations the tests conservatively report "not
+significant", which matches the paper's bias toward *not* reacting to
+noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.monitor import Tally
+from repro.sim.statmath import normal_ppf
+
+#: Minimum sample size for the normal approximation to be trusted.
+MIN_SAMPLES = 20
+
+
+def mean_significantly_positive(tally: Tally, confidence: float) -> bool:
+    """One-sided large-sample test of ``H1: mean > 0``.
+
+    Returns True when the sample mean is significantly positive at the
+    given confidence level.  Degenerate samples (too few observations,
+    or zero variance) fall back on the sign of the mean only when every
+    observation was bounded away from zero (zero variance with a
+    positive mean).
+    """
+    _validate_confidence(confidence)
+    if tally.count < MIN_SAMPLES:
+        return False
+    std = tally.std()
+    mean = tally.mean()
+    if std == 0.0:
+        return mean > 0.0
+    z = mean / (std / math.sqrt(tally.count))
+    return z > normal_ppf(confidence)
+
+
+def mean_difference_significant(
+    sample_a: Tally, sample_b: Tally, confidence: float
+) -> bool:
+    """Two-sided two-sample large-sample test of ``H1: mean_a != mean_b``.
+
+    Used by the workload-change detector to compare a characteristic's
+    present value against its last observed value.
+    """
+    _validate_confidence(confidence)
+    if sample_a.count < MIN_SAMPLES or sample_b.count < MIN_SAMPLES:
+        return False
+    variance_term = sample_a.variance() / sample_a.count + sample_b.variance() / sample_b.count
+    difference = sample_a.mean() - sample_b.mean()
+    if variance_term <= 0.0:
+        return difference != 0.0
+    z = difference / math.sqrt(variance_term)
+    # Two-sided: split the rejection mass between the tails.
+    return abs(z) > normal_ppf(0.5 + confidence / 2.0)
+
+
+def _validate_confidence(confidence: float) -> None:
+    if not 0.5 < confidence < 1.0:
+        raise ValueError(f"confidence level must lie in (0.5, 1), got {confidence}")

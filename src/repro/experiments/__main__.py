@@ -1,0 +1,130 @@
+"""Command-line reproduction driver: ``python -m repro.experiments``.
+
+Runs the requested experiments (default: the fast core set) and prints
+each regenerated table/figure in the plain-text format used by
+``EXPERIMENTS.md``.
+
+Examples
+--------
+::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig3 fig11
+    python -m repro.experiments --all --scale 0.1 --duration 1500
+    python -m repro.experiments fig3 --scale 1.0 --duration 20000  # full size
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentSettings
+
+#: Experiment registry: id -> (description, runner taking settings).
+REGISTRY = {
+    "fig3": ("Figure 3: miss ratio (baseline)", figures.figure_03_baseline_miss_ratio),
+    "fig4": ("Figure 4: disk utilisation (baseline)", figures.figure_04_baseline_disk_util),
+    "fig5": ("Figure 5: observed MPL (baseline)", figures.figure_05_baseline_mpl),
+    "fig6": ("Figure 6: PMM target-MPL trace", figures.figure_06_pmm_mpl_trace),
+    "fig7": ("Figure 7: memory fluctuations", figures.figure_07_memory_fluctuations),
+    "fig8": ("Figure 8: miss ratio (disk contention)", figures.figure_08_contention_miss_ratio),
+    "fig9": ("Figure 9: disk utilisation (contention)", figures.figure_09_contention_disk_util),
+    "fig10": ("Figure 10: observed MPL (contention)", figures.figure_10_contention_mpl),
+    "fig11": ("Figure 11: MinMax-N sweep", figures.figure_11_minmax_n_sweep),
+    "fig15": ("Figure 15: PMM MPL under workload changes", figures.figure_15_change_mpl_trace),
+    "fig16": ("Figure 16: miss ratio (external sorts)", figures.figure_16_external_sort),
+    "fig17": ("Figure 17: system miss ratio (multiclass)", figures.figure_17_multiclass_system),
+    "fig18": ("Figure 18: class miss ratios (multiclass)", figures.figure_18_multiclass_perclass),
+    "sec54": ("Section 5.4: UtilLow sensitivity", figures.section_54_utillow_sensitivity),
+}
+
+#: The default quick set (shares most simulation runs via the cache).
+DEFAULT_SET = ("fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def _run_table7(settings: ExperimentSettings) -> None:
+    table, _raw = figures.table_07_baseline_timings(settings)
+    print(table)
+
+
+def _run_fig12_14(settings: ExperimentSettings) -> None:
+    runs, phases = figures.figure_12_14_workload_changes(settings)
+    print("Figures 12-14: per-phase average miss ratios")
+    print("phases:", [(round(s, 1), round(e, 1), name) for s, e, name in phases])
+    for policy, data in runs.items():
+        print(f"  {policy:8s}: {[round(m, 3) for m in data['phase_miss']]}")
+
+
+def _run_sec57(settings: ExperimentSettings) -> None:
+    results = figures.section_57_scalability(settings)
+    print("Section 5.7: miss ratios at two scales")
+    for scale_name, by_policy in results.items():
+        print(f"  {scale_name:7s}:", {p: round(m, 3) for p, m in by_policy.items()})
+
+
+SPECIAL = {
+    "tbl7": ("Table 7: average timings (baseline)", _run_table7),
+    "fig12-14": ("Figures 12-14: workload changes", _run_fig12_14),
+    "sec57": ("Section 5.7: scalability", _run_sec57),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (see --list)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--duration", type=float, default=1800.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--chart", action="store_true", help="also render ASCII charts of the series"
+    )
+    args = parser.parse_args(argv)
+
+    everything = {**REGISTRY, **SPECIAL}
+    if args.list:
+        for key, (description, _fn) in everything.items():
+            print(f"  {key:10s} {description}")
+        return 0
+
+    chosen = list(args.experiments) if args.experiments else list(DEFAULT_SET)
+    if args.all:
+        chosen = list(everything)
+    unknown = [key for key in chosen if key not in everything]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}; try --list", file=sys.stderr)
+        return 2
+
+    settings = ExperimentSettings(
+        scale=args.scale, duration=args.duration, seed=args.seed
+    )
+    for key in chosen:
+        description, runner = everything[key]
+        print(f"\n=== {description} ===")
+        started = time.time()
+        output = runner(settings)
+        if hasattr(output, "render"):
+            print(output.render())
+            if args.chart and getattr(output, "series", None):
+                from repro.analysis.ascii_chart import render_chart
+
+                print()
+                print(
+                    render_chart(
+                        output.series,
+                        x_label=output.x_label,
+                        y_label=output.y_label,
+                    )
+                )
+        print(f"[{key} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,585 @@
+"""Reproduction runners for every table and figure in Section 5.
+
+Each function returns a :class:`FigureResult` whose ``series`` holds
+the same x/y data the paper plots, and whose ``render()`` produces a
+plain-text table for ``EXPERIMENTS.md``.  The qualitative expectations
+(who wins, where the crossovers are) live in ``benchmarks/`` where they
+are asserted.
+
+All runners accept an :class:`~repro.experiments.runner.ExperimentSettings`
+whose default ``scale=0.1`` is the paper's own validated small-scale
+configuration (Section 5.7); pass ``scale=1.0`` for full-size runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.output import phase_average
+from repro.analysis.report import format_series, format_table
+from repro.experiments.runner import ExperimentSettings, run_config, sweep
+from repro.rtdbs.system import SimulationResult
+from repro.sim.rng import Streams
+from repro.workloads.presets import (
+    baseline,
+    disk_contention,
+    external_sort_workload,
+    multiclass,
+    workload_changes,
+)
+
+#: Default arrival-rate grid for the baseline figures (the paper sweeps
+#: 0.04-0.08 in steps of 0.01; three points keep CI affordable while
+#: still showing the trend and crossover).
+BASELINE_RATES = (0.04, 0.06, 0.08)
+#: Sort sweep (Section 5.5).  Our calibrated disk makes sorts ~4x
+#: cheaper than the paper's, so the contention regime sits at higher
+#: rates than the paper's 0.04-0.12 sweep (see EXPERIMENTS.md).
+SORT_RATES = (0.15, 0.25, 0.35)
+SMALL_RATES = (0.2, 0.6, 1.0)
+BASELINE_POLICIES = ("max", "minmax", "proportional", "pmm")
+#: Disk-contention sweep (Section 5.2).  At the paper's full scale the
+#: best MPL limit is 10; at the default small scale the min/max demand
+#: ratio shifts the optimum to N~2 (see EXPERIMENTS.md), so the
+#: "good-N" series tracked against PMM is MinMax-2.
+CONTENTION_RATES = (0.05, 0.06, 0.07)
+CONTENTION_LIMITED = "minmax-2"
+CONTENTION_POLICIES = ("max", "minmax", "pmm", CONTENTION_LIMITED)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure/table: series plus raw run results."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    #: ``{series name: [(x, y), ...]}``.
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: Raw simulation results for deeper assertions,
+    #: ``{series name: [(x, SimulationResult), ...]}``.
+    raw: Dict[str, List[Tuple[float, SimulationResult]]] = field(default_factory=dict)
+    notes: str = ""
+
+    def value(self, name: str, x: float) -> float:
+        """The y value of a series at an exact x."""
+        for x_value, y_value in self.series[name]:
+            if x_value == x:
+                return y_value
+        raise KeyError(f"series {name!r} has no point at x={x}")
+
+    def final_value(self, name: str) -> float:
+        """The y value at the largest x (the heaviest load)."""
+        return self.series[name][-1][1]
+
+    def render(self) -> str:
+        """Plain-text table of all series (for EXPERIMENTS.md)."""
+        body = format_series(
+            self.series, self.x_label, self.y_label, title=f"{self.figure_id}: {self.title}"
+        )
+        if self.notes:
+            body += f"\n{self.notes}"
+        return body
+
+
+def _metric_series(
+    results: Dict[str, List[Tuple[float, SimulationResult]]], metric: str
+) -> Dict[str, List[Tuple[float, float]]]:
+    def extract(result: SimulationResult) -> float:
+        if metric == "miss_ratio":
+            return result.miss_ratio
+        if metric == "disk_utilization":
+            return result.avg_disk_utilization
+        if metric == "observed_mpl":
+            return result.observed_mpl
+        if metric == "fluctuations":
+            return result.avg_fluctuations
+        raise ValueError(f"unknown metric {metric!r}")
+
+    return {
+        name: [(x, extract(result)) for x, result in points]
+        for name, points in results.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline experiment (Section 5.1): Figures 3, 4, 5, 7 and Table 7
+# ----------------------------------------------------------------------
+def _baseline_sweep(settings: ExperimentSettings, rates: Sequence[float], policies):
+    configs = [
+        (rate, baseline(arrival_rate=rate, scale=settings.scale, seed=settings.seed))
+        for rate in rates
+    ]
+    return sweep(configs, policies, settings)
+
+
+def figure_03_baseline_miss_ratio(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = BASELINE_RATES,
+    policies: Sequence[str] = BASELINE_POLICIES,
+) -> FigureResult:
+    """Figure 3: miss ratio vs arrival rate, memory-bound baseline."""
+    raw = _baseline_sweep(settings, rates, policies)
+    return FigureResult(
+        figure_id="Figure 3",
+        title="Miss Ratio (Baseline)",
+        x_label="arrival_rate",
+        y_label="miss_ratio",
+        series=_metric_series(raw, "miss_ratio"),
+        raw=raw,
+        notes="Paper: MinMax best, PMM close behind; Proportional degrades, Max worst.",
+    )
+
+
+def figure_04_baseline_disk_util(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = BASELINE_RATES,
+    policies: Sequence[str] = BASELINE_POLICIES,
+) -> FigureResult:
+    """Figure 4: disk utilisation vs arrival rate (baseline runs)."""
+    raw = _baseline_sweep(settings, rates, policies)
+    return FigureResult(
+        figure_id="Figure 4",
+        title="Disk Utilization (Baseline)",
+        x_label="arrival_rate",
+        y_label="disk_util",
+        series=_metric_series(raw, "disk_utilization"),
+        raw=raw,
+        notes="Paper: Max's utilisation stays flat; the liberal policies climb with load.",
+    )
+
+
+def figure_05_baseline_mpl(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = BASELINE_RATES,
+    policies: Sequence[str] = BASELINE_POLICIES,
+) -> FigureResult:
+    """Figure 5: observed MPL vs arrival rate (baseline runs)."""
+    raw = _baseline_sweep(settings, rates, policies)
+    return FigureResult(
+        figure_id="Figure 5",
+        title="Observed MPL (Baseline)",
+        x_label="arrival_rate",
+        y_label="mpl",
+        series=_metric_series(raw, "observed_mpl"),
+        raw=raw,
+        notes="Paper: Max pinned below ~2; MinMax/Proportional/PMM reach much higher MPLs.",
+    )
+
+
+def table_07_baseline_timings(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = BASELINE_RATES,
+    policies: Sequence[str] = BASELINE_POLICIES,
+) -> Tuple[str, Dict[str, List[Tuple[float, SimulationResult]]]]:
+    """Table 7: average waiting / execution / response per policy.
+
+    Returns the rendered table plus the raw results.
+    """
+    raw = _baseline_sweep(settings, rates, policies)
+    rows = []
+    for policy, points in raw.items():
+        for rate, result in points:
+            rows.append(
+                [
+                    policy,
+                    rate,
+                    round(result.avg_waiting, 2),
+                    round(result.avg_execution, 2),
+                    round(result.avg_response, 2),
+                ]
+            )
+    table = format_table(
+        ["policy", "arrival_rate", "waiting_s", "execution_s", "response_s"],
+        rows,
+        title="Table 7: Average Timings (Baseline; completed queries)",
+    )
+    return table, raw
+
+
+def figure_06_pmm_mpl_trace(
+    settings: ExperimentSettings = ExperimentSettings(),
+    arrival_rate: float = 0.075,
+) -> FigureResult:
+    """Figure 6: PMM's target-MPL trajectory at lambda = 0.075."""
+    config = baseline(
+        arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
+    )
+    result = run_config(config, "pmm", settings)
+    return FigureResult(
+        figure_id="Figure 6",
+        title=f"PMM target MPL trace (lambda={arrival_rate})",
+        x_label="time_s",
+        y_label="target_mpl",
+        series={"pmm": [(t, v) for t, v in result.pmm_mpl_trace]},
+        raw={"pmm": [(arrival_rate, result)]},
+        notes="Paper: early RU-driven spike (~25), then the projection settles near 10.",
+    )
+
+
+def figure_07_memory_fluctuations(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = BASELINE_RATES,
+    policies: Sequence[str] = BASELINE_POLICIES,
+) -> FigureResult:
+    """Figure 7: average memory-allocation changes per query."""
+    raw = _baseline_sweep(settings, rates, policies)
+    return FigureResult(
+        figure_id="Figure 7",
+        title="Memory Fluctuations (Baseline)",
+        x_label="arrival_rate",
+        y_label="fluctuations",
+        series=_metric_series(raw, "fluctuations"),
+        raw=raw,
+        notes="Paper: Proportional fluctuates most; Max only suspends/resumes.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Moderate disk contention (Section 5.2): Figures 8, 9, 10, 11
+# ----------------------------------------------------------------------
+def _contention_sweep(settings: ExperimentSettings, rates: Sequence[float], policies):
+    configs = [
+        (rate, disk_contention(arrival_rate=rate, scale=settings.scale, seed=settings.seed))
+        for rate in rates
+    ]
+    return sweep(configs, policies, settings)
+
+
+def figure_08_contention_miss_ratio(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = CONTENTION_RATES,
+    policies: Sequence[str] = CONTENTION_POLICIES,
+) -> FigureResult:
+    """Figure 8: miss ratio with 6 disks (MinMax starts thrashing)."""
+    raw = _contention_sweep(settings, rates, policies)
+    return FigureResult(
+        figure_id="Figure 8",
+        title="Miss Ratio (Disk Contention)",
+        x_label="arrival_rate",
+        y_label="miss_ratio",
+        series=_metric_series(raw, "miss_ratio"),
+        raw=raw,
+        notes="Paper: the MPL-limited MinMax wins; unbounded MinMax thrashes under load.",
+    )
+
+
+def figure_09_contention_disk_util(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = CONTENTION_RATES,
+    policies: Sequence[str] = CONTENTION_POLICIES,
+) -> FigureResult:
+    """Figure 9: disk utilisation with 6 disks."""
+    raw = _contention_sweep(settings, rates, policies)
+    return FigureResult(
+        figure_id="Figure 9",
+        title="Disk Utilization (Disk Contention)",
+        x_label="arrival_rate",
+        y_label="disk_util",
+        series=_metric_series(raw, "disk_utilization"),
+        raw=raw,
+        notes="Paper: MinMax exceeds 70% under heavy load (thrashing signal).",
+    )
+
+
+def figure_10_contention_mpl(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = CONTENTION_RATES,
+    policies: Sequence[str] = CONTENTION_POLICIES,
+) -> FigureResult:
+    """Figure 10: observed MPL with 6 disks (PMM tracks MinMax-10)."""
+    raw = _contention_sweep(settings, rates, policies)
+    return FigureResult(
+        figure_id="Figure 10",
+        title="Observed MPL (Disk Contention)",
+        x_label="arrival_rate",
+        y_label="mpl",
+        series=_metric_series(raw, "observed_mpl"),
+        raw=raw,
+        notes="Paper: PMM's MPL stays close to the best MinMax-N's.",
+    )
+
+
+def figure_11_minmax_n_sweep(
+    settings: ExperimentSettings = ExperimentSettings(),
+    arrival_rate: float = 0.085,
+    n_values: Sequence[int] = (1, 2, 3, 5, 8, 12),
+) -> FigureResult:
+    """Figure 11: MinMax-N miss ratio vs N, 6 disks, heavy load.
+
+    The paper runs this at lambda = 0.07 full-scale and finds the
+    optimum at N = 10; at the default small scale the same interior
+    optimum appears at a heavier rate and smaller N (~2)."""
+    config = disk_contention(
+        arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
+    )
+    points = []
+    raw_points = []
+    for n in n_values:
+        result = run_config(config, f"minmax-{n}", settings)
+        points.append((float(n), result.miss_ratio))
+        raw_points.append((float(n), result))
+    pmm_result = run_config(config, "pmm", settings)
+    return FigureResult(
+        figure_id="Figure 11",
+        title=f"MinMax-N sweep (lambda={arrival_rate}, 6 disks)",
+        x_label="N",
+        y_label="miss_ratio",
+        series={
+            "minmax-n": points,
+            "pmm": [(float(n), pmm_result.miss_ratio) for n in n_values],
+        },
+        raw={"minmax-n": raw_points, "pmm": [(0.0, pmm_result)]},
+        notes="Paper: concave in N with an interior optimum (MinMax-10); PMM lands near it.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload changes (Section 5.3): Figures 12-15
+# ----------------------------------------------------------------------
+def make_phases(
+    settings: ExperimentSettings,
+    num_phases: int = 5,
+    phase_range_hours: Tuple[float, float] = (2.0, 5.0),
+) -> List[Tuple[float, float, str]]:
+    """Alternating Medium/Small phases with 2-5 h lengths (scaled).
+
+    Phase lengths are drawn reproducibly from the experiment seed; the
+    schedule starts with Medium, as in Figures 12-14.
+    """
+    stream = Streams(settings.seed).stream("phases")
+    low, high = phase_range_hours
+    phases: List[Tuple[float, float, str]] = []
+    start = 0.0
+    for index in range(num_phases):
+        length = stream.uniform(low, high) * 3600.0 * settings.scale
+        name = "Medium" if index % 2 == 0 else "Small"
+        phases.append((start, start + length, name))
+        start += length
+    return phases
+
+
+def figure_12_14_workload_changes(
+    settings: ExperimentSettings = ExperimentSettings(),
+    policies: Sequence[str] = ("max", "minmax", "pmm"),
+    num_phases: int = 5,
+) -> Tuple[Dict[str, Dict], List[Tuple[float, float, str]]]:
+    """Figures 12-14: miss ratio over an alternating workload.
+
+    Returns ``({policy: {"result", "phase_miss", "series"}}, phases)``;
+    ``phase_miss`` is the per-phase average miss ratio the paper prints
+    along the top of each figure.
+    """
+    phases = make_phases(settings, num_phases=num_phases)
+    horizon = phases[-1][1]
+    run_settings = ExperimentSettings(
+        scale=settings.scale,
+        duration=horizon,
+        seed=settings.seed,
+        warmup=settings.warmup,
+    )
+    output: Dict[str, Dict] = {}
+    for policy in policies:
+        config = workload_changes(scale=settings.scale, seed=settings.seed)
+        medium_rate = config.workload.classes[0].arrival_rate
+        small_rate = config.workload.classes[1].arrival_rate
+
+        def setup(system, _phases=phases, _m=medium_rate, _s=small_rate):
+            # Start with Medium only; toggle the class rates per phase.
+            system.source.set_rate("Small", 0.0)
+            for start, _end, name in _phases:
+                if start == 0.0:
+                    continue
+                if name == "Small":
+                    system.schedule(start, lambda s=system, r=_s: (
+                        s.source.set_rate("Medium", 0.0),
+                        s.source.set_rate("Small", r),
+                    ))
+                else:
+                    system.schedule(start, lambda s=system, r=_m: (
+                        s.source.set_rate("Small", 0.0),
+                        s.source.set_rate("Medium", r),
+                    ))
+
+        result = run_config(
+            config,
+            policy,
+            run_settings,
+            cache_key=("workload_changes", policy, settings, num_phases),
+            setup=setup,
+        )
+        window = max(60.0, horizon / 60.0)
+        output[policy] = {
+            "result": result,
+            "series": result.windowed_miss_ratio(window),
+            "phase_miss": phase_average(
+                result.departure_log, [(s, e) for s, e, _n in phases]
+            ),
+        }
+    return output, phases
+
+
+def figure_15_change_mpl_trace(
+    settings: ExperimentSettings = ExperimentSettings(),
+    num_phases: int = 5,
+) -> FigureResult:
+    """Figure 15: PMM's MPL trace under the alternating workload."""
+    runs, phases = figure_12_14_workload_changes(
+        settings, policies=("pmm",), num_phases=num_phases
+    )
+    result = runs["pmm"]["result"]
+    return FigureResult(
+        figure_id="Figure 15",
+        title="PMM MPL (Workload Changes)",
+        x_label="time_s",
+        y_label="mpl",
+        series={"pmm": [(t, v) for t, v in result.pmm_mpl_trace]},
+        raw={"pmm": [(0.0, result)]},
+        notes="Paper: MPL rises in Medium phases (MinMax) and collapses in Small phases (Max).",
+    )
+
+
+# ----------------------------------------------------------------------
+# Other query types (Section 5.5): Figure 16
+# ----------------------------------------------------------------------
+def figure_16_external_sort(
+    settings: ExperimentSettings = ExperimentSettings(),
+    rates: Sequence[float] = SORT_RATES,
+    policies: Sequence[str] = BASELINE_POLICIES,
+) -> FigureResult:
+    """Figure 16: miss ratio for an external-sort workload."""
+    configs = [
+        (
+            rate,
+            external_sort_workload(
+                arrival_rate=rate, scale=settings.scale, seed=settings.seed
+            ),
+        )
+        for rate in rates
+    ]
+    raw = sweep(configs, policies, settings)
+    return FigureResult(
+        figure_id="Figure 16",
+        title="Miss Ratio (External Sort)",
+        x_label="arrival_rate",
+        y_label="miss_ratio",
+        series=_metric_series(raw, "miss_ratio"),
+        raw=raw,
+        notes="Paper: Max degrades fastest (memory even more critical); PMM sides with MinMax.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Multiclass workload (Section 5.6): Figures 17, 18
+# ----------------------------------------------------------------------
+def _multiclass_sweep(settings, small_rates, policies):
+    configs = [
+        (
+            rate,
+            multiclass(small_rate=rate, scale=settings.scale, seed=settings.seed),
+        )
+        for rate in small_rates
+    ]
+    return sweep(configs, policies, settings)
+
+
+def figure_17_multiclass_system(
+    settings: ExperimentSettings = ExperimentSettings(),
+    small_rates: Sequence[float] = SMALL_RATES,
+    policies: Sequence[str] = ("max", "minmax", "pmm"),
+) -> FigureResult:
+    """Figure 17: system miss ratio vs the Small class's arrival rate."""
+    raw = _multiclass_sweep(settings, small_rates, policies)
+    return FigureResult(
+        figure_id="Figure 17",
+        title="System Miss Ratio (Multiclass)",
+        x_label="small_arrival_rate",
+        y_label="miss_ratio",
+        series=_metric_series(raw, "miss_ratio"),
+        raw=raw,
+        notes="Paper: PMM follows MinMax at low Small rates and Max at high ones.",
+    )
+
+
+def figure_18_multiclass_perclass(
+    settings: ExperimentSettings = ExperimentSettings(),
+    small_rates: Sequence[float] = SMALL_RATES,
+) -> FigureResult:
+    """Figure 18: PMM's per-class miss ratios (the Medium-class bias)."""
+    raw = _multiclass_sweep(settings, small_rates, ("pmm",))
+    medium = []
+    small = []
+    for rate, result in raw["pmm"]:
+        medium.append((rate, result.per_class["Medium"].miss_ratio))
+        small.append((rate, result.per_class["Small"].miss_ratio))
+    return FigureResult(
+        figure_id="Figure 18",
+        title="Class Miss Ratio under PMM (Multiclass)",
+        x_label="small_arrival_rate",
+        y_label="miss_ratio",
+        series={"Medium": medium, "Small": small},
+        raw=raw,
+        notes="Paper: at high Small rates PMM's Max mode starves the Medium class.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Sensitivity & scalability (Sections 5.4, 5.7)
+# ----------------------------------------------------------------------
+def section_54_utillow_sensitivity(
+    settings: ExperimentSettings = ExperimentSettings(),
+    arrival_rate: float = 0.075,
+    util_lows: Sequence[float] = (0.50, 0.60, 0.70, 0.80),
+) -> FigureResult:
+    """Section 5.4: PMM's miss ratio is insensitive to UtilLow."""
+    from repro.rtdbs.config import PMMParams
+
+    points = []
+    raw_points = []
+    for util_low in util_lows:
+        config = baseline(
+            arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
+        ).with_overrides(pmm=PMMParams(util_low=util_low, util_high=0.85))
+        result = run_config(config, "pmm", settings)
+        points.append((util_low, result.miss_ratio))
+        raw_points.append((util_low, result))
+    return FigureResult(
+        figure_id="Section 5.4",
+        title=f"UtilLow sensitivity (lambda={arrival_rate})",
+        x_label="util_low",
+        y_label="miss_ratio",
+        series={"pmm": points},
+        raw={"pmm": raw_points},
+        notes="Paper: approximately the same performance across UtilLow in [0.50, 0.80].",
+    )
+
+
+def section_57_scalability(
+    settings: ExperimentSettings = ExperimentSettings(),
+    arrival_rate: float = 0.06,
+    factor: float = 2.0,
+    policies: Sequence[str] = ("max", "minmax", "pmm"),
+) -> Dict[str, Dict[str, float]]:
+    """Section 5.7: scale sizes x factor / rates / factor; the policy
+    ranking must be preserved.  Returns miss ratios at both scales."""
+    output: Dict[str, Dict[str, float]] = {"base": {}, "scaled": {}}
+    for policy in policies:
+        base_config = disk_contention(
+            arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
+        )
+        scaled_config = disk_contention(
+            arrival_rate=arrival_rate, scale=settings.scale * factor, seed=settings.seed
+        )
+        output["base"][policy] = run_config(base_config, policy, settings).miss_ratio
+        scaled_settings = ExperimentSettings(
+            scale=settings.scale * factor,
+            duration=settings.duration * factor,
+            seed=settings.seed,
+            warmup=settings.warmup * factor,
+        )
+        output["scaled"][policy] = run_config(
+            scaled_config, policy, scaled_settings
+        ).miss_ratio
+    return output

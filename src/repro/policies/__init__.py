@@ -1,0 +1,27 @@
+"""Memory-management policies: the PMM adapter and static baselines.
+
+Table 5 of the paper lists the algorithms compared: **Max**,
+**MinMax-N** (MinMax when N is unbounded), **Proportional-N**
+(Proportional when unbounded), and **PMM** itself, which dynamically
+chooses between Max and MinMax-N.  All of them implement the
+:class:`~repro.policies.base.MemoryPolicy` interface consumed by the
+buffer manager.
+"""
+
+from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
+from repro.policies.static import (
+    MaxPolicy,
+    MinMaxPolicy,
+    ProportionalPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "BatchStats",
+    "DepartureRecord",
+    "MaxPolicy",
+    "MemoryPolicy",
+    "MinMaxPolicy",
+    "ProportionalPolicy",
+    "make_policy",
+]

@@ -1,0 +1,102 @@
+"""The static baseline algorithms of Table 5.
+
+* ``Max`` -- always the Max strategy (no MPL limit beyond memory).
+* ``MinMax-N`` -- admits the N most urgent queries under the two-pass
+  MinMax division; ``MinMax`` (N unbounded) admits as many queries as
+  memory allows.
+* ``Proportional-N`` / ``Proportional`` -- like MinMax-N but divides
+  memory proportionally to maximum demands (with the minimum floor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.allocation import (
+    QueryDemand,
+    allocate_max,
+    allocate_minmax,
+    allocate_proportional,
+)
+from repro.policies.base import MemoryPolicy
+
+
+class MaxPolicy(MemoryPolicy):
+    """Maximum allocation or nothing, in ED order."""
+
+    name = "Max"
+
+    def allocate(
+        self, demands: Sequence[QueryDemand], memory: int, now: float = 0.0
+    ) -> Dict[int, int]:
+        return allocate_max(demands, memory)
+
+
+class MinMaxPolicy(MemoryPolicy):
+    """MinMax-N; ``mpl_limit=None`` gives the unbounded MinMax."""
+
+    def __init__(self, mpl_limit: Optional[int] = None):
+        if mpl_limit is not None and mpl_limit < 1:
+            raise ValueError(f"MPL limit must be >= 1, got {mpl_limit}")
+        self.mpl_limit = mpl_limit
+        self.name = "MinMax" if mpl_limit is None else f"MinMax-{mpl_limit}"
+
+    def allocate(
+        self, demands: Sequence[QueryDemand], memory: int, now: float = 0.0
+    ) -> Dict[int, int]:
+        return allocate_minmax(demands, memory, self.mpl_limit)
+
+    @property
+    def target_mpl(self) -> Optional[int]:
+        return self.mpl_limit
+
+
+class ProportionalPolicy(MemoryPolicy):
+    """Proportional-N; ``mpl_limit=None`` gives unbounded Proportional."""
+
+    def __init__(self, mpl_limit: Optional[int] = None):
+        if mpl_limit is not None and mpl_limit < 1:
+            raise ValueError(f"MPL limit must be >= 1, got {mpl_limit}")
+        self.mpl_limit = mpl_limit
+        self.name = "Proportional" if mpl_limit is None else f"Proportional-{mpl_limit}"
+
+    def allocate(
+        self, demands: Sequence[QueryDemand], memory: int, now: float = 0.0
+    ) -> Dict[int, int]:
+        return allocate_proportional(demands, memory, self.mpl_limit)
+
+    @property
+    def target_mpl(self) -> Optional[int]:
+        return self.mpl_limit
+
+
+def make_policy(spec: str, pmm_params=None) -> MemoryPolicy:
+    """Build a policy from a compact spec string.
+
+    Accepted specs (case-insensitive): ``"max"``, ``"minmax"``,
+    ``"minmax-10"``, ``"proportional"``, ``"proportional-4"``,
+    ``"pmm"``, ``"fairpmm"``.  The PMM spec requires ``pmm_params`` (a
+    :class:`repro.rtdbs.config.PMMParams`).
+    """
+    token = spec.strip().lower()
+    if token == "max":
+        return MaxPolicy()
+    if token == "minmax":
+        return MinMaxPolicy()
+    if token.startswith("minmax-"):
+        return MinMaxPolicy(int(token.split("-", 1)[1]))
+    if token == "proportional":
+        return ProportionalPolicy()
+    if token.startswith("proportional-"):
+        return ProportionalPolicy(int(token.split("-", 1)[1]))
+    if token == "pmm":
+        from repro.core.pmm import PMM
+        from repro.rtdbs.config import PMMParams
+
+        return PMM(pmm_params if pmm_params is not None else PMMParams())
+    if token == "fairpmm":
+        from repro.core.fairness import FairPMM
+        from repro.rtdbs.config import PMMParams
+
+        return FairPMM(pmm_params if pmm_params is not None else PMMParams())
+    raise ValueError(f"unknown policy spec {spec!r}")

@@ -1,0 +1,36 @@
+"""Memory-adaptive query processing primitives.
+
+PMM assumes operators that survive having memory taken away (and given
+back) mid-flight.  This package implements the two the paper uses:
+
+* :mod:`~repro.queries.hash_join` -- Partially Preemptible Hash Join
+  (PPHJ) with late contraction, expansion and priority spooling
+  [Pang93a].
+* :mod:`~repro.queries.sort` -- external sorting with replacement
+  selection and merge steps that split / recombine under memory
+  fluctuations [Pang93b].
+
+Operators are *pure generators* of :mod:`~repro.queries.requests`
+primitives (CPU bursts and disk accesses); all timing lives in the
+query manager, which makes the operators directly unit-testable.
+:mod:`~repro.queries.cost_model` provides the closed-form stand-alone
+execution times used for deadline assignment.
+"""
+
+from repro.queries.base import MemoryGrant, Operator, OperatorContext
+from repro.queries.cost_model import StandAloneCostModel
+from repro.queries.hash_join import HashJoinOperator
+from repro.queries.requests import AllocationWait, CPUBurst, DiskAccess
+from repro.queries.sort import ExternalSortOperator
+
+__all__ = [
+    "AllocationWait",
+    "CPUBurst",
+    "DiskAccess",
+    "ExternalSortOperator",
+    "HashJoinOperator",
+    "MemoryGrant",
+    "Operator",
+    "OperatorContext",
+    "StandAloneCostModel",
+]

@@ -1,0 +1,155 @@
+"""Operator protocol and the memory-grant channel.
+
+A :class:`MemoryGrant` is the single point of contact between the
+buffer manager and a running operator: the policy writes a new page
+count into it, the operator polls it between requests and reacts
+(contracting partitions, splitting merge steps, suspending on zero).
+The grant also counts *fluctuations* -- the per-query statistic behind
+the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable, List, Optional, Union
+
+from repro.queries.requests import AllocationWait, CPUBurst, DiskAccess
+from repro.rtdbs.config import CPUCosts
+from repro.rtdbs.database import TempFile
+
+Request = Union[CPUBurst, DiskAccess, AllocationWait]
+
+
+class MemoryGrant:
+    """Mutable allocation channel between policy and operator."""
+
+    __slots__ = ("pages", "fluctuations", "_waiters", "started")
+
+    def __init__(self, pages: int = 0):
+        self.pages = int(pages)
+        #: Number of allocation *changes* observed while running
+        #: (the first, admission-time grant does not count).
+        self.fluctuations = 0
+        self._waiters: List[Callable[[], None]] = []
+        #: Set once the query has begun execution; fluctuations are
+        #: only counted from that point on.
+        self.started = False
+
+    def set(self, pages: int) -> None:
+        """Change the allocation; wakes any suspended waiter."""
+        pages = int(pages)
+        if pages < 0:
+            raise ValueError(f"negative allocation: {pages}")
+        if pages == self.pages:
+            return
+        self.pages = pages
+        if self.started:
+            self.fluctuations += 1
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            wake()
+
+    def on_change(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot wake-up for the next allocation change."""
+        self._waiters.append(callback)
+
+
+@dataclass(frozen=True)
+class OperatorContext:
+    """Static facts an operator needs about its environment."""
+
+    #: Tuples per page (PageSize // TupleSize).
+    tuples_per_page: int
+    #: Sequential I/O unit, pages (``BlockSize``).
+    block_size: int
+    #: Table 4 CPU costs.
+    costs: CPUCosts
+    #: Allocate a contiguous temp extent on a disk; the query manager
+    #: wires this to :class:`repro.rtdbs.database.TempSpace`.
+    allocate_temp: Callable[[int, int], TempFile]
+    #: Release a temp extent.
+    release_temp: Callable[[TempFile], None]
+
+
+class Operator(abc.ABC):
+    """A memory-adaptive query operator.
+
+    Subclasses expose their memory demand envelope (``min_pages`` /
+    ``max_pages``), the workload characteristics PMM monitors
+    (``operand_pages``, ``operand_io_count``), and a :meth:`run`
+    generator producing the request stream.
+    """
+
+    def __init__(self, context: OperatorContext, grant: MemoryGrant):
+        self.context = context
+        self.grant = grant
+        self._temp_files: List[TempFile] = []
+
+    # -- demand envelope ------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def min_pages(self) -> int:
+        """Minimum workspace for multi-pass execution."""
+
+    @property
+    @abc.abstractmethod
+    def max_pages(self) -> int:
+        """Workspace that allows one-pass (direct) execution."""
+
+    @property
+    @abc.abstractmethod
+    def operand_pages(self) -> int:
+        """Total pages of the operand relation(s)."""
+
+    @property
+    def operand_io_count(self) -> int:
+        """Sequential I/Os needed just to read the operand relation(s).
+
+        This is the workload characteristic PMM's change detector
+        monitors (temp-file I/O is excluded because it depends on
+        allocation decisions, not on the workload).
+        """
+        return math.ceil(self.operand_pages / self.context.block_size)
+
+    # -- execution -------------------------------------------------------
+    @abc.abstractmethod
+    def run(self) -> Generator[Request, None, None]:
+        """Yield the request stream; return when the query is done."""
+
+    # -- temp-file bookkeeping --------------------------------------------
+    def _get_temp(self, disk: int, pages: int) -> TempFile:
+        temp = self.context.allocate_temp(disk, pages)
+        self._temp_files.append(temp)
+        return temp
+
+    def release_resources(self) -> None:
+        """Free all temp extents (called on completion *and* on abort)."""
+        for temp in self._temp_files:
+            self.context.release_temp(temp)
+        self._temp_files.clear()
+
+    # -- helpers shared by the concrete operators -------------------------
+    @staticmethod
+    def _log2_ceil(value: float) -> int:
+        """``ceil(log2(value))`` with a floor of 1 (comparison depth)."""
+        if value <= 2:
+            return 1
+        return max(1, math.ceil(math.log2(value)))
+
+
+def drain(operator: Operator) -> List[Request]:
+    """Run an operator to completion outside the simulator.
+
+    Testing helper: executes the generator assuming every request
+    succeeds instantly, returning the full request trace.  Raises if
+    the operator suspends on :class:`AllocationWait` with no pending
+    grant change (that would deadlock).
+    """
+    trace: List[Request] = []
+    for request in operator.run():
+        if isinstance(request, AllocationWait) and operator.grant.pages == 0:
+            raise RuntimeError("operator suspended with zero grant while draining")
+        trace.append(request)
+    return trace

@@ -1,0 +1,341 @@
+"""Partially Preemptible Hash Join (PPHJ) [Pang93a].
+
+PPHJ splits the inner (building) relation R and the outer (probing)
+relation S into ``P`` partitions.  At any instant some partitions are
+*expanded* (hash tables in memory) and the rest are *contracted*
+(resident on disk).  The variant the paper uses has:
+
+* **late contraction** -- partitions are only contracted (their
+  in-memory tuples spooled to a temp file) at the moment memory is
+  actually insufficient;
+* **expansion** -- if memory grows while the outer relation is being
+  split, contracted partitions are read back in so subsequent outer
+  tuples can be joined directly;
+* **priority spooling** -- spool I/O is issued at the query's own ED
+  priority (all of a query's requests carry its deadline).
+
+The model is aggregate rather than tuple-level: partitions are tracked
+as counts and page totals, which reproduces exactly the I/O volume and
+CPU instruction counts of the per-partition algorithm under the
+uniformity assumption the paper's own analysis uses.
+
+Memory accounting (``need``): ``ceil(F * r_mem) + (P - e) + 1`` pages --
+hash tables over the in-memory R pages, one spool output buffer per
+contracted partition, one input buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from repro.queries.base import MemoryGrant, Operator, OperatorContext, Request
+from repro.queries.requests import READ, WRITE, AllocationWait, CPUBurst, DiskAccess
+from repro.rtdbs.database import Relation, TempFile
+
+
+class HashJoinOperator(Operator):
+    """PPHJ over inner relation R and outer relation S."""
+
+    def __init__(
+        self,
+        context: OperatorContext,
+        grant: MemoryGrant,
+        inner: Relation,
+        outer: Relation,
+        fudge_factor: float = 1.1,
+        selectivity: float = 1.0,
+        temp_disk: Optional[int] = None,
+    ):
+        super().__init__(context, grant)
+        if inner.pages <= 0 or outer.pages <= 0:
+            raise ValueError("relations must be non-empty")
+        self.inner = inner
+        self.outer = outer
+        self.fudge = float(fudge_factor)
+        self.selectivity = float(selectivity)
+        self.temp_disk = inner.disk if temp_disk is None else temp_disk
+
+        #: Number of partitions: enough that a single partition's hash
+        #: table fits in roughly sqrt(F * ||R||) pages [Shap86].
+        self.partitions = max(1, math.ceil(math.sqrt(self.fudge * inner.pages)))
+        #: Full hash-table size of one partition, pages.
+        self.partition_ht_pages = max(
+            1, math.ceil(self.fudge * inner.pages / self.partitions)
+        )
+
+        # --- dynamic state -------------------------------------------
+        #: Currently expanded partitions.
+        self.expanded = self.partitions
+        #: Raw R pages currently held in in-memory hash tables.
+        self.r_mem = 0.0
+        #: Raw R pages spooled to the temp file.
+        self.r_spooled = 0.0
+        #: Raw S pages spooled to the temp file.
+        self.s_spooled = 0.0
+        self._pending_spool = 0.0
+        self._temp: Optional[TempFile] = None
+        self._temp_cursor = 0
+
+        # --- counters (for tests and EXPERIMENTS.md) ------------------
+        self.pages_read = 0
+        self.pages_written = 0
+        self.io_count = 0
+
+    # ------------------------------------------------------------------
+    # demand envelope
+    # ------------------------------------------------------------------
+    @property
+    def min_pages(self) -> int:
+        """Two-pass minimum: max of split-phase and join-phase needs,
+        ~ sqrt(F * ||R||) + 1 as in the paper (Section 3.2)."""
+        return max(self.partitions + 1, self.partition_ht_pages + 2)
+
+    @property
+    def max_pages(self) -> int:
+        """One-pass maximum: F * ||R|| plus one I/O buffer."""
+        return math.ceil(self.fudge * self.inner.pages) + 1
+
+    @property
+    def operand_pages(self) -> int:
+        """R + S pages (read exactly once each)."""
+        return self.inner.pages + self.outer.pages
+
+    # ------------------------------------------------------------------
+    # memory arithmetic
+    # ------------------------------------------------------------------
+    def _need(self, expanded: int, r_mem: float) -> int:
+        """Pages required with ``expanded`` partitions holding ``r_mem``."""
+        return (
+            math.ceil(self.fudge * r_mem)
+            + (self.partitions - expanded)
+            + 1
+        )
+
+    def _effective_grant(self) -> int:
+        """Grant clamped up to the operating minimum (a positive grant
+        below ``min_pages`` cannot occur under the paper's policies; we
+        defend against it rather than deadlock)."""
+        pages = self.grant.pages
+        if pages == 0:
+            return 0
+        return max(pages, self.min_pages)
+
+    # ------------------------------------------------------------------
+    # spool plumbing
+    # ------------------------------------------------------------------
+    def _ensure_temp(self) -> TempFile:
+        if self._temp is None:
+            worst_case = self.inner.pages + self.outer.pages + 2 * self.context.block_size
+            self._temp = self._get_temp(self.temp_disk, worst_case)
+        return self._temp
+
+    def _temp_address(self, pages: int) -> int:
+        """Next ``pages``-page slot in the temp extent (wrapping)."""
+        temp = self._ensure_temp()
+        if self._temp_cursor + pages > temp.pages:
+            self._temp_cursor = 0
+        address = temp.start_page + self._temp_cursor
+        self._temp_cursor += pages
+        return address
+
+    def _flush_spool(self, force: bool = False) -> Generator[Request, None, None]:
+        block = self.context.block_size
+        while self._pending_spool >= block:
+            yield self._write(block)
+            self._pending_spool -= block
+        if force and self._pending_spool > 1e-9:
+            pages = max(1, math.ceil(self._pending_spool))
+            yield self._write(pages)
+            self._pending_spool = 0.0
+
+    def _write(self, pages: int) -> DiskAccess:
+        self.pages_written += pages
+        self.io_count += 1
+        return DiskAccess(WRITE, self.temp_disk, self._temp_address(pages), pages)
+
+    def _read_temp(self, pages: int) -> DiskAccess:
+        temp = self._ensure_temp()
+        if self._temp_cursor + pages > temp.pages:
+            self._temp_cursor = 0
+        address = temp.start_page + self._temp_cursor
+        self._temp_cursor += pages
+        self.pages_read += pages
+        self.io_count += 1
+        return DiskAccess(READ, self.temp_disk, address, pages)
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+    def _contract_to_fit(self, grant: int) -> Generator[Request, None, None]:
+        """Late contraction: spool just enough partitions to fit."""
+        while self.expanded > 0 and self._need(self.expanded, self.r_mem) > grant:
+            share = self.r_mem / self.expanded
+            self.r_mem -= share
+            self.r_spooled += share
+            self._pending_spool += share
+            self.expanded -= 1
+        yield from self._flush_spool()
+
+    def _spool_everything(self) -> Generator[Request, None, None]:
+        """Suspension: contract all partitions and flush the spool."""
+        if self.r_mem > 0:
+            self.r_spooled += self.r_mem
+            self._pending_spool += self.r_mem
+            self.r_mem = 0.0
+        self.expanded = 0
+        yield from self._flush_spool(force=True)
+
+    def _expand_if_possible(self) -> Generator[Request, None, None]:
+        """Late expansion during the probe phase [Pang93a]."""
+        grant = self._effective_grant()
+        block = self.context.block_size
+        costs = self.context.costs
+        tuples_per_page = self.context.tuples_per_page
+        while (
+            self.expanded < self.partitions
+            and self.r_spooled > 0
+            and self._need(
+                self.expanded + 1,
+                self.r_mem + self.r_spooled / (self.partitions - self.expanded),
+            )
+            <= grant
+        ):
+            share = self.r_spooled / (self.partitions - self.expanded)
+            pages_left = share
+            while pages_left > 1e-9:
+                chunk = min(block, max(1, math.ceil(pages_left)))
+                chunk = min(chunk, math.ceil(pages_left))
+                yield self._read_temp(chunk)
+                yield CPUBurst(chunk * tuples_per_page * costs.hash_insert)
+                pages_left -= chunk
+            self.r_spooled -= share
+            self.r_mem += share
+            self.expanded += 1
+            grant = self._effective_grant()
+
+    # ------------------------------------------------------------------
+    # the three phases
+    # ------------------------------------------------------------------
+    def run(self) -> Generator[Request, None, None]:
+        """Build R, probe with S, then clean up contracted partitions."""
+        costs = self.context.costs
+        yield CPUBurst(costs.initiate_query)
+        yield from self._build_phase()
+        yield from self._probe_phase()
+        yield from self._cleanup_phase()
+        yield CPUBurst(costs.terminate_query)
+
+    def _build_phase(self) -> Generator[Request, None, None]:
+        costs = self.context.costs
+        block = self.context.block_size
+        tuples_per_page = self.context.tuples_per_page
+        r_read = 0
+        while r_read < self.inner.pages:
+            if self.grant.pages == 0:
+                yield from self._spool_everything()
+                yield AllocationWait()
+                continue
+            yield from self._contract_to_fit(self._effective_grant())
+            pages = min(block, self.inner.pages - r_read)
+            self.pages_read += pages
+            self.io_count += 1
+            yield DiskAccess(
+                READ, self.inner.disk, self.inner.start_page + r_read, pages, cacheable=True
+            )
+            tuples = pages * tuples_per_page
+            expanded_fraction = self.expanded / self.partitions
+            yield CPUBurst(
+                tuples * expanded_fraction * costs.hash_insert
+                + tuples * (1.0 - expanded_fraction) * costs.hash_output
+            )
+            self.r_mem += pages * expanded_fraction
+            spooled = pages * (1.0 - expanded_fraction)
+            self.r_spooled += spooled
+            self._pending_spool += spooled
+            yield from self._flush_spool()
+            r_read += pages
+        yield from self._flush_spool(force=True)
+
+    def _probe_phase(self) -> Generator[Request, None, None]:
+        costs = self.context.costs
+        block = self.context.block_size
+        tuples_per_page = self.context.tuples_per_page
+        s_read = 0
+        while s_read < self.outer.pages:
+            if self.grant.pages == 0:
+                yield from self._spool_everything()
+                yield AllocationWait()
+                continue
+            grant = self._effective_grant()
+            if self._need(self.expanded, self.r_mem) > grant:
+                yield from self._contract_to_fit(grant)
+            else:
+                yield from self._expand_if_possible()
+            pages = min(block, self.outer.pages - s_read)
+            self.pages_read += pages
+            self.io_count += 1
+            yield DiskAccess(
+                READ, self.outer.disk, self.outer.start_page + s_read, pages, cacheable=True
+            )
+            tuples = pages * tuples_per_page
+            expanded_fraction = self.expanded / self.partitions
+            yield CPUBurst(
+                tuples
+                * expanded_fraction
+                * (costs.hash_probe + self.selectivity * costs.hash_output)
+                + tuples * (1.0 - expanded_fraction) * costs.hash_output
+            )
+            spooled = pages * (1.0 - expanded_fraction)
+            self.s_spooled += spooled
+            self._pending_spool += spooled
+            yield from self._flush_spool()
+            s_read += pages
+        yield from self._flush_spool(force=True)
+
+    def _cleanup_phase(self) -> Generator[Request, None, None]:
+        """Join the spooled partition pairs, one partition at a time."""
+        costs = self.context.costs
+        block = self.context.block_size
+        tuples_per_page = self.context.tuples_per_page
+        remaining_r = self.r_spooled
+        remaining_s = self.s_spooled
+        if remaining_r < 1e-9 and remaining_s < 1e-9:
+            return
+        contracted = max(1, self.partitions - self.expanded)
+        for index in range(contracted):
+            part_r = remaining_r / (contracted - index)
+            part_s = remaining_s / (contracted - index)
+            remaining_r -= part_r
+            remaining_s -= part_s
+            done = False
+            while not done:
+                if self.grant.pages == 0:
+                    # Nothing dirty mid-cleanup: discard progress on this
+                    # partition and redo it once memory returns.
+                    yield AllocationWait()
+                    continue
+                yield from self._scan_temp(
+                    part_r, costs.hash_insert, block, tuples_per_page
+                )
+                yield from self._scan_temp(
+                    part_s,
+                    costs.hash_probe + self.selectivity * costs.hash_output,
+                    block,
+                    tuples_per_page,
+                )
+                done = True
+        self.r_spooled = 0.0
+        self.s_spooled = 0.0
+
+    def _scan_temp(
+        self, pages: float, per_tuple_cost: float, block: int, tuples_per_page: int
+    ) -> Generator[Request, None, None]:
+        pages_left = pages
+        while pages_left > 1e-9:
+            chunk = min(block, math.ceil(pages_left))
+            yield self._read_temp(chunk)
+            yield CPUBurst(
+                min(chunk, pages_left) * tuples_per_page * per_tuple_cost
+            )
+            pages_left -= chunk

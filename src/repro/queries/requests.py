@@ -1,0 +1,59 @@
+"""Resource-request primitives yielded by query operators.
+
+An operator is a generator producing a stream of these requests; the
+query manager executes each one against the simulated CPU and disks
+(charging the Table 4 ``start an I/O`` CPU cost before every disk
+access) and resumes the operator when it completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Disk access kinds (mirror :mod:`repro.rtdbs.disk`).
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class CPUBurst:
+    """Consume CPU: ``instructions`` at the query's ED priority."""
+
+    instructions: float
+
+    def __post_init__(self):
+        if self.instructions < 0:
+            raise ValueError(f"negative CPU burst: {self.instructions}")
+
+
+@dataclass(frozen=True)
+class DiskAccess:
+    """One disk access of ``npages`` starting at ``start_page``.
+
+    ``sequential`` distinguishes block-prefetch scans from the
+    page-at-a-time reads of a sort's merge phase (the paper's disk
+    cache is bypassed during merging).  ``cacheable`` marks operand
+    (base relation) reads, which may be served by -- and are retained
+    in -- the buffer pool's unreserved LRU region; temp-file traffic is
+    transient and bypasses it.
+    """
+
+    kind: str  # READ or WRITE
+    disk: int
+    start_page: int
+    npages: int
+    sequential: bool = True
+    cacheable: bool = False
+
+    def __post_init__(self):
+        if self.kind not in (READ, WRITE):
+            raise ValueError(f"unknown disk access kind {self.kind!r}")
+        if self.npages <= 0:
+            raise ValueError(f"disk access needs at least one page, got {self.npages}")
+        if self.start_page < 0:
+            raise ValueError(f"negative start page: {self.start_page}")
+
+
+@dataclass(frozen=True)
+class AllocationWait:
+    """The operator holds zero memory; sleep until the grant changes."""

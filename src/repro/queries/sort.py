@@ -1,0 +1,331 @@
+"""Memory-adaptive external sorting [Pang93b].
+
+Phase 1 uses **replacement selection** to turn the operand relation
+into sorted runs (expected run length = twice the workspace for random
+input).  Phase 2 repeatedly merges runs until one remains.  Adaptivity:
+
+* if memory **shrinks** mid-merge, the executing merge step is *split*:
+  the partially merged output is closed as a run, the unconsumed tails
+  of the input runs are returned to the run queue, and merging resumes
+  at the fan-in the new allocation supports;
+* if memory **grows**, subsequent steps use the larger fan-in
+  (combining steps), which reduces the number of passes.
+
+Given its maximum requirement (the operand size) the sort completes in
+memory with no temporary I/O; the minimum requirement is 3 pages (two
+inputs + one output of a binary merge), per the paper's Section 3.2.
+Merge-phase reads are page-at-a-time -- the paper's disk prefetch cache
+is explicitly not used while merging.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.queries.base import MemoryGrant, Operator, OperatorContext, Request
+from repro.queries.requests import READ, WRITE, AllocationWait, CPUBurst, DiskAccess
+from repro.rtdbs.database import Relation, TempFile
+
+
+@dataclass
+class _Run:
+    """A sorted run in the temp extent."""
+
+    start_page: int
+    pages: int
+    consumed: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.pages - self.consumed
+
+    def next_page(self) -> int:
+        page = self.start_page + self.consumed
+        self.consumed += 1
+        return page
+
+
+class ExternalSortOperator(Operator):
+    """Replacement-selection sort with adaptive merging."""
+
+    MIN_PAGES = 3
+
+    def __init__(
+        self,
+        context: OperatorContext,
+        grant: MemoryGrant,
+        relation: Relation,
+        temp_disk: Optional[int] = None,
+    ):
+        super().__init__(context, grant)
+        if relation.pages <= 0:
+            raise ValueError("relation must be non-empty")
+        self.relation = relation
+        self.temp_disk = relation.disk if temp_disk is None else temp_disk
+
+        # --- dynamic state -------------------------------------------
+        self.runs: List[_Run] = []
+        self._temp: Optional[TempFile] = None
+        self._out_cursor = 0  # allocation cursor within the temp extent
+
+        # --- counters --------------------------------------------------
+        self.pages_read = 0
+        self.pages_written = 0
+        self.io_count = 0
+        self.merge_passes = 0
+
+    #: Merge fan-ins at or below this stay within the per-disk prefetch
+    #: cache's stream capacity, so merge reads remain sequential-priced.
+    STREAM_FRIENDLY_FANIN = 5
+
+    # ------------------------------------------------------------------
+    @property
+    def min_pages(self) -> int:
+        """Advertised minimum demand: a *useful* two-pass workspace.
+
+        The operator *can* run with as few as 3 pages (the paper's
+        absolute floor, via repeated binary merges) and adapts down to
+        that when memory is yanked mid-flight.  The demand it
+        advertises to the memory policies is larger: at least the
+        classic two-pass workspace ~ sqrt(R) [Shap86], and enough that
+        run formation yields at most :data:`STREAM_FRIENDLY_FANIN` runs
+        (workspace R/10 gives runs of R/5 pages), keeping the single
+        merge pass within the disk prefetch cache's stream capacity.
+        Below that envelope the merge reads lose sequential pricing and
+        the sort's execution time exceeds any feasible slack, so
+        admitting it with less memory is never useful (see DESIGN.md).
+        """
+        pages = self.relation.pages
+        two_pass = math.ceil(math.sqrt(pages)) + 1
+        stream_friendly = math.ceil(pages / (2 * self.STREAM_FRIENDLY_FANIN)) + 2
+        return max(self.MIN_PAGES, two_pass, stream_friendly)
+
+    @property
+    def max_pages(self) -> int:
+        """The operand size: sorts entirely in memory [Shap86]."""
+        return self.relation.pages
+
+    @property
+    def operand_pages(self) -> int:
+        """Pages of the single operand relation."""
+        return self.relation.pages
+
+    # ------------------------------------------------------------------
+    def _ensure_temp(self) -> TempFile:
+        if self._temp is None:
+            # Ping-pong space: one full copy per side plus slack for
+            # block rounding while runs from both sides coexist.
+            size = 2 * self.relation.pages + 4 * self.context.block_size
+            self._temp = self._get_temp(self.temp_disk, size)
+        return self._temp
+
+    def _allocate_run_space(self, pages: int) -> int:
+        temp = self._ensure_temp()
+        if self._out_cursor + pages > temp.pages:
+            self._out_cursor = 0
+        start = temp.start_page + self._out_cursor
+        self._out_cursor += pages
+        return start
+
+    def _effective_grant(self) -> int:
+        pages = self.grant.pages
+        if pages == 0:
+            return 0
+        return max(pages, self.MIN_PAGES)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator[Request, None, None]:
+        """Form sorted runs, then merge until a single run remains."""
+        costs = self.context.costs
+        yield CPUBurst(costs.initiate_query)
+        in_memory = yield from self._run_formation()
+        if not in_memory:
+            yield from self._merge_phase()
+        yield CPUBurst(costs.terminate_query)
+
+    # ------------------------------------------------------------------
+    # phase 1: run formation (replacement selection)
+    # ------------------------------------------------------------------
+    def _run_formation(self) -> Generator[Request, None, bool]:
+        """Read the operand, producing runs.  Returns True when the
+        whole relation fit in memory (no temp I/O needed at all)."""
+        costs = self.context.costs
+        block = self.context.block_size
+        tuples_per_page = self.context.tuples_per_page
+        relation = self.relation
+
+        workspace_fill = 0.0  # pages currently buffered in the workspace
+        run_pages = 0.0  # pages already emitted into the current run
+        run_start: Optional[int] = None
+        pending_out = 0.0  # emitted pages not yet flushed to disk
+        read = 0
+
+        def close_run():
+            nonlocal run_pages, run_start
+            if run_start is not None and run_pages > 0:
+                self.runs.append(_Run(run_start, int(round(run_pages))))
+            run_pages = 0.0
+            run_start = None
+
+        while read < relation.pages:
+            if self.grant.pages == 0:
+                # Suspension: flush the workspace as (the tail of) the
+                # current run, then sleep.
+                emit = workspace_fill
+                workspace_fill = 0.0
+                result = yield from self._emit_run_pages(
+                    emit, run_start, run_pages, pending_out
+                )
+                run_start, run_pages, pending_out = result
+                yield from self._flush_run(pending_out, run_start)
+                pending_out = 0.0
+                close_run()
+                yield AllocationWait()
+                continue
+            # The whole grant serves as the replacement-selection
+            # workspace (the input buffer doubles as tournament space),
+            # so a grant of ||R|| sorts entirely in memory as Section
+            # 3.2 states.
+            workspace = max(2, self._effective_grant())
+            # Replacement selection: pages beyond the workspace (and
+            # beyond the 2w expected run length) are emitted.
+            pages = min(block, relation.pages - read)
+            self.pages_read += pages
+            self.io_count += 1
+            yield DiskAccess(
+                READ, relation.disk, relation.start_page + read, pages, cacheable=True
+            )
+            tuples = pages * tuples_per_page
+            depth = self._log2_ceil(max(2.0, workspace * tuples_per_page))
+            yield CPUBurst(tuples * (depth * costs.key_compare + costs.sort_copy))
+            read += pages
+            workspace_fill += pages
+            overflow = workspace_fill - workspace
+            if overflow > 0:
+                workspace_fill = workspace
+                result = yield from self._emit_run_pages(
+                    overflow, run_start, run_pages, pending_out
+                )
+                run_start, run_pages, pending_out = result
+                # Close the run at the expected replacement-selection
+                # length of twice the (current) workspace.
+                if run_pages >= 2.0 * workspace:
+                    yield from self._flush_run(pending_out, run_start)
+                    pending_out = 0.0
+                    close_run()
+
+        if not self.runs and run_start is None and workspace_fill >= relation.pages:
+            # Everything fit: in-memory sort.  The tournament-insert
+            # comparisons were already charged per block above; what
+            # remains is the output pass copying tuples to the result.
+            total_tuples = relation.pages * tuples_per_page
+            yield CPUBurst(total_tuples * self.context.costs.sort_copy)
+            return True
+
+        # Flush whatever is left in the workspace as the final run tail.
+        result = yield from self._emit_run_pages(
+            workspace_fill, run_start, run_pages, pending_out
+        )
+        run_start, run_pages, pending_out = result
+        yield from self._flush_run(pending_out, run_start)
+        close_run()
+        return False
+
+    def _emit_run_pages(self, pages, run_start, run_pages, pending_out):
+        """Emit ``pages`` into the current run, flushing whole blocks."""
+        block = self.context.block_size
+        if pages <= 0:
+            return (run_start, run_pages, pending_out)
+        if run_start is None and pages > 0:
+            # Reserve worst-case space for this run (trimmed at close).
+            run_start = self._allocate_run_space(
+                int(math.ceil(pages)) + 2 * block + 2 * max(1, self.grant.pages)
+            )
+        run_pages += pages
+        pending_out += pages
+        while pending_out >= block:
+            yield self._write_pages(block)
+            pending_out -= block
+        return (run_start, run_pages, pending_out)
+
+    def _flush_run(self, pending_out: float, run_start) -> Generator[Request, None, None]:
+        if pending_out > 1e-9 and run_start is not None:
+            yield self._write_pages(max(1, math.ceil(pending_out)))
+
+    def _write_pages(self, pages: int) -> DiskAccess:
+        temp = self._ensure_temp()
+        address = temp.start_page + (self.pages_written % max(1, temp.pages - pages))
+        self.pages_written += pages
+        self.io_count += 1
+        return DiskAccess(WRITE, self.temp_disk, address, pages)
+
+    # ------------------------------------------------------------------
+    # phase 2: adaptive merging
+    # ------------------------------------------------------------------
+    def _merge_phase(self) -> Generator[Request, None, None]:
+        costs = self.context.costs
+        block = self.context.block_size
+        tuples_per_page = self.context.tuples_per_page
+
+        while len(self.runs) > 1:
+            if self.grant.pages == 0:
+                yield AllocationWait()
+                continue
+            fanin = min(len(self.runs), max(2, self._effective_grant() - 1))
+            step_runs = self.runs[:fanin]
+            del self.runs[:fanin]
+            final = not self.runs  # merging everything that is left
+            self.merge_passes += 1
+
+            total = sum(run.remaining for run in step_runs)
+            out_start = self._allocate_run_space(total + block)
+            out_pages = 0
+            pending_out = 0.0
+            index = 0  # round-robin over the step's runs
+            while any(run.remaining > 0 for run in step_runs):
+                grant = self._effective_grant()
+                if self.grant.pages == 0 or grant - 1 < fanin:
+                    # Split the step [Pang93b]: close the partial output
+                    # as a run, return unconsumed tails to the queue.
+                    if pending_out > 1e-9:
+                        yield self._write_pages(max(1, math.ceil(pending_out)))
+                        out_pages += math.ceil(pending_out)
+                        pending_out = 0.0
+                    if out_pages > 0:
+                        self.runs.insert(0, _Run(out_start, out_pages))
+                    for run in step_runs:
+                        if run.remaining > 0:
+                            self.runs.insert(
+                                0, _Run(run.start_page + run.consumed, run.remaining)
+                            )
+                    break
+                # Read one page (page-at-a-time during merging).
+                for _probe in range(len(step_runs)):
+                    run = step_runs[index % len(step_runs)]
+                    index += 1
+                    if run.remaining > 0:
+                        break
+                page = run.next_page()
+                self.pages_read += 1
+                self.io_count += 1
+                yield DiskAccess(READ, self.temp_disk, page, 1, sequential=False)
+                depth = self._log2_ceil(max(2, fanin))
+                yield CPUBurst(
+                    tuples_per_page * (depth * costs.key_compare + costs.sort_copy)
+                )
+                if final:
+                    continue  # results produced directly, no write-back
+                pending_out += 1
+                if pending_out >= block:
+                    yield self._write_pages(block)
+                    out_pages += block
+                    pending_out = 0.0
+            else:
+                # Step completed normally.
+                if not final:
+                    if pending_out > 1e-9:
+                        yield self._write_pages(max(1, math.ceil(pending_out)))
+                        out_pages += math.ceil(pending_out)
+                    self.runs.append(_Run(out_start, max(1, out_pages)))

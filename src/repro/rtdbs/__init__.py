@@ -1,0 +1,35 @@
+"""The simulated firm real-time DBMS (the paper's Figure 2 model).
+
+Five components, as in the paper: a :mod:`~repro.rtdbs.source` that
+generates the workload and collects statistics, a
+:mod:`~repro.rtdbs.query_manager` that models query execution, a
+:mod:`~repro.rtdbs.buffer_manager` that implements LRU replacement plus
+the pluggable memory policy (PMM or a static baseline), and
+:mod:`~repro.rtdbs.cpu` / :mod:`~repro.rtdbs.disk` managers for the
+physical resources.  :mod:`~repro.rtdbs.system` wires them together.
+"""
+
+from repro.rtdbs.config import (
+    CPUCosts,
+    DatabaseParams,
+    PMMParams,
+    QueryClass,
+    RelationGroup,
+    ResourceParams,
+    SimulationConfig,
+    WorkloadParams,
+)
+from repro.rtdbs.system import RTDBSystem, SimulationResult
+
+__all__ = [
+    "CPUCosts",
+    "DatabaseParams",
+    "PMMParams",
+    "QueryClass",
+    "RelationGroup",
+    "ResourceParams",
+    "RTDBSystem",
+    "SimulationConfig",
+    "SimulationResult",
+    "WorkloadParams",
+]

@@ -1,0 +1,138 @@
+"""The Buffer Manager: reservations + LRU over the unreserved pool.
+
+Section 4.2: query operators (sorts and joins) *reserve* buffers for
+use as workspaces and manage those pages themselves; page replacement
+for the non-reserved remainder of the pool follows LRU.  Here:
+
+* the **reservation ledger** tracks each query's granted workspace
+  (the memory policy decides the grants; this class enforces that they
+  never oversubscribe the pool);
+* the **LRU data cache** uses whatever is left of the pool to retain
+  recently read operand pages, letting concurrent scans of the same
+  relation skip disk reads.  Its capacity shrinks automatically when
+  reservations grow.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from repro.sim.monitor import TimeWeighted
+
+
+class LRUDataCache:
+    """Page-granular LRU cache with a dynamically adjustable capacity."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"negative capacity: {capacity}")
+        self._capacity = capacity
+        self._pages: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Current capacity in pages."""
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative capacity: {value}")
+        self._capacity = value
+        while len(self._pages) > self._capacity:
+            self._pages.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def contains_all(self, disk: int, start_page: int, npages: int) -> bool:
+        """True when the whole range is cached (counts one hit/miss)."""
+        for page in range(start_page, start_page + npages):
+            if (disk, page) not in self._pages:
+                self.misses += 1
+                return False
+        self.hits += 1
+        for page in range(start_page, start_page + npages):
+            self._pages.move_to_end((disk, page))
+        return True
+
+    def insert(self, disk: int, start_page: int, npages: int) -> None:
+        """Install pages just read from disk, evicting LRU victims."""
+        if self._capacity == 0:
+            return
+        for page in range(start_page, start_page + npages):
+            key = (disk, page)
+            if key in self._pages:
+                self._pages.move_to_end(key)
+            else:
+                self._pages[key] = None
+                if len(self._pages) > self._capacity:
+                    self._pages.popitem(last=False)
+
+    def invalidate_all(self) -> None:
+        """Drop every cached page."""
+        self._pages.clear()
+
+
+class BufferManager:
+    """Reservation ledger plus the LRU region over unreserved pages."""
+
+    def __init__(self, sim, total_pages: int):
+        if total_pages <= 0:
+            raise ValueError(f"buffer pool must be positive, got {total_pages}")
+        self.sim = sim
+        self.total_pages = total_pages
+        self._reserved: Dict[int, int] = {}
+        self.cache = LRUDataCache(total_pages)
+        #: Time-weighted total reserved pages (memory pressure signal).
+        self.reserved_monitor = TimeWeighted(sim, initial=0.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def reserved_pages(self) -> int:
+        """Total pages currently reserved by queries."""
+        return sum(self._reserved.values())
+
+    @property
+    def free_pages(self) -> int:
+        """Pages not reserved (the LRU region's capacity)."""
+        return self.total_pages - self.reserved_pages
+
+    def reservation_of(self, qid: int) -> int:
+        """Pages reserved by one query (0 when none)."""
+        return self._reserved.get(qid, 0)
+
+    # ------------------------------------------------------------------
+    def apply_allocation(self, allocation: Dict[int, int]) -> None:
+        """Install a full allocation vector from the memory policy.
+
+        Queries absent from the vector lose their reservation.  Raises
+        ``ValueError`` if the vector oversubscribes the pool -- policy
+        bugs must fail loudly, not silently thrash.
+        """
+        total = sum(allocation.values())
+        if total > self.total_pages:
+            raise ValueError(
+                f"allocation of {total} pages exceeds the {self.total_pages}-page pool"
+            )
+        self._reserved = {qid: pages for qid, pages in allocation.items() if pages > 0}
+        self.reserved_monitor.record(self.reserved_pages)
+        self.cache.capacity = self.free_pages
+
+    def release(self, qid: int) -> None:
+        """Drop one query's reservation (departure or abort)."""
+        if self._reserved.pop(qid, None) is not None:
+            self.reserved_monitor.record(self.reserved_pages)
+            self.cache.capacity = self.free_pages
+
+    # ------------------------------------------------------------------
+    def read_hit(self, disk: int, start_page: int, npages: int) -> bool:
+        """Whether a cacheable read is fully served from the pool."""
+        return self.cache.contains_all(disk, start_page, npages)
+
+    def install(self, disk: int, start_page: int, npages: int) -> None:
+        """Retain pages that just arrived from disk."""
+        self.cache.insert(disk, start_page, npages)

@@ -1,0 +1,210 @@
+"""Database layout: relations on middle cylinders, temp space outside.
+
+The paper's placement rules (Section 4.1):
+
+* Each group ``i`` has ``RelPerDisk_i`` clustered relations on *every*
+  disk, with sizes at equal intervals from ``SizeRange_i``.
+* To minimise head movement, relations on a disk sit on its **middle
+  cylinders** (we centre the concatenation of all relations around the
+  middle cylinder, in an order shuffled per disk).
+* Temporary files live on the **inner or outer cylinders** -- we keep a
+  simple extent allocator over the two regions left free on each side
+  and hand out whichever side currently has more room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.rtdbs.config import DatabaseParams, ResourceParams
+from repro.sim.rng import Streams
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A base relation, clustered on a single disk."""
+
+    #: Unique id, stable across runs for a given configuration.
+    rel_id: int
+    #: Index of the group (Table 2 row) this relation belongs to.
+    group: int
+    #: Disk the relation is clustered on.
+    disk: int
+    #: Size in pages.
+    pages: int
+    #: First page number on the disk (pages are numbered from the
+    #: outermost cylinder inward: page // CylinderSize = cylinder).
+    start_page: int
+
+    @property
+    def end_page(self) -> int:
+        """One past the relation's last page."""
+        return self.start_page + self.pages
+
+
+@dataclass
+class TempFile:
+    """A temporary-file extent handed out by :class:`TempSpace`."""
+
+    disk: int
+    start_page: int
+    pages: int
+    #: True when the extent was served virtually (overflow); it holds
+    #: valid addresses but reserves no physical space.
+    virtual: bool = False
+
+    @property
+    def end_page(self) -> int:
+        """One past the extent's last page."""
+        return self.start_page + self.pages
+
+
+class TempSpace:
+    """First-fit extent allocator over a disk's free (non-relation) space.
+
+    Two free regions exist per disk -- the outer cylinders (below the
+    relation area) and the inner cylinders (above it).  Extents are
+    allocated from whichever region currently has the most free space,
+    mirroring the paper's "inner or the outer cylinders" rule, and are
+    coalesced on release.
+    """
+
+    def __init__(self, disk: int, regions: List[Tuple[int, int]]):
+        self.disk = disk
+        #: Sorted list of free (start, end) half-open page extents.
+        self._free: List[Tuple[int, int]] = sorted(
+            (start, end) for start, end in regions if end > start
+        )
+        self._regions = list(self._free)
+        #: Allocations served virtually because physical space ran out.
+        self.overflow_allocations = 0
+
+    @property
+    def free_pages(self) -> int:
+        """Total free pages across all extents."""
+        return sum(end - start for start, end in self._free)
+
+    def allocate(self, pages: int) -> TempFile:
+        """Carve a ``pages``-page extent out of the largest free extent.
+
+        Operators reserve temp space for their *worst case* spool
+        volume, which can transiently exceed the physical free space
+        under extreme multiprogramming.  Rather than fail (the paper's
+        model never runs out of temp space), an oversubscribed request
+        is served *virtually*: it receives addresses within the largest
+        free region without reserving them, so only timing locality --
+        not correctness -- is affected.  ``overflow_allocations``
+        counts these events for visibility.
+        """
+        if pages <= 0:
+            raise ValueError(f"temp allocation must be positive, got {pages}")
+        best_index: Optional[int] = None
+        best_size = -1
+        for index, (start, end) in enumerate(self._free):
+            size = end - start
+            if size >= pages and size > best_size:
+                best_index = index
+                best_size = size
+        if best_index is None:
+            self.overflow_allocations += 1
+            region_start, region_end = max(
+                self._regions, key=lambda extent: extent[1] - extent[0]
+            )
+            span = max(1, region_end - region_start)
+            virtual = TempFile(self.disk, region_start, min(pages, span), virtual=True)
+            return virtual
+        start, end = self._free[best_index]
+        allocated = TempFile(self.disk, start, pages)
+        remaining_start = start + pages
+        if remaining_start < end:
+            self._free[best_index] = (remaining_start, end)
+        else:
+            del self._free[best_index]
+        return allocated
+
+    def release(self, temp: TempFile) -> None:
+        """Return an extent to the free list, coalescing neighbours."""
+        if temp.virtual:
+            return  # virtual extents never reserved physical space
+        extents = sorted(self._free + [(temp.start_page, temp.end_page)])
+        coalesced: List[Tuple[int, int]] = []
+        for start, end in extents:
+            if coalesced and coalesced[-1][1] >= start:
+                previous_start, previous_end = coalesced[-1]
+                coalesced[-1] = (previous_start, max(previous_end, end))
+            else:
+                coalesced.append((start, end))
+        self._free = coalesced
+
+
+class Database:
+    """Relations laid out over the disk farm, plus per-disk temp space."""
+
+    def __init__(self, params: DatabaseParams, resources: ResourceParams, streams: Streams):
+        params.validate()
+        resources.validate()
+        self.params = params
+        self.resources = resources
+        self.relations: List[Relation] = []
+        #: Relations of each group, across all disks.
+        self.by_group: Dict[int, List[Relation]] = {
+            g: [] for g in range(params.num_groups)
+        }
+        self.temp_spaces: List[TempSpace] = []
+        self._layout(streams)
+
+    # ------------------------------------------------------------------
+    def _layout(self, streams: Streams) -> None:
+        pages_per_disk = self.resources.pages_per_disk
+        rel_id = 0
+        for disk in range(self.resources.num_disks):
+            sizes: List[Tuple[int, int]] = []  # (group, pages)
+            for group_index, group in enumerate(self.params.groups):
+                for size in group.relation_sizes():
+                    sizes.append((group_index, size))
+            total = sum(pages for _g, pages in sizes)
+            if total > pages_per_disk:
+                raise ValueError(
+                    f"disk {disk}: relations need {total} pages but the disk "
+                    f"holds only {pages_per_disk}"
+                )
+            # "Randomly placed on its middle cylinders": shuffle the order
+            # then centre the concatenation around the middle of the disk.
+            order = list(range(len(sizes)))
+            rng = streams.stream(f"layout.disk{disk}").generator
+            rng.shuffle(order)
+            cursor = (pages_per_disk - total) // 2
+            region_start = cursor
+            for index in order:
+                group_index, pages = sizes[index]
+                relation = Relation(rel_id, group_index, disk, pages, cursor)
+                self.relations.append(relation)
+                self.by_group[group_index].append(relation)
+                rel_id += 1
+                cursor += pages
+            self.temp_spaces.append(
+                TempSpace(disk, [(0, region_start), (cursor, pages_per_disk)])
+            )
+
+    # ------------------------------------------------------------------
+    def pick_relation(self, group: int, stream) -> Relation:
+        """Uniformly choose one of the group's relations (any disk)."""
+        candidates = self.by_group.get(group)
+        if not candidates:
+            raise ValueError(f"no relations in group {group}")
+        return stream.choice(candidates)
+
+    def temp_space(self, disk: int) -> TempSpace:
+        """The temp-extent allocator of a disk."""
+        return self.temp_spaces[disk]
+
+    def cylinder_of(self, page: int) -> int:
+        """Cylinder number a page lives on."""
+        return page // self.resources.cylinder_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Database({len(self.relations)} relations over "
+            f"{self.resources.num_disks} disks)"
+        )

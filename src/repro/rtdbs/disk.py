@@ -1,0 +1,271 @@
+"""The Disk Manager: ED-scheduled disks with an elevator tie-break.
+
+Each disk (Section 4.2):
+
+* manages its own queue by the Earliest Deadline policy; requests that
+  ED assigns the same priority are serviced in elevator order;
+* has a small cache (256 KBytes by default) used for prefetching --
+  sequential scans fetch ``BlockSize`` pages per I/O that misses the
+  cache, so re-reads of recently transferred pages cost nothing;
+* charges ``Seek + RotateDelay + Transfer`` per access, with
+  ``Seek(n) = SeekFactor * sqrt(n)`` over ``n`` cylinders [Bitt88] and a
+  transfer time of one rotation per full track (= cylinder).
+
+Requests are non-preemptive: once an access starts it completes even if
+a more urgent request (or an abort) arrives meanwhile.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.rtdbs.config import ResourceParams
+from repro.sim.events import Event
+from repro.sim.monitor import Tally, TimeWeighted
+from repro.sim.rng import Stream
+from repro.sim.simulator import Simulator
+
+READ = "read"
+WRITE = "write"
+
+
+class DiskRequest(Event):
+    """Completion event for one disk access."""
+
+    __slots__ = ("kind", "start_page", "npages", "priority", "_seq", "cylinder")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kind: str,
+        start_page: int,
+        npages: int,
+        priority: float,
+        seq: int,
+        cylinder: int,
+    ):
+        super().__init__(sim)
+        self.kind = kind
+        self.start_page = start_page
+        self.npages = npages
+        self.priority = priority
+        self._seq = seq
+        self.cylinder = cylinder
+
+
+class PrefetchCache:
+    """LRU cache of recently transferred pages (one per disk)."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity_pages
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def contains_all(self, start_page: int, npages: int) -> bool:
+        """True when every page of the range is cached (a free read)."""
+        for page in range(start_page, start_page + npages):
+            if page not in self._pages:
+                return False
+        return True
+
+    def touch(self, start_page: int, npages: int) -> None:
+        """Record a hit: refresh the pages' recency."""
+        self.hits += 1
+        for page in range(start_page, start_page + npages):
+            self._pages.move_to_end(page)
+
+    def insert(self, start_page: int, npages: int) -> None:
+        """Record a transfer: install the pages, evicting LRU ones."""
+        self.misses += 1
+        for page in range(start_page, start_page + npages):
+            if page in self._pages:
+                self._pages.move_to_end(page)
+            else:
+                self._pages[page] = None
+                if len(self._pages) > self.capacity:
+                    self._pages.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class Disk:
+    """A single disk with ED queueing and physical timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk_id: int,
+        resources: ResourceParams,
+        rotation_stream: Optional[Stream] = None,
+    ):
+        self.sim = sim
+        self.disk_id = disk_id
+        self.resources = resources
+        self._rotation_stream = rotation_stream
+        self._queue: List[Tuple[float, int, DiskRequest]] = []
+        self._sequence = 0
+        self._serving: Optional[DiskRequest] = None
+        #: Current head position, cylinders; starts at the middle.
+        self.head = resources.num_cylinders // 2
+        #: Elevator sweep direction: +1 inward, -1 outward.
+        self.direction = 1
+        #: Tails of recently active sequential streams.  A request that
+        #: starts exactly at a tracked tail continues that stream and
+        #: pays pure transfer -- no seek, no rotational delay -- which
+        #: is what the paper's 256-KByte prefetch cache buys: several
+        #: interleaved sequential scans each stay efficient.  The
+        #: number of simultaneously tracked streams is bounded by the
+        #: cache size (256 KB / 32 pages ~ a handful of block streams);
+        #: beyond that, streams evict each other and sequentiality is
+        #: lost -- the physical face of thrashing.
+        self._streams: "OrderedDict[int, None]" = OrderedDict()
+        self._max_streams = max(1, resources.disk_cache_pages // resources.block_size)
+        self.sequential_continuations = 0
+        self.cache = PrefetchCache(resources.disk_cache_pages)
+        self.busy = TimeWeighted(sim, initial=0.0)
+        self.service_times = Tally()
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, start_page: int, npages: int, priority: float) -> DiskRequest:
+        """Queue one access; returns its completion event.
+
+        Reads whose pages are all in the prefetch cache complete
+        immediately without using the disk arm.
+        """
+        if npages <= 0:
+            raise ValueError(f"disk access must cover at least one page, got {npages}")
+        if kind not in (READ, WRITE):
+            raise ValueError(f"unknown access kind {kind!r}")
+        last_page = start_page + npages - 1
+        if start_page < 0 or last_page >= self.resources.pages_per_disk:
+            raise ValueError(
+                f"disk {self.disk_id}: access [{start_page}, {last_page}] out of range"
+            )
+        self._sequence += 1
+        cylinder = start_page // self.resources.cylinder_size
+        request = DiskRequest(
+            self.sim, kind, start_page, npages, priority, self._sequence, cylinder
+        )
+        if kind == READ and self.cache.contains_all(start_page, npages):
+            self.cache.touch(start_page, npages)
+            request.succeed(None)
+            return request
+        heapq.heappush(self._queue, (priority, request._seq, request))
+        if self._serving is None:
+            self._serve_next()
+        return request
+
+    def cancel(self, request: DiskRequest) -> None:
+        """Withdraw a queued request (in-service accesses finish)."""
+        if request.triggered or request.cancelled:
+            return
+        if self._serving is request:
+            # Non-preemptive: let the arm finish, but deliver nowhere.
+            request.cancel()
+            return
+        request.cancel()
+
+    @property
+    def queue_length(self) -> int:
+        """Waiting requests (excluding any in service)."""
+        self._compact()
+        return len(self._queue)
+
+    def utilization(self) -> float:
+        """Fraction of time the arm has been busy since the run began."""
+        return self.busy.mean()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+
+    def _pop_best(self) -> Optional[DiskRequest]:
+        """Highest-priority request; elevator order among equal priorities."""
+        self._compact()
+        if not self._queue:
+            return None
+        top_priority = self._queue[0][0]
+        # Collect the (rare) priority ties and pick by elevator order.
+        ties: List[Tuple[float, int, DiskRequest]] = []
+        while self._queue and self._queue[0][0] == top_priority:
+            entry = heapq.heappop(self._queue)
+            if not entry[2].cancelled:
+                ties.append(entry)
+        if not ties:
+            return self._pop_best()
+        if len(ties) == 1:
+            return ties[0][2]
+        chosen = self._elevator_choice([entry[2] for entry in ties])
+        for entry in ties:
+            if entry[2] is not chosen:
+                heapq.heappush(self._queue, entry)
+        return chosen
+
+    def _elevator_choice(self, requests: List[DiskRequest]) -> DiskRequest:
+        """Nearest cylinder in the sweep direction, else reverse sweep."""
+        ahead = [
+            req
+            for req in requests
+            if (req.cylinder - self.head) * self.direction >= 0
+        ]
+        if ahead:
+            return min(ahead, key=lambda req: abs(req.cylinder - self.head))
+        self.direction *= -1
+        return min(requests, key=lambda req: abs(req.cylinder - self.head))
+
+    def _service_time(self, request: DiskRequest) -> float:
+        resources = self.resources
+        transfer = request.npages * resources.transfer_s_per_page
+        if request.start_page in self._streams:
+            # Sequential continuation of a tracked stream: prefetched.
+            self.sequential_continuations += 1
+            return transfer
+        seek = resources.seek_time(abs(request.cylinder - self.head))
+        if resources.stochastic_rotation and self._rotation_stream is not None:
+            rotate = self._rotation_stream.uniform(0.0, resources.rotation_s)
+        else:
+            rotate = resources.rotation_s / 2.0
+        return seek + rotate + transfer
+
+    def _serve_next(self) -> None:
+        request = self._pop_best()
+        if request is None:
+            if self.busy.value != 0.0:
+                self.busy.record(0.0)
+            return
+        if self.busy.value != 1.0:
+            self.busy.record(1.0)
+        self._serving = request
+        duration = self._service_time(request)
+        self.service_times.record(duration)
+        self.accesses += 1
+        timer = self.sim.timeout(duration)
+        timer.callbacks.append(lambda _evt, req=request: self._complete(req))
+
+    def _complete(self, request: DiskRequest) -> None:
+        # Head movement and sweep direction update.
+        end_cylinder = (request.start_page + request.npages - 1) // self.resources.cylinder_size
+        if end_cylinder != self.head:
+            self.direction = 1 if end_cylinder > self.head else -1
+        self.head = end_cylinder
+        self._streams.pop(request.start_page, None)
+        self._streams[request.start_page + request.npages] = None
+        while len(self._streams) > self._max_streams:
+            self._streams.popitem(last=False)
+        self.cache.insert(request.start_page, request.npages)
+        self._serving = None
+        if not request.cancelled and not request.triggered:
+            request.succeed(None)
+        self._serve_next()

@@ -1,0 +1,358 @@
+"""The Query Manager: query lifecycle under firm deadlines.
+
+Responsibilities (Section 4, plus firm-RTDBS semantics [Hari90]):
+
+* keep the population of present queries (waiting for admission or
+  executing) ordered by Earliest Deadline;
+* invoke the memory policy on every arrival / departure / policy
+  request, then enact its allocation vector: admit waiting queries
+  granted memory, adjust running queries' grants (operators adapt),
+  and suspend those whose grant dropped to zero;
+* translate operator requests (CPU bursts, disk accesses, allocation
+  waits) into simulated resource usage, charging the Table 4 "start an
+  I/O" CPU cost before every disk access and consulting the buffer
+  pool's LRU region for cacheable reads;
+* abort a query the instant its deadline expires, wherever it is,
+  releasing its memory and temp files -- it then counts as a missed,
+  "served" query;
+* after every ``SampleSize`` departures, hand the policy a batch
+  summary (utilisations and realized MPL over the batch window).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocation import QueryDemand
+from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
+from repro.queries.base import MemoryGrant, Operator
+from repro.queries.requests import AllocationWait, CPUBurst, DiskAccess, READ
+from repro.rtdbs.buffer_manager import BufferManager
+from repro.rtdbs.config import SimulationConfig
+from repro.rtdbs.cpu import CPU
+from repro.rtdbs.disk import Disk
+from repro.sim.events import Event, Interrupt
+from repro.sim.monitor import TimeWeighted
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+WAITING = "waiting"
+RUNNING = "running"
+DONE = "done"
+ABORTED = "aborted"
+
+
+@dataclass
+class QueryJob:
+    """One query's runtime state."""
+
+    qid: int
+    class_name: str
+    operator: Operator
+    grant: MemoryGrant
+    arrival: float
+    deadline: float
+    standalone: float
+    state: str = WAITING
+    admit_time: Optional[float] = None
+    process: Optional[Process] = None
+    #: Outstanding resource request: ("cpu"|"disk"|"wait", handle, resource).
+    pending: Optional[Tuple[str, Event, object]] = None
+    #: Deadline-expiry timer (cancelled on completion).
+    expiry_timer: Optional[Event] = None
+    demand_min: int = 0
+    demand_max: int = 0
+
+    @property
+    def priority(self) -> float:
+        """ED priority: the absolute deadline (smaller = more urgent)."""
+        return self.deadline
+
+    @property
+    def time_constraint(self) -> float:
+        """Deadline minus arrival."""
+        return self.deadline - self.arrival
+
+
+class QueryManager:
+    """Lifecycle engine binding operators to the simulated resources."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimulationConfig,
+        policy: MemoryPolicy,
+        cpu: CPU,
+        disks: List[Disk],
+        buffers: BufferManager,
+    ):
+        self.sim = sim
+        self.config = config
+        self.policy = policy
+        self.cpu = cpu
+        self.disks = disks
+        self.buffers = buffers
+
+        self._jobs: Dict[int, QueryJob] = {}
+        self.departures = 0
+        self.completions = 0
+        self.misses = 0
+        #: Time-weighted number of admitted queries (the observed MPL).
+        self.mpl_monitor = TimeWeighted(sim, initial=0.0)
+        #: Time-weighted number of present queries (admitted + waiting).
+        self.present_monitor = TimeWeighted(sim, initial=0.0)
+        #: Callbacks invoked with each DepartureRecord (Source wires its
+        #: statistics collection here).
+        self.departure_listeners: List = []
+        #: Optional stop condition: set by the system when a departure
+        #: quota is reached.
+        self.stop_event: Optional[Event] = None
+        self.max_departures: Optional[int] = None
+
+        # Batch bookkeeping for policy feedback.
+        self._batch_start_departures = 0
+        self._batch_misses = 0
+        self._batch_snapshots = self._take_snapshots()
+        self.batches_delivered = 0
+        self._reallocating = False
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+    def submit(self, job: QueryJob) -> None:
+        """A new query arrives: register, arm its expiry, reallocate."""
+        if job.qid in self._jobs:
+            raise ValueError(f"duplicate query id {job.qid}")
+        # Demands are capped at the pool size so an oversized query can
+        # still run (in multiple passes) rather than starve forever.
+        job.demand_max = min(job.operator.max_pages, self.buffers.total_pages)
+        job.demand_min = min(job.operator.min_pages, job.demand_max)
+        self._jobs[job.qid] = job
+        self.present_monitor.add(1)
+        if self.config.firm_deadlines:
+            delay = max(0.0, job.deadline - self.sim.now)
+            timer = self.sim.timeout(delay)
+            timer.callbacks.append(lambda _evt, j=job: self._expire(j))
+            job.expiry_timer = timer
+        self.reallocate()
+
+    @property
+    def present_jobs(self) -> List[QueryJob]:
+        """All present queries in ED order."""
+        return sorted(self._jobs.values(), key=lambda job: (job.deadline, job.qid))
+
+    @property
+    def admitted_count(self) -> int:
+        """Queries currently holding memory."""
+        return sum(1 for job in self._jobs.values() if job.grant.pages > 0)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def reallocate(self) -> None:
+        """Ask the policy for a fresh allocation vector and enact it."""
+        if self._reallocating:  # defensive: no re-entrant allocation
+            return
+        self._reallocating = True
+        try:
+            jobs = self.present_jobs
+            demands = [
+                QueryDemand(
+                    job.qid,
+                    job.priority,
+                    job.demand_min,
+                    job.demand_max,
+                    class_name=job.class_name,
+                )
+                for job in jobs
+            ]
+            allocation = self.policy.allocate(
+                demands, self.buffers.total_pages, now=self.sim.now
+            )
+            self.buffers.apply_allocation(allocation)
+            for job in jobs:
+                pages = allocation.get(job.qid, 0)
+                if job.state == WAITING and pages > 0:
+                    self._admit(job, pages)
+                elif job.state == RUNNING:
+                    job.grant.set(pages)
+            self.mpl_monitor.record(self.admitted_count)
+        finally:
+            self._reallocating = False
+
+    def _admit(self, job: QueryJob, pages: int) -> None:
+        job.state = RUNNING
+        job.admit_time = self.sim.now
+        job.grant.set(pages)
+        job.grant.started = True  # fluctuations count from here on
+        job.process = self.sim.process(self._drive(job), name=f"query-{job.qid}")
+        job.process.callbacks.append(lambda _evt, j=job: self._finished(j))
+
+    # ------------------------------------------------------------------
+    # operator driving
+    # ------------------------------------------------------------------
+    def _drive(self, job: QueryJob):
+        """Translate the operator's request stream into resource usage."""
+        start_io = self.config.cpu_costs.start_io
+        try:
+            for request in job.operator.run():
+                if isinstance(request, CPUBurst):
+                    handle = self.cpu.execute(request.instructions, job.priority)
+                    job.pending = ("cpu", handle, self.cpu)
+                    yield handle
+                    job.pending = None
+                elif isinstance(request, DiskAccess):
+                    if (
+                        request.kind == READ
+                        and request.cacheable
+                        and self.buffers.read_hit(
+                            request.disk, request.start_page, request.npages
+                        )
+                    ):
+                        continue  # served from the buffer pool
+                    handle = self.cpu.execute(start_io, job.priority)
+                    job.pending = ("cpu", handle, self.cpu)
+                    yield handle
+                    disk = self.disks[request.disk]
+                    handle = disk.submit(
+                        request.kind, request.start_page, request.npages, job.priority
+                    )
+                    job.pending = ("disk", handle, disk)
+                    yield handle
+                    job.pending = None
+                    if request.kind == READ and request.cacheable:
+                        self.buffers.install(
+                            request.disk, request.start_page, request.npages
+                        )
+                elif isinstance(request, AllocationWait):
+                    if job.grant.pages > 0:
+                        continue  # raced with a re-grant: keep going
+                    wake = self.sim.event()
+                    job.grant.on_change(lambda evt=wake: evt.succeed(None))
+                    job.pending = ("wait", wake, None)
+                    yield wake
+                    job.pending = None
+                else:  # pragma: no cover - operator contract violation
+                    raise TypeError(f"unknown operator request {request!r}")
+        except Interrupt:
+            # Firm-deadline abort: fall through, _expire() cleans up.
+            return
+
+    # ------------------------------------------------------------------
+    # departures
+    # ------------------------------------------------------------------
+    def _finished(self, job: QueryJob) -> None:
+        """The operator ran to completion."""
+        if job.state not in (RUNNING,):
+            return  # already aborted
+        if job.process is not None and not job.process.ok:
+            raise job.process.value  # surface model bugs immediately
+        job.state = DONE
+        if job.expiry_timer is not None:
+            job.expiry_timer.cancel()
+        missed = self.sim.now > job.deadline + 1e-9
+        self._depart(job, missed=missed)
+
+    def _expire(self, job: QueryJob) -> None:
+        """Firm deadline reached: the query loses all value [Hari90]."""
+        if job.state in (DONE, ABORTED):
+            return
+        was_running = job.state == RUNNING
+        job.state = ABORTED
+        if job.pending is not None:
+            kind, handle, resource = job.pending
+            if kind == "cpu":
+                self.cpu.cancel(handle)
+            elif kind == "disk":
+                resource.cancel(handle)
+            else:
+                handle.cancel()
+            job.pending = None
+        if was_running and job.process is not None:
+            job.process.interrupt("deadline")
+        self._depart(job, missed=True)
+
+    def _depart(self, job: QueryJob, missed: bool) -> None:
+        job.operator.release_resources()
+        self.buffers.release(job.qid)
+        del self._jobs[job.qid]
+        self.present_monitor.add(-1)
+
+        now = self.sim.now
+        if job.admit_time is None:
+            waiting = now - job.arrival
+            execution = 0.0
+        else:
+            waiting = job.admit_time - job.arrival
+            execution = now - job.admit_time
+        record = DepartureRecord(
+            qid=job.qid,
+            class_name=job.class_name,
+            missed=missed,
+            arrival=job.arrival,
+            departure=now,
+            waiting_time=waiting,
+            execution_time=execution,
+            time_constraint=job.time_constraint,
+            max_demand=job.demand_max,
+            min_demand=job.demand_min,
+            operand_io_count=job.operator.operand_io_count,
+            memory_fluctuations=job.grant.fluctuations,
+        )
+
+        self.departures += 1
+        if missed:
+            self.misses += 1
+            self._batch_misses += 1
+        else:
+            self.completions += 1
+
+        for listener in self.departure_listeners:
+            listener(record)
+        self.policy.on_departure(record)
+
+        if self.departures - self._batch_start_departures >= self.config.pmm.sample_size:
+            self._close_batch()
+
+        self.reallocate()
+
+        if (
+            self.max_departures is not None
+            and self.departures >= self.max_departures
+            and self.stop_event is not None
+            and not self.stop_event.triggered
+        ):
+            self.stop_event.succeed(None)
+
+    # ------------------------------------------------------------------
+    # batch feedback
+    # ------------------------------------------------------------------
+    def _take_snapshots(self) -> Dict[str, object]:
+        return {
+            "cpu": self.cpu.busy.snapshot(),
+            "disks": [disk.busy.snapshot() for disk in self.disks],
+            "mpl": self.mpl_monitor.snapshot(),
+        }
+
+    def _close_batch(self) -> None:
+        served = self.departures - self._batch_start_departures
+        snapshots = self._batch_snapshots
+        stats = BatchStats(
+            time=self.sim.now,
+            served=served,
+            missed=self._batch_misses,
+            realized_mpl=self.mpl_monitor.mean_since(snapshots["mpl"]),
+            cpu_utilization=min(1.0, self.cpu.busy.mean_since(snapshots["cpu"])),
+            disk_utilizations=tuple(
+                min(1.0, disk.busy.mean_since(snapshot))
+                for disk, snapshot in zip(self.disks, snapshots["disks"])
+            ),
+        )
+        self._batch_start_departures = self.departures
+        self._batch_misses = 0
+        self._batch_snapshots = self._take_snapshots()
+        self.batches_delivered += 1
+        self.policy.on_batch(stats)
+        # reallocate() runs unconditionally right after in _depart().

@@ -1,0 +1,222 @@
+"""The Source: workload generation, deadlines, and statistics.
+
+Each query class submits queries following a Poisson process with its
+own arrival rate.  A new query draws its operand relation(s) from the
+class's relation group(s) (for joins, the smaller of the two chosen
+relations becomes the inner relation R) and receives a deadline
+
+    Deadline = StandAlone * SlackRatio + Arrival
+
+where *StandAlone* is the closed-form stand-alone execution time at the
+query's maximum allocation and *SlackRatio* ~ U(SRInterval)
+(Section 4.1).  The Source also collects every statistic the paper
+reports: miss ratios (global, per class, per time window), admission
+waiting / execution / response time averages, and memory-fluctuation
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.policies.base import DepartureRecord
+from repro.queries.base import MemoryGrant, OperatorContext
+from repro.queries.cost_model import StandAloneCostModel
+from repro.queries.hash_join import HashJoinOperator
+from repro.queries.sort import ExternalSortOperator
+from repro.rtdbs.config import EXTERNAL_SORT, HASH_JOIN, QueryClass, SimulationConfig
+from repro.rtdbs.database import Database
+from repro.rtdbs.query_manager import QueryJob, QueryManager
+from repro.sim.monitor import Tally
+from repro.sim.rng import Streams
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class ClassStats:
+    """Per-class accumulators."""
+
+    served: int = 0
+    missed: int = 0
+    waiting: Tally = field(default_factory=Tally)
+    execution: Tally = field(default_factory=Tally)
+    response: Tally = field(default_factory=Tally)
+    fluctuations: Tally = field(default_factory=Tally)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of this class's served queries that missed."""
+        return self.missed / self.served if self.served else 0.0
+
+    def observe(self, record: DepartureRecord) -> None:
+        """Fold one departure into the accumulators.
+
+        Waiting/execution/response times are tallied over *completed*
+        queries, matching the paper's Table 7 (missed queries are
+        aborted mid-flight and have no meaningful completion timings).
+        """
+        self.served += 1
+        if record.missed:
+            self.missed += 1
+            return
+        self.waiting.record(record.waiting_time)
+        self.execution.record(record.execution_time)
+        self.response.record(record.waiting_time + record.execution_time)
+        self.fluctuations.record(float(record.memory_fluctuations))
+
+    def reset(self) -> None:
+        """Zero every accumulator (end of warm-up)."""
+        self.served = 0
+        self.missed = 0
+        self.waiting.reset()
+        self.execution.reset()
+        self.response.reset()
+        self.fluctuations.reset()
+
+
+class Source:
+    """Per-class Poisson arrival processes plus statistics collection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimulationConfig,
+        database: Database,
+        query_manager: QueryManager,
+        operator_context: OperatorContext,
+        cost_model: StandAloneCostModel,
+        streams: Streams,
+    ):
+        self.sim = sim
+        self.config = config
+        self.database = database
+        self.query_manager = query_manager
+        self.operator_context = operator_context
+        self.cost_model = cost_model
+        self.streams = streams
+
+        self._next_qid = 0
+        self._temp_disk_cursor = 0
+        self.stats: Dict[str, ClassStats] = {
+            cls.name: ClassStats() for cls in config.workload.classes
+        }
+        self.overall = ClassStats()
+        #: Raw departure log: (time, class, missed, waiting, execution,
+        #: fluctuations) -- windowed series (Figures 12-14) are computed
+        #: from this after the run.
+        self.departure_log: List[tuple] = []
+        #: Queries generated so far (arrivals, not departures).
+        self.arrivals = 0
+
+        query_manager.departure_listeners.append(self._on_departure)
+        #: Mutable per-class arrival-rate overrides, keyed by class
+        #: name; the workload-change experiment (Section 5.3) flips
+        #: these mid-run.
+        self.rate_overrides: Dict[str, float] = {}
+        self._active: Dict[str, bool] = {cls.name: True for cls in config.workload.classes}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one arrival process per workload class."""
+        for query_class in self.config.workload.classes:
+            self.sim.process(
+                self._arrival_process(query_class), name=f"source-{query_class.name}"
+            )
+
+    def set_rate(self, class_name: str, rate: float) -> None:
+        """Override a class's arrival rate mid-run (0 disables it)."""
+        if class_name not in self.stats:
+            raise KeyError(f"unknown class {class_name!r}")
+        self.rate_overrides[class_name] = rate
+
+    def reset_statistics(self) -> None:
+        """Drop accumulated statistics (end of warm-up)."""
+        for stats in self.stats.values():
+            stats.reset()
+        self.overall.reset()
+        self.departure_log.clear()
+
+    # ------------------------------------------------------------------
+    def _arrival_process(self, query_class: QueryClass):
+        arrivals = self.streams.stream(f"arrivals.{query_class.name}")
+        poll = max(1.0, 10.0 / max(query_class.arrival_rate, 1e-9))
+        while True:
+            rate = self.rate_overrides.get(query_class.name, query_class.arrival_rate)
+            if rate <= 0.0:
+                # Disabled: poll for re-activation.
+                yield self.sim.timeout(poll)
+                continue
+            yield self.sim.timeout(arrivals.exponential(1.0 / rate))
+            self._submit_query(query_class)
+
+    def _submit_query(self, query_class: QueryClass) -> None:
+        qid = self._next_qid
+        self._next_qid += 1
+        self.arrivals += 1
+        grant = MemoryGrant(0)
+        picker = self.streams.stream(f"relations.{query_class.name}")
+        slack_stream = self.streams.stream(f"slack.{query_class.name}")
+
+        if query_class.query_type == HASH_JOIN:
+            first = self.database.pick_relation(query_class.rel_groups[0], picker)
+            second = self.database.pick_relation(query_class.rel_groups[1], picker)
+            inner, outer = (
+                (first, second) if first.pages <= second.pages else (second, first)
+            )
+            operator = HashJoinOperator(
+                self.operator_context,
+                grant,
+                inner,
+                outer,
+                fudge_factor=self.config.workload.fudge_factor,
+                selectivity=self.config.workload.join_selectivity,
+                temp_disk=self._pick_temp_disk(inner.disk),
+            )
+            standalone = self.cost_model.hash_join_standalone(inner.pages, outer.pages)
+        elif query_class.query_type == EXTERNAL_SORT:
+            relation = self.database.pick_relation(query_class.rel_groups[0], picker)
+            operator = ExternalSortOperator(
+                self.operator_context,
+                grant,
+                relation,
+                temp_disk=self._pick_temp_disk(relation.disk),
+            )
+            standalone = self.cost_model.sort_standalone(relation.pages)
+        else:  # pragma: no cover - validated at config time
+            raise ValueError(f"unknown query type {query_class.query_type!r}")
+
+        slack = slack_stream.uniform(*query_class.slack_range)
+        now = self.sim.now
+        job = QueryJob(
+            qid=qid,
+            class_name=query_class.name,
+            operator=operator,
+            grant=grant,
+            arrival=now,
+            deadline=now + standalone * slack,
+            standalone=standalone,
+        )
+        self.query_manager.submit(job)
+
+    def _pick_temp_disk(self, local_disk: int) -> int:
+        if self.config.temp_placement == "local":
+            return local_disk
+        cursor = self._temp_disk_cursor
+        self._temp_disk_cursor = (cursor + 1) % self.config.resources.num_disks
+        return cursor
+
+    # ------------------------------------------------------------------
+    def _on_departure(self, record: DepartureRecord) -> None:
+        self.overall.observe(record)
+        self.stats[record.class_name].observe(record)
+        self.departure_log.append(
+            (
+                record.departure,
+                record.class_name,
+                record.missed,
+                record.waiting_time,
+                record.execution_time,
+                record.memory_fluctuations,
+            )
+        )

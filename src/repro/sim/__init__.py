@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel (the paper's DeNet substitute).
+
+The paper's RTDBS model is written in DeNet [Livn90], a closed-source
+discrete-event simulation language.  This subpackage provides the same
+primitives in pure Python:
+
+* :class:`~repro.sim.simulator.Simulator` -- event heap and clock.
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.process.Process`
+  -- generator-driven processes that ``yield`` events to wait on.
+* :mod:`~repro.sim.resources` -- a preemptive-resume priority server (the
+  CPU) and supporting synchronisation primitives.
+* :mod:`~repro.sim.rng` -- independent named random streams so every
+  stochastic element of an experiment is separately reproducible.
+* :mod:`~repro.sim.monitor` -- time-weighted statistics, tallies and
+  traces used by the experiment harness.
+"""
+
+from repro.sim.events import Event, Interrupt
+from repro.sim.monitor import BatchMeans, Series, Tally, TimeWeighted
+from repro.sim.process import Process
+from repro.sim.resources import PreemptiveServer
+from repro.sim.rng import Streams
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "BatchMeans",
+    "Event",
+    "Interrupt",
+    "PreemptiveServer",
+    "Process",
+    "Series",
+    "Simulator",
+    "Streams",
+    "Tally",
+    "TimeWeighted",
+]

@@ -1,0 +1,220 @@
+"""Output-collection primitives for simulation experiments.
+
+Three collectors cover everything the paper reports:
+
+* :class:`TimeWeighted` -- time-integrated averages (MPL, utilisation,
+  memory in use).  Supports *snapshots* so PMM can compute averages over
+  a batch window without storing individual readings.
+* :class:`Tally` -- sample statistics (waiting times, execution times,
+  miss indicators).  Also maintains the running sums PMM's large-sample
+  tests need.
+* :class:`Series` -- a raw ``(time, value)`` trace, used for Figures 6
+  and 15 (PMM's target-MPL trajectory).
+
+:class:`BatchMeans` implements the batch-means confidence intervals the
+paper uses to validate its simulations [Sarg76].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.statmath import t_ppf
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal."""
+
+    __slots__ = ("sim", "_value", "_last_change", "_integral", "_start")
+
+    def __init__(self, sim, initial: float = 0.0):
+        self.sim = sim
+        self._value = float(initial)
+        self._last_change = sim.now
+        self._integral = 0.0
+        self._start = sim.now
+
+    @property
+    def value(self) -> float:
+        """Current value of the signal."""
+        return self._value
+
+    def record(self, value: float) -> None:
+        """Change the signal to ``value`` at the current time."""
+        now = self.sim.now
+        self._integral += self._value * (now - self._last_change)
+        self._value = float(value)
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        """Increment the signal (convenience for counters like MPL)."""
+        self.record(self._value + delta)
+
+    def integral(self) -> float:
+        """Integral of the signal from creation until now."""
+        return self._integral + self._value * (self.sim.now - self._last_change)
+
+    def mean(self) -> float:
+        """Time average since creation (0 if no time has elapsed)."""
+        elapsed = self.sim.now - self._start
+        if elapsed <= 0:
+            return self._value
+        return self.integral() / elapsed
+
+    def snapshot(self) -> Tuple[float, float]:
+        """Opaque marker for :meth:`mean_since` window averages."""
+        return (self.sim.now, self.integral())
+
+    def mean_since(self, snapshot: Tuple[float, float]) -> float:
+        """Time average of the signal since ``snapshot`` was taken."""
+        then, integral_then = snapshot
+        elapsed = self.sim.now - then
+        if elapsed <= 0:
+            return self._value
+        return (self.integral() - integral_then) / elapsed
+
+
+class Tally:
+    """Count / mean / variance of a stream of samples.
+
+    Keeps only running sums (n, Σx, Σx²) -- the same economy of storage
+    the paper emphasises for PMM's statistics.
+    """
+
+    __slots__ = ("count", "total", "total_sq")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+
+    def mean(self) -> float:
+        """Sample mean (0 for an empty tally)."""
+        return self.total / self.count if self.count else 0.0
+
+    def variance(self) -> float:
+        """Unbiased sample variance (0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        mean = self.total / self.count
+        var = (self.total_sq - self.count * mean * mean) / (self.count - 1)
+        return max(0.0, var)
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance())
+
+    def reset(self) -> None:
+        """Discard all samples."""
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def copy(self) -> "Tally":
+        """An independent copy of the current sums."""
+        clone = Tally()
+        clone.count = self.count
+        clone.total = self.total
+        clone.total_sq = self.total_sq
+        return clone
+
+    def diff(self, earlier: "Tally") -> "Tally":
+        """Tally of the samples recorded since ``earlier`` was copied."""
+        if earlier.count > self.count:
+            raise ValueError("diff against a tally with more samples")
+        delta = Tally()
+        delta.count = self.count - earlier.count
+        delta.total = self.total - earlier.total
+        delta.total_sq = self.total_sq - earlier.total_sq
+        return delta
+
+
+class Series:
+    """A raw trace of ``(time, value)`` observations."""
+
+    __slots__ = ("times", "values")
+
+    def __init__(self):
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent observation, or None when empty."""
+        if not self.times:
+            return None
+        return (self.times[-1], self.values[-1])
+
+
+class BatchMeans:
+    """Batch-means confidence interval for steady-state output [Sarg76].
+
+    Observations are grouped into fixed-size batches; the batch means
+    are treated as approximately independent samples, giving a Student-t
+    interval for the long-run mean.
+    """
+
+    def __init__(self, batch_size: int):
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        self.batch_size = batch_size
+        self._pending: List[float] = []
+        self.batch_means: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Add an observation, closing a batch when one fills up."""
+        self._pending.append(value)
+        if len(self._pending) == self.batch_size:
+            self.batch_means.append(sum(self._pending) / self.batch_size)
+            self._pending.clear()
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Add many observations."""
+        for value in values:
+            self.record(value)
+
+    @property
+    def num_batches(self) -> int:
+        """Number of completed batches."""
+        return len(self.batch_means)
+
+    def mean(self) -> float:
+        """Grand mean over completed batches (0 if none)."""
+        if not self.batch_means:
+            return 0.0
+        return sum(self.batch_means) / len(self.batch_means)
+
+    def confidence_interval(self, level: float = 0.90) -> Tuple[float, float]:
+        """Two-sided CI for the mean at the given confidence level.
+
+        Requires at least two completed batches.
+        """
+        k = len(self.batch_means)
+        if k < 2:
+            raise ValueError("need at least two batches for an interval")
+        mean = self.mean()
+        var = sum((m - mean) ** 2 for m in self.batch_means) / (k - 1)
+        half = t_ppf(0.5 + level / 2.0, k - 1) * math.sqrt(var / k)
+        return (mean - half, mean + half)
+
+    def half_width(self, level: float = 0.90) -> float:
+        """Half-width of :meth:`confidence_interval`."""
+        low, high = self.confidence_interval(level)
+        return (high - low) / 2.0

@@ -1,0 +1,157 @@
+"""Shared-resource primitives.
+
+The only resource abstraction the RTDBS model needs from the kernel is a
+single-server, *preemptive-resume*, priority-ordered server: the CPU.
+(The disks implement their own non-preemptive ED + elevator queueing in
+:mod:`repro.rtdbs.disk` because their service times depend on physical
+head position.)
+
+Priorities are "smaller wins" -- the RTDBS uses absolute deadlines as
+priorities (Earliest Deadline scheduling [Liu73]).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.sim.events import Event
+from repro.sim.monitor import TimeWeighted
+
+
+class ServiceRequest(Event):
+    """Completion event for a unit of work submitted to a server.
+
+    The request can be cancelled (e.g. when a query is aborted at its
+    deadline); a cancelled request never fires and is discarded by the
+    server, and any work already performed is simply lost.
+    """
+
+    __slots__ = ("work_remaining", "priority", "_seq")
+
+    def __init__(self, sim, work: float, priority: float, seq: int):
+        super().__init__(sim)
+        self.work_remaining = work
+        self.priority = priority
+        self._seq = seq
+
+    def _sort_key(self) -> Tuple[float, int]:
+        return (self.priority, self._seq)
+
+
+class PreemptiveServer:
+    """Single server with preemptive-resume priority scheduling.
+
+    ``rate`` converts work units into seconds (for the CPU: instructions
+    per second).  When a request with a smaller priority value arrives
+    while another is in service, the running request is paused with its
+    remaining work recorded, and resumes -- without losing progress --
+    once it is again the highest-priority request.
+
+    Utilisation is tracked with a time-weighted busy indicator so the
+    PMM resource-utilisation heuristic can read windowed averages.
+    """
+
+    def __init__(self, sim, rate: float, name: str = "server"):
+        if rate <= 0:
+            raise ValueError(f"server rate must be positive, got {rate}")
+        self.sim = sim
+        self.rate = float(rate)
+        self.name = name
+        self._queue: List[Tuple[float, int, ServiceRequest]] = []
+        self._sequence = 0
+        self._current: Optional[ServiceRequest] = None
+        self._current_started: float = 0.0
+        self._completion_timer: Optional[Event] = None
+        self.busy = TimeWeighted(sim, initial=0.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting (not counting the one in service)."""
+        self._compact()
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> Optional[ServiceRequest]:
+        """The request currently holding the server, if any."""
+        return self._current
+
+    def submit(self, work: float, priority: float) -> ServiceRequest:
+        """Submit ``work`` units at ``priority`` (smaller = more urgent).
+
+        Returns the completion event.  Zero-work requests complete
+        immediately without touching the queue.
+        """
+        if work < 0:
+            raise ValueError(f"negative work: {work}")
+        self._sequence += 1
+        request = ServiceRequest(self.sim, float(work), float(priority), self._sequence)
+        if work == 0:
+            request.succeed(None)
+            return request
+        if self._current is None:
+            self._start(request)
+        elif (priority, request._seq) < self._current._sort_key():
+            self._preempt()
+            self._start(request)
+        else:
+            heapq.heappush(self._queue, (priority, request._seq, request))
+        return request
+
+    def cancel(self, request: ServiceRequest) -> None:
+        """Withdraw a request; if it is in service the server moves on."""
+        if request.triggered or request.cancelled:
+            return
+        request.cancel()
+        if self._current is request:
+            if self._completion_timer is not None:
+                self._completion_timer.cancel()
+                self._completion_timer = None
+            self._current = None
+            self._dispatch_next()
+        # Queued cancelled requests are dropped lazily by _compact().
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+
+    def _start(self, request: ServiceRequest) -> None:
+        self._current = request
+        self._current_started = self.sim.now
+        self.busy.record(1.0)
+        duration = request.work_remaining / self.rate
+        timer = self.sim.timeout(duration)
+        timer.callbacks.append(self._complete)
+        self._completion_timer = timer
+
+    def _preempt(self) -> None:
+        request = self._current
+        assert request is not None
+        elapsed = self.sim.now - self._current_started
+        request.work_remaining = max(0.0, request.work_remaining - elapsed * self.rate)
+        if self._completion_timer is not None:
+            self._completion_timer.cancel()
+            self._completion_timer = None
+        self._current = None
+        heapq.heappush(self._queue, (request.priority, request._seq, request))
+
+    def _complete(self, _timer: Event) -> None:
+        request = self._current
+        self._current = None
+        self._completion_timer = None
+        if request is not None and not request.cancelled:
+            request.work_remaining = 0.0
+            request.succeed(None)
+        self._dispatch_next()
+
+    def _dispatch_next(self) -> None:
+        self._compact()
+        if self._queue:
+            _prio, _seq, request = heapq.heappop(self._queue)
+            self._start(request)
+        else:
+            self.busy.record(0.0)

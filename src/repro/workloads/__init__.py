@@ -1,0 +1,19 @@
+"""Workload presets for every experiment in the paper's Section 5."""
+
+from repro.workloads.presets import (
+    baseline,
+    disk_contention,
+    external_sort_workload,
+    multiclass,
+    scaled_contention,
+    workload_changes,
+)
+
+__all__ = [
+    "baseline",
+    "disk_contention",
+    "external_sort_workload",
+    "multiclass",
+    "scaled_contention",
+    "workload_changes",
+]

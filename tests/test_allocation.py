@@ -1,0 +1,167 @@
+"""Unit tests for the Max / MinMax / Proportional allocators."""
+
+import pytest
+
+from repro.core.allocation import (
+    QueryDemand,
+    allocate_max,
+    allocate_minmax,
+    allocate_proportional,
+)
+
+
+def demand(qid, min_pages, max_pages, priority=None):
+    return QueryDemand(
+        qid=qid,
+        priority=float(qid) if priority is None else priority,
+        min_pages=min_pages,
+        max_pages=max_pages,
+    )
+
+
+# ----------------------------------------------------------------------
+# Max
+# ----------------------------------------------------------------------
+def test_max_gives_maximum_or_nothing():
+    demands = [demand(1, 10, 100), demand(2, 10, 100), demand(3, 10, 100)]
+    allocation = allocate_max(demands, memory=250)
+    assert allocation == {1: 100, 2: 100, 3: 0}
+
+
+def test_max_skips_blocked_query_and_packs_smaller_ones():
+    # Query 2 does not fit after query 1, but query 3 does: ED-order
+    # greedy packing admits it (Section 3.2: "as many queries ... as
+    # memory permits").
+    demands = [demand(1, 10, 150), demand(2, 10, 120), demand(3, 10, 50)]
+    allocation = allocate_max(demands, memory=200)
+    assert allocation == {1: 150, 2: 0, 3: 50}
+
+
+def test_max_empty_population():
+    assert allocate_max([], memory=100) == {}
+
+
+def test_max_exact_fit():
+    demands = [demand(1, 5, 60), demand(2, 5, 40)]
+    assert allocate_max(demands, memory=100) == {1: 60, 2: 40}
+
+
+def test_max_rejects_negative_memory():
+    with pytest.raises(ValueError):
+        allocate_max([demand(1, 1, 2)], memory=-1)
+
+
+# ----------------------------------------------------------------------
+# MinMax
+# ----------------------------------------------------------------------
+def test_minmax_two_pass_shape():
+    # 3 queries, min 10 / max 100 each, 150 pages: all get min (30),
+    # then ED order tops up: q1 -> 100, q2 gets the remaining 30+10.
+    demands = [demand(1, 10, 100), demand(2, 10, 100), demand(3, 10, 100)]
+    allocation = allocate_minmax(demands, memory=150)
+    assert allocation == {1: 100, 2: 40, 3: 10}
+
+
+def test_minmax_invariant_highest_priority_holds_max():
+    demands = [demand(i, 5, 50) for i in range(1, 6)]
+    allocation = allocate_minmax(demands, memory=120)
+    values = [allocation[i] for i in range(1, 6)]
+    # Non-increasing in ED order; at most one strictly-between value.
+    assert values == sorted(values, reverse=True)
+    between = [v for v in values if 5 < v < 50]
+    assert len(between) <= 1
+    assert sum(values) <= 120
+
+
+def test_minmax_respects_mpl_limit():
+    demands = [demand(i, 10, 20) for i in range(1, 6)]
+    allocation = allocate_minmax(demands, memory=1000, mpl_limit=2)
+    admitted = [qid for qid, pages in allocation.items() if pages > 0]
+    assert admitted == [1, 2]
+    assert allocation[1] == 20 and allocation[2] == 20
+
+
+def test_minmax_unbounded_admits_while_min_fits():
+    demands = [demand(i, 10, 100) for i in range(1, 11)]
+    allocation = allocate_minmax(demands, memory=95)
+    admitted = [qid for qid, pages in allocation.items() if pages > 0]
+    assert len(admitted) == 9  # 9 minima of 10 fit in 95
+
+
+def test_minmax_skips_unfittable_min_but_admits_later():
+    demands = [demand(1, 80, 100), demand(2, 200, 300), demand(3, 15, 30)]
+    allocation = allocate_minmax(demands, memory=100)
+    assert allocation[2] == 0
+    assert allocation[1] >= 80
+    assert allocation[3] >= 15
+
+
+def test_minmax_zero_memory():
+    demands = [demand(1, 1, 2)]
+    assert allocate_minmax(demands, memory=0) == {1: 0}
+
+
+def test_minmax_mpl_limit_zero_admits_nobody():
+    demands = [demand(1, 1, 2)]
+    assert allocate_minmax(demands, memory=100, mpl_limit=0) == {1: 0}
+
+
+# ----------------------------------------------------------------------
+# Proportional
+# ----------------------------------------------------------------------
+def test_proportional_equal_fraction():
+    demands = [demand(1, 10, 100), demand(2, 10, 200)]
+    allocation = allocate_proportional(demands, memory=150)
+    # Equal fraction of max: f = 0.5 -> 50 and 100.
+    assert allocation[1] == 50
+    assert allocation[2] == 100
+
+
+def test_proportional_respects_minimum_floor():
+    demands = [demand(1, 40, 100), demand(2, 40, 100), demand(3, 40, 100)]
+    allocation = allocate_proportional(demands, memory=130)
+    for qid in (1, 2, 3):
+        assert allocation[qid] >= 40
+    assert sum(allocation.values()) <= 130
+
+
+def test_proportional_never_exceeds_max():
+    demands = [demand(1, 10, 50), demand(2, 10, 50)]
+    allocation = allocate_proportional(demands, memory=1000)
+    assert allocation == {1: 50, 2: 50}
+
+
+def test_proportional_uses_all_memory_when_scarce():
+    demands = [demand(1, 10, 100), demand(2, 10, 100), demand(3, 10, 100)]
+    allocation = allocate_proportional(demands, memory=90)
+    assert sum(allocation.values()) == 90
+
+
+def test_proportional_mpl_limit():
+    demands = [demand(i, 10, 100) for i in range(1, 6)]
+    allocation = allocate_proportional(demands, memory=1000, mpl_limit=3)
+    admitted = [qid for qid, pages in allocation.items() if pages > 0]
+    assert admitted == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# shared invariants
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "allocator",
+    [allocate_max, allocate_minmax, allocate_proportional],
+    ids=["max", "minmax", "proportional"],
+)
+def test_allocation_never_oversubscribes(allocator):
+    demands = [demand(i, 7, 31 + 3 * i) for i in range(1, 12)]
+    for memory in (0, 10, 50, 120, 400, 1000):
+        allocation = allocator(demands, memory)
+        assert sum(allocation.values()) <= memory
+        for d in demands:
+            pages = allocation[d.qid]
+            assert pages == 0 or d.min_pages <= pages <= d.max_pages
+
+
+def test_demand_envelope_validation():
+    with pytest.raises(ValueError):
+        QueryDemand(qid=1, priority=0.0, min_pages=10, max_pages=5)

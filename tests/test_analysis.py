@@ -1,0 +1,108 @@
+"""Unit tests for the analysis helpers and report formatting."""
+
+import pytest
+
+from repro.analysis.output import (
+    departure_miss_series,
+    miss_ratio_confidence,
+    phase_average,
+)
+from repro.analysis.report import format_series, format_table
+
+
+def log_entry(time, cls="Medium", missed=False):
+    return (time, cls, missed, 0.0, 1.0, 0)
+
+
+# ----------------------------------------------------------------------
+# miss_ratio_confidence
+# ----------------------------------------------------------------------
+def test_confidence_point_estimate_matches_ratio():
+    log = [log_entry(t, missed=(t % 4 == 0)) for t in range(400)]
+    mean, low, high = miss_ratio_confidence(log, batch_size=50)
+    assert mean == pytest.approx(0.25)
+    assert low <= mean <= high
+
+
+def test_confidence_degenerates_with_one_batch():
+    log = [log_entry(t) for t in range(10)]
+    mean, low, high = miss_ratio_confidence(log, batch_size=10)
+    assert mean == low == high == 0.0
+
+
+def test_confidence_filters_by_class():
+    log = [log_entry(t, cls="A", missed=True) for t in range(100)] + [
+        log_entry(t, cls="B", missed=False) for t in range(100)
+    ]
+    mean_a, _lo, _hi = miss_ratio_confidence(log, batch_size=20, class_name="A")
+    mean_b, _lo, _hi = miss_ratio_confidence(log, batch_size=20, class_name="B")
+    assert mean_a == 1.0
+    assert mean_b == 0.0
+
+
+# ----------------------------------------------------------------------
+# windowed series / phase averages
+# ----------------------------------------------------------------------
+def test_departure_miss_series_buckets():
+    log = [log_entry(5.0, missed=True), log_entry(6.0), log_entry(15.0)]
+    series = departure_miss_series(log, window_seconds=10.0)
+    assert series == [(5.0, 0.5), (15.0, 0.0)]
+
+
+def test_departure_miss_series_validates_window():
+    with pytest.raises(ValueError):
+        departure_miss_series([], 0.0)
+
+
+def test_phase_average_matches_buckets():
+    log = [
+        log_entry(1.0, missed=True),
+        log_entry(2.0, missed=False),
+        log_entry(11.0, missed=False),
+    ]
+    averages = phase_average(log, [(0.0, 10.0), (10.0, 20.0), (20.0, 30.0)])
+    assert averages == [0.5, 0.0, 0.0]
+
+
+def test_phase_average_respects_class_filter():
+    log = [log_entry(1.0, cls="A", missed=True), log_entry(2.0, cls="B", missed=False)]
+    assert phase_average(log, [(0.0, 10.0)], class_name="A") == [1.0]
+
+
+# ----------------------------------------------------------------------
+# report formatting
+# ----------------------------------------------------------------------
+def test_format_table_aligns_columns():
+    table = format_table(["name", "value"], [["alpha", 1], ["b", 22.5]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in lines[3]
+    assert "22.500" in lines[4]
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_series_merges_on_shared_grid():
+    series = {
+        "minmax": [(0.04, 0.1), (0.06, 0.2)],
+        "max": [(0.04, 0.3), (0.06, 0.5)],
+    }
+    rendered = format_series(series, "rate", "miss")
+    assert "max miss" in rendered
+    assert "minmax miss" in rendered
+    assert "0.040" in rendered
+
+
+def test_format_series_rejects_mismatched_grids():
+    series = {"a": [(1, 1)], "b": [(2, 1)]}
+    with pytest.raises(ValueError):
+        format_series(series, "x", "y")
+
+
+def test_format_series_rejects_empty():
+    with pytest.raises(ValueError):
+        format_series({}, "x", "y")

@@ -1,0 +1,59 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_chart
+
+
+def simple_series():
+    return {
+        "minmax": [(0.04, 0.01), (0.06, 0.05), (0.08, 0.18)],
+        "max": [(0.04, 0.03), (0.06, 0.18), (0.08, 0.40)],
+    }
+
+
+def test_chart_contains_axes_and_legend():
+    chart = render_chart(simple_series(), title="Figure 3")
+    assert "Figure 3" in chart
+    assert "o=max" in chart and "x=minmax" in chart
+    assert "+-" in chart  # x axis
+    assert "0.4" in chart  # y max label
+
+
+def test_chart_dimensions():
+    chart = render_chart(simple_series(), width=40, height=10)
+    body_lines = [line for line in chart.splitlines() if "|" in line]
+    assert len(body_lines) == 10
+    for line in body_lines:
+        assert len(line.split("|", 1)[1]) == 40
+
+
+def test_markers_placed_for_each_series():
+    chart = render_chart(simple_series())
+    assert "o" in chart and "x" in chart
+
+
+def test_single_point_series_renders():
+    chart = render_chart({"pmm": [(1.0, 0.5)]})
+    assert "+" not in chart.splitlines()[0]  # no crash, title absent
+    assert "|" in chart
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        render_chart({})
+    with pytest.raises(ValueError):
+        render_chart({"a": []})
+
+
+def test_too_small_rejected():
+    with pytest.raises(ValueError):
+        render_chart(simple_series(), width=5, height=2)
+
+
+def test_monotone_series_rises_left_to_right():
+    chart = render_chart({"up": [(0.0, 0.0), (1.0, 1.0)]}, width=20, height=10)
+    rows = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+    first_marker_top = rows[0].find("o")
+    first_marker_bottom = rows[-1].find("o")
+    assert first_marker_top > first_marker_bottom  # high values to the right

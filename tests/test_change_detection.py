@@ -1,0 +1,97 @@
+"""Unit tests for the workload-change detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.change_detection import WorkloadChangeDetector, WorkloadSample
+
+
+def feed_batch(detector, rng, memory_mean, io_mean, constraint_mean, n=30):
+    for _ in range(n):
+        detector.observe(
+            WorkloadSample(
+                max_memory_demand=max(1, int(rng.normal(memory_mean, memory_mean * 0.1))),
+                operand_io_count=max(1, int(rng.normal(io_mean, io_mean * 0.1))),
+                time_constraint=float(
+                    max(0.1, rng.normal(constraint_mean, constraint_mean * 0.1))
+                ),
+            )
+        )
+    return detector.end_batch()
+
+
+def test_first_batch_only_establishes_reference():
+    detector = WorkloadChangeDetector(0.99)
+    rng = np.random.default_rng(1)
+    assert not feed_batch(detector, rng, 1300, 200, 100.0)
+
+
+def test_stable_workload_not_flagged():
+    detector = WorkloadChangeDetector(0.99)
+    rng = np.random.default_rng(2)
+    feed_batch(detector, rng, 1300, 200, 100.0)
+    for _ in range(10):
+        assert not feed_batch(detector, rng, 1300, 200, 100.0)
+    assert detector.changes_detected == 0
+
+
+def test_memory_demand_shift_detected():
+    # The Medium -> Small switch of Section 5.3: max demand drops from
+    # ~1321 to ~111 pages.
+    detector = WorkloadChangeDetector(0.99)
+    rng = np.random.default_rng(3)
+    feed_batch(detector, rng, 1321, 200, 100.0)
+    assert feed_batch(detector, rng, 111, 20, 100.0)
+    assert detector.changes_detected == 1
+
+
+def test_constraint_shift_alone_detected():
+    detector = WorkloadChangeDetector(0.99)
+    rng = np.random.default_rng(4)
+    feed_batch(detector, rng, 1300, 200, 100.0)
+    assert feed_batch(detector, rng, 1300, 200, 400.0)
+
+
+def test_reference_resets_after_change():
+    detector = WorkloadChangeDetector(0.99)
+    rng = np.random.default_rng(5)
+    feed_batch(detector, rng, 1300, 200, 100.0)
+    assert feed_batch(detector, rng, 111, 20, 30.0)
+    # The batch right after a change only re-establishes the reference.
+    assert not feed_batch(detector, rng, 111, 20, 30.0)
+    # And the new workload is then stable.
+    assert not feed_batch(detector, rng, 111, 20, 30.0)
+    assert detector.changes_detected == 1
+
+
+def test_normalized_constraint_is_per_io():
+    sample = WorkloadSample(
+        max_memory_demand=100, operand_io_count=50, time_constraint=200.0
+    )
+    assert sample.normalized_constraint == pytest.approx(4.0)
+
+
+def test_zero_io_count_guarded():
+    sample = WorkloadSample(max_memory_demand=1, operand_io_count=0, time_constraint=7.0)
+    assert sample.normalized_constraint == pytest.approx(7.0)
+
+
+def test_reset_clears_reference():
+    detector = WorkloadChangeDetector(0.99)
+    rng = np.random.default_rng(6)
+    feed_batch(detector, rng, 1300, 200, 100.0)
+    detector.reset()
+    # After a reset the next batch is a reference batch again.
+    assert not feed_batch(detector, rng, 111, 20, 30.0)
+
+
+def test_bad_confidence_rejected():
+    with pytest.raises(ValueError):
+        WorkloadChangeDetector(0.4)
+
+
+def test_small_batches_are_conservative():
+    detector = WorkloadChangeDetector(0.99)
+    rng = np.random.default_rng(7)
+    feed_batch(detector, rng, 1300, 200, 100.0, n=5)
+    assert not feed_batch(detector, rng, 111, 20, 30.0, n=5)

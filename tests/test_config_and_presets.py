@@ -1,0 +1,178 @@
+"""Unit tests for the parameter tables and workload presets."""
+
+import pytest
+
+from repro.rtdbs.config import (
+    CPUCosts,
+    DatabaseParams,
+    PMMParams,
+    QueryClass,
+    RelationGroup,
+    ResourceParams,
+    SimulationConfig,
+    WorkloadParams,
+)
+from repro.workloads.presets import (
+    baseline,
+    disk_contention,
+    external_sort_workload,
+    multiclass,
+    scaled_contention,
+    workload_changes,
+)
+
+
+# ----------------------------------------------------------------------
+# Tables 1-4 defaults match the paper
+# ----------------------------------------------------------------------
+def test_table1_pmm_defaults():
+    params = PMMParams()
+    assert params.sample_size == 30
+    assert params.util_low == 0.70
+    assert params.util_high == 0.85
+    assert params.adapt_conf_level == 0.95
+    assert params.change_conf_level == 0.99
+
+
+def test_table3_resource_defaults():
+    resources = ResourceParams()
+    assert resources.cpu_mips == 40.0
+    assert resources.num_disks == 10
+    assert resources.rotation_ms == 16.7
+    assert resources.num_cylinders == 1500
+    assert resources.cylinder_size == 90
+    assert resources.page_size == 8192
+    assert resources.block_size == 6
+    assert resources.memory_pages == 2560
+    assert resources.disk_cache_pages == 32  # 256 KB of 8 KB pages
+
+
+def test_table4_cpu_costs():
+    costs = CPUCosts()
+    assert costs.start_io == 1000
+    assert costs.initiate_query == 40_000
+    assert costs.terminate_query == 10_000
+    assert costs.hash_insert == 100
+    assert costs.hash_probe == 200
+    assert costs.hash_output == 100
+    assert costs.sort_copy == 64
+    assert costs.key_compare == 50
+
+
+def test_seek_time_follows_bitton_gray():
+    resources = ResourceParams()
+    assert resources.seek_time(0) == 0.0
+    assert resources.seek_time(100) == pytest.approx(0.617e-3 * 10.0)
+
+
+def test_bad_parameter_tables_rejected():
+    with pytest.raises(ValueError):
+        PMMParams(util_low=0.9, util_high=0.8).validate()
+    with pytest.raises(ValueError):
+        ResourceParams(num_disks=0).validate()
+    with pytest.raises(ValueError):
+        ResourceParams(block_size=1000).validate()
+
+
+def test_tuples_per_page_derivation():
+    config = baseline()
+    assert config.tuples_per_page == 8192 // 200
+
+
+# ----------------------------------------------------------------------
+# workload validation
+# ----------------------------------------------------------------------
+def test_join_class_needs_two_groups():
+    with pytest.raises(ValueError):
+        QueryClass("j", "hash_join", (0,), 0.1).validate(num_groups=2)
+
+
+def test_sort_class_needs_one_group():
+    with pytest.raises(ValueError):
+        QueryClass("s", "external_sort", (0, 1), 0.1).validate(num_groups=2)
+
+
+def test_unknown_query_type_rejected():
+    with pytest.raises(ValueError):
+        QueryClass("x", "nested_loops", (0, 1), 0.1).validate(num_groups=2)
+
+
+def test_duplicate_class_names_rejected():
+    classes = (
+        QueryClass("dup", "external_sort", (0,), 0.1),
+        QueryClass("dup", "external_sort", (0,), 0.1),
+    )
+    with pytest.raises(ValueError):
+        WorkloadParams(classes=classes).validate(num_groups=1)
+
+
+# ----------------------------------------------------------------------
+# presets (Tables 6 and 8)
+# ----------------------------------------------------------------------
+def test_baseline_matches_table6():
+    config = baseline(arrival_rate=0.05, scale=1.0)
+    assert config.resources.num_disks == 10
+    assert config.resources.memory_pages == 2560
+    groups = config.database.groups
+    assert groups[0].size_range == (600, 1800)
+    assert groups[1].size_range == (3000, 9000)
+    medium = config.workload.classes[0]
+    assert medium.query_type == "hash_join"
+    assert medium.slack_range == (2.5, 7.5)
+    assert medium.arrival_rate == pytest.approx(0.05)
+
+
+def test_disk_contention_has_six_disks():
+    config = disk_contention(scale=1.0)
+    assert config.resources.num_disks == 6
+
+
+def test_workload_changes_matches_table8():
+    config = workload_changes(scale=1.0)
+    assert config.database.num_groups == 4
+    assert config.database.groups[2].size_range == (50, 150)
+    assert config.database.groups[3].size_range == (250, 750)
+    by_name = {cls.name: cls for cls in config.workload.classes}
+    assert by_name["Medium"].arrival_rate == pytest.approx(0.07)
+    assert by_name["Small"].arrival_rate == pytest.approx(2.8)
+    assert by_name["Small"].rel_groups == (2, 3)
+
+
+def test_multiclass_has_twelve_disks():
+    config = multiclass(scale=1.0)
+    assert config.resources.num_disks == 12
+    assert {cls.name for cls in config.workload.classes} == {"Medium", "Small"}
+
+
+def test_sort_workload_single_class():
+    config = external_sort_workload(scale=1.0)
+    assert config.workload.classes[0].query_type == "external_sort"
+    assert config.workload.classes[0].rel_groups == (0,)
+
+
+def test_scaling_shrinks_sizes_and_raises_rates():
+    small = baseline(arrival_rate=0.06, scale=0.1)
+    assert small.resources.memory_pages == 256
+    assert small.database.groups[0].size_range == (60, 180)
+    assert small.workload.classes[0].arrival_rate == pytest.approx(0.6)
+
+
+def test_scaled_contention_grows_disk_geometry():
+    config = scaled_contention(factor=10.0, base_scale=0.1)
+    assert config.resources.memory_pages == 2560
+    # Disks must be big enough for the x10 relations.
+    assert config.resources.num_cylinders >= 1500
+
+
+def test_with_overrides_round_trip():
+    config = baseline()
+    quiet = config.with_overrides(seed=99, temp_placement="round_robin")
+    assert quiet.seed == 99
+    assert quiet.temp_placement == "round_robin"
+    assert config.seed != 99  # original untouched
+
+
+def test_invalid_override_caught_by_validate():
+    config = baseline()
+    with pytest.raises(ValueError):
+        config.with_overrides(temp_placement="ramdisk").validate()

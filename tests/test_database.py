@@ -1,0 +1,138 @@
+"""Unit tests for database layout and temp-space allocation."""
+
+import pytest
+
+from repro.rtdbs.config import DatabaseParams, RelationGroup, ResourceParams
+from repro.rtdbs.database import Database, TempFile, TempSpace
+from repro.sim.rng import Streams
+
+
+def build(groups, num_disks=4):
+    params = DatabaseParams(groups=tuple(groups))
+    resources = ResourceParams(num_disks=num_disks, memory_pages=256)
+    return Database(params, resources, Streams(11)), resources
+
+
+# ----------------------------------------------------------------------
+# relation sizing and placement
+# ----------------------------------------------------------------------
+def test_relation_sizes_at_equal_intervals():
+    group = RelationGroup(rel_per_disk=5, size_range=(100, 200))
+    assert group.relation_sizes() == [100, 125, 150, 175, 200]
+
+
+def test_single_relation_uses_midpoint():
+    group = RelationGroup(rel_per_disk=1, size_range=(100, 200))
+    assert group.relation_sizes() == [150]
+
+
+def test_every_disk_gets_every_group():
+    database, resources = build(
+        [
+            RelationGroup(rel_per_disk=3, size_range=(60, 180)),
+            RelationGroup(rel_per_disk=3, size_range=(300, 900)),
+        ]
+    )
+    for disk in range(resources.num_disks):
+        on_disk = [rel for rel in database.relations if rel.disk == disk]
+        assert len(on_disk) == 6
+        assert {rel.group for rel in on_disk} == {0, 1}
+
+
+def test_relations_on_middle_cylinders():
+    database, resources = build([RelationGroup(rel_per_disk=2, size_range=(90, 180))])
+    pages_per_disk = resources.pages_per_disk
+    for relation in database.relations:
+        # Centre of the relation within the middle half of the disk.
+        centre = relation.start_page + relation.pages // 2
+        assert pages_per_disk * 0.25 < centre < pages_per_disk * 0.75
+
+
+def test_relations_do_not_overlap():
+    database, _resources = build(
+        [
+            RelationGroup(rel_per_disk=3, size_range=(60, 180)),
+            RelationGroup(rel_per_disk=3, size_range=(300, 900)),
+        ]
+    )
+    by_disk = {}
+    for relation in database.relations:
+        by_disk.setdefault(relation.disk, []).append(relation)
+    for relations in by_disk.values():
+        spans = sorted((rel.start_page, rel.end_page) for rel in relations)
+        for (start_a, end_a), (start_b, _end_b) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+
+def test_oversized_database_rejected():
+    with pytest.raises(ValueError):
+        build([RelationGroup(rel_per_disk=2, size_range=(70_000, 70_000))])
+
+
+def test_pick_relation_uniform_over_group():
+    database, _ = build([RelationGroup(rel_per_disk=3, size_range=(60, 180))])
+    stream = Streams(5).stream("pick")
+    seen = {database.pick_relation(0, stream).rel_id for _ in range(300)}
+    assert len(seen) == len(database.by_group[0])
+
+
+def test_pick_relation_unknown_group():
+    database, _ = build([RelationGroup(rel_per_disk=1, size_range=(60, 60))])
+    stream = Streams(5).stream("pick")
+    with pytest.raises(ValueError):
+        database.pick_relation(7, stream)
+
+
+# ----------------------------------------------------------------------
+# temp space
+# ----------------------------------------------------------------------
+def test_temp_allocate_and_release_roundtrip():
+    space = TempSpace(0, [(0, 1000)])
+    extent = space.allocate(100)
+    assert extent.pages == 100
+    assert space.free_pages == 900
+    space.release(extent)
+    assert space.free_pages == 1000
+
+
+def test_temp_release_coalesces():
+    space = TempSpace(0, [(0, 300)])
+    first = space.allocate(100)
+    second = space.allocate(100)
+    space.release(first)
+    space.release(second)
+    # One 300-page extent again: a 250-page allocation must succeed.
+    extent = space.allocate(250)
+    assert not extent.virtual
+
+
+def test_temp_overflow_served_virtually():
+    space = TempSpace(0, [(0, 100)])
+    space.allocate(90)
+    overflow = space.allocate(50)
+    assert overflow.virtual
+    assert space.overflow_allocations == 1
+    # Virtual extents release without corrupting the free list.
+    space.release(overflow)
+    assert space.free_pages == 10
+
+
+def test_temp_allocation_prefers_largest_extent():
+    space = TempSpace(0, [(0, 50), (100, 400)])
+    extent = space.allocate(60)
+    assert extent.start_page >= 100
+
+
+def test_temp_validates_positive_size():
+    space = TempSpace(0, [(0, 100)])
+    with pytest.raises(ValueError):
+        space.allocate(0)
+
+
+def test_database_temp_spaces_surround_relations():
+    database, resources = build([RelationGroup(rel_per_disk=1, size_range=(900, 900))])
+    space = database.temp_space(0)
+    relation = [rel for rel in database.relations if rel.disk == 0][0]
+    extent = space.allocate(10)
+    outside = extent.end_page <= relation.start_page or extent.start_page >= relation.end_page
+    assert outside, "temp files must live on the inner or outer cylinders"

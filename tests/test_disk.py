@@ -1,0 +1,164 @@
+"""Unit tests for the disk model: ED queueing, timing, caches."""
+
+import pytest
+
+from repro.rtdbs.config import ResourceParams
+from repro.rtdbs.disk import Disk, PrefetchCache, READ, WRITE
+from repro.sim.rng import Streams
+from repro.sim.simulator import Simulator
+
+
+def make_disk(stochastic=False, **overrides):
+    resources = ResourceParams(stochastic_rotation=stochastic, **overrides)
+    sim = Simulator()
+    disk = Disk(sim, 0, resources, Streams(3).stream("rot"))
+    return sim, disk, resources
+
+
+def finish_times(sim, requests):
+    times = {}
+    for name, request in requests.items():
+        request.callbacks.append(lambda evt, n=name: times.setdefault(n, sim.now))
+    sim.run()
+    return times
+
+
+# ----------------------------------------------------------------------
+# timing arithmetic
+# ----------------------------------------------------------------------
+def test_first_access_pays_seek_rotation_transfer():
+    sim, disk, resources = make_disk()
+    start_cylinder = resources.num_cylinders // 2
+    target_page = (start_cylinder + 100) * resources.cylinder_size
+    request = disk.submit(READ, target_page, 6, priority=1.0)
+    times = finish_times(sim, {"req": request})
+    expected = (
+        resources.seek_time(100)
+        + resources.rotation_s / 2.0
+        + 6 * resources.transfer_s_per_page
+    )
+    assert times["req"] == pytest.approx(expected)
+
+
+def test_sequential_continuation_pays_transfer_only():
+    sim, disk, resources = make_disk()
+    page = (resources.num_cylinders // 2) * resources.cylinder_size
+    first = disk.submit(READ, page, 6, priority=1.0)
+    second = disk.submit(READ, page + 6, 6, priority=1.0)
+    times = finish_times(sim, {"first": first, "second": second})
+    gap = times["second"] - times["first"]
+    assert gap == pytest.approx(6 * resources.transfer_s_per_page)
+    assert disk.sequential_continuations == 1
+
+
+def test_interleaved_streams_both_keep_continuation():
+    sim, disk, resources = make_disk()
+    page_a = 100 * resources.cylinder_size
+    page_b = 900 * resources.cylinder_size
+    disk.submit(READ, page_a, 6, priority=1.0)
+    disk.submit(READ, page_b, 6, priority=1.0)
+    disk.submit(READ, page_a + 6, 6, priority=1.0)
+    disk.submit(READ, page_b + 6, 6, priority=1.0)
+    sim.run()
+    assert disk.sequential_continuations == 2
+
+
+def test_ed_priority_orders_service():
+    sim, disk, resources = make_disk()
+    base = 700 * resources.cylinder_size
+    # Fill the disk with one request, then queue two more in reverse
+    # deadline order: the earlier deadline must be served first.
+    blocker = disk.submit(READ, base, 6, priority=0.0)
+    late = disk.submit(READ, base + 600, 6, priority=9.0)
+    urgent = disk.submit(READ, base + 1200, 6, priority=1.0)
+    times = finish_times(sim, {"blocker": blocker, "late": late, "urgent": urgent})
+    assert times["urgent"] < times["late"]
+
+
+def test_elevator_breaks_priority_ties():
+    sim, disk, resources = make_disk()
+    head_cylinder = resources.num_cylinders // 2
+    blocker = disk.submit(READ, head_cylinder * resources.cylinder_size, 1, priority=0.0)
+    # Two equal-priority requests: one 10 cylinders inward (sweep
+    # direction), one 5 cylinders outward.  The elevator picks the one
+    # ahead in the current (inward) direction despite being farther.
+    inward = disk.submit(READ, (head_cylinder + 10) * resources.cylinder_size, 1, 5.0)
+    outward = disk.submit(READ, (head_cylinder - 5) * resources.cylinder_size, 1, 5.0)
+    times = finish_times(sim, {"blocker": blocker, "in": inward, "out": outward})
+    assert times["in"] < times["out"]
+
+
+def test_prefetch_cache_serves_reread_instantly():
+    sim, disk, resources = make_disk()
+    page = 100 * resources.cylinder_size
+    disk.submit(READ, page, 6, priority=1.0)
+    sim.run()
+    again = disk.submit(READ, page, 6, priority=1.0)
+    assert again.triggered  # served from cache without queueing
+    assert disk.cache.hits == 1
+
+
+def test_cache_capacity_bounded():
+    cache = PrefetchCache(8)
+    cache.insert(0, 8)
+    cache.insert(100, 8)
+    assert len(cache) == 8
+    assert not cache.contains_all(0, 8)
+    assert cache.contains_all(100, 8)
+
+
+def test_write_then_read_hits_cache():
+    sim, disk, resources = make_disk()
+    page = 100 * resources.cylinder_size
+    disk.submit(WRITE, page, 6, priority=1.0)
+    sim.run()
+    read = disk.submit(READ, page, 6, priority=1.0)
+    assert read.triggered
+
+
+def test_cancel_queued_request_never_completes():
+    sim, disk, resources = make_disk()
+    base = 700 * resources.cylinder_size
+    disk.submit(READ, base, 6, priority=0.0)
+    doomed = disk.submit(READ, base + 60, 6, priority=5.0)
+    fired = []
+    doomed.callbacks.append(lambda evt: fired.append(1))
+    disk.cancel(doomed)
+    sim.run()
+    assert fired == []
+
+
+def test_out_of_range_access_rejected():
+    sim, disk, resources = make_disk()
+    with pytest.raises(ValueError):
+        disk.submit(READ, resources.pages_per_disk - 2, 6, priority=1.0)
+    with pytest.raises(ValueError):
+        disk.submit(READ, -1, 1, priority=1.0)
+    with pytest.raises(ValueError):
+        disk.submit(READ, 0, 0, priority=1.0)
+    with pytest.raises(ValueError):
+        disk.submit("flush", 0, 1, priority=1.0)
+
+
+def test_utilization_reflects_busy_time():
+    sim, disk, resources = make_disk()
+    page = 100 * resources.cylinder_size
+    disk.submit(READ, page, 6, priority=1.0)
+    sim.run()
+    busy_until = sim.now
+    sim.run(until=busy_until * 2)
+    assert disk.utilization() == pytest.approx(0.5, rel=1e-6)
+
+
+def test_stochastic_rotation_varies_but_bounded():
+    sim, disk, resources = make_disk(stochastic=True)
+    base = 700 * resources.cylinder_size
+    durations = []
+    for index in range(20):
+        # Far-apart single-page reads: never sequential continuations.
+        request = disk.submit(READ, base + index * 3000, 1, priority=float(index))
+        request.callbacks.append(lambda evt, t0=sim.now: durations.append(sim.now))
+        sim.run()
+    gaps = [b - a for a, b in zip(durations, durations[1:])]
+    assert min(gaps) >= 1 * resources.transfer_s_per_page
+    assert len(set(round(g, 6) for g in gaps)) > 3  # rotation randomness

@@ -1,0 +1,106 @@
+"""Unit tests for the experiment harness (runner cache, figure plumbing)."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult, make_phases
+from repro.experiments.runner import ExperimentSettings, clear_cache, run_config, sweep
+from repro.workloads.presets import baseline
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+TINY = ExperimentSettings(scale=0.1, duration=250.0, seed=3)
+
+
+def test_run_config_caches_identical_runs():
+    config = baseline(arrival_rate=0.05, scale=0.1, seed=3)
+    first = run_config(config, "minmax", TINY)
+    second = run_config(config, "minmax", TINY)
+    assert first is second  # memoised
+
+
+def test_run_config_distinguishes_policies():
+    config = baseline(arrival_rate=0.05, scale=0.1, seed=3)
+    first = run_config(config, "minmax", TINY)
+    second = run_config(config, "max", TINY)
+    assert first is not second
+
+
+def test_run_config_distinguishes_settings():
+    config = baseline(arrival_rate=0.05, scale=0.1, seed=3)
+    first = run_config(config, "minmax", TINY)
+    longer = ExperimentSettings(scale=0.1, duration=300.0, seed=3)
+    second = run_config(config, "minmax", longer)
+    assert first is not second
+
+
+def test_setup_hook_requires_explicit_cache_key():
+    config = baseline(arrival_rate=0.05, scale=0.1, seed=3)
+    calls = []
+    first = run_config(config, "minmax", TINY, setup=lambda system: calls.append(1))
+    second = run_config(config, "minmax", TINY, setup=lambda system: calls.append(1))
+    assert calls == [1, 1]  # not cached without a key
+    assert first is not second
+
+
+def test_sweep_returns_per_policy_series():
+    configs = [
+        (rate, baseline(arrival_rate=rate, scale=0.1, seed=3)) for rate in (0.04, 0.05)
+    ]
+    results = sweep(configs, ("max", "minmax"), TINY)
+    assert set(results) == {"max", "minmax"}
+    for series in results.values():
+        assert [x for x, _r in series] == [0.04, 0.05]
+
+
+def test_figure_result_accessors():
+    figure = FigureResult(
+        figure_id="Figure X",
+        title="t",
+        x_label="x",
+        y_label="y",
+        series={"a": [(1.0, 0.5), (2.0, 0.7)]},
+    )
+    assert figure.value("a", 1.0) == 0.5
+    assert figure.final_value("a") == 0.7
+    with pytest.raises(KeyError):
+        figure.value("a", 9.0)
+    rendered = figure.render()
+    assert "Figure X" in rendered and "a y" in rendered
+
+
+def test_make_phases_alternate_and_scale():
+    settings = ExperimentSettings(scale=0.1, duration=0.0, seed=5)
+    phases = make_phases(settings, num_phases=4)
+    assert [name for _s, _e, name in phases] == ["Medium", "Small", "Medium", "Small"]
+    for start, end, _name in phases:
+        length = end - start
+        # 2-5 hours scaled by 0.1.
+        assert 720.0 <= length <= 1800.0
+    # Contiguous coverage.
+    for (_s1, end1, _n1), (start2, _e2, _n2) in zip(phases, phases[1:]):
+        assert end1 == start2
+
+
+def test_make_phases_reproducible():
+    settings = ExperimentSettings(scale=0.1, duration=0.0, seed=5)
+    assert make_phases(settings) == make_phases(settings)
+
+
+def test_cli_list_smoke(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    output = capsys.readouterr().out
+    assert "fig3" in output and "sec57" in output
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.experiments.__main__ import main
+
+    assert main(["figure-99"]) == 2

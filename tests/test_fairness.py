@@ -1,0 +1,156 @@
+"""Unit tests for the class-fairness extension (the paper's §5.6
+future work) plus an end-to-end check on the multiclass workload."""
+
+import pytest
+
+from repro import RTDBSystem, multiclass
+from repro.core.allocation import QueryDemand
+from repro.core.fairness import ClassMissTracker, FairPMM
+from repro.policies.base import DepartureRecord
+from repro.rtdbs.config import PMMParams
+
+
+def departure(class_name, missed, qid=0):
+    return DepartureRecord(
+        qid=qid,
+        class_name=class_name,
+        missed=missed,
+        arrival=0.0,
+        departure=10.0,
+        waiting_time=1.0,
+        execution_time=5.0,
+        time_constraint=30.0,
+        max_demand=100,
+        min_demand=10,
+        operand_io_count=50,
+    )
+
+
+# ----------------------------------------------------------------------
+# tracker
+# ----------------------------------------------------------------------
+def test_tracker_converges_to_class_rates():
+    tracker = ClassMissTracker(smoothing=0.05)
+    for index in range(600):
+        tracker.observe("A", index % 2 == 0)  # ~50% misses
+        tracker.observe("B", False)  # 0% misses
+    assert tracker.miss_ratio("A") == pytest.approx(0.5, abs=0.15)
+    assert tracker.miss_ratio("B") == pytest.approx(0.0, abs=0.05)
+    assert 0.1 < tracker.overall < 0.4
+
+
+def test_tracker_unknown_class_is_zero():
+    assert ClassMissTracker().miss_ratio("nope") == 0.0
+
+
+def test_tracker_reset():
+    tracker = ClassMissTracker()
+    tracker.observe("A", True)
+    tracker.reset()
+    assert tracker.observations == 0
+    assert tracker.overall == 0.0
+
+
+def test_tracker_validates_smoothing():
+    with pytest.raises(ValueError):
+        ClassMissTracker(smoothing=0.0)
+
+
+# ----------------------------------------------------------------------
+# bias computation
+# ----------------------------------------------------------------------
+def make_fair(goals=None):
+    return FairPMM(PMMParams(), goals=goals)
+
+
+def feed(fair, a_missing=0.6, b_missing=0.0, n=200):
+    for index in range(n):
+        fair.on_departure(departure("A", index % 10 < a_missing * 10, qid=index))
+        fair.on_departure(departure("B", index % 10 < b_missing * 10, qid=10_000 + index))
+
+
+def test_bias_pulls_suffering_class_forward():
+    fair = make_fair()
+    feed(fair, a_missing=0.6, b_missing=0.0)
+    assert fair.bias("A") > 1.0
+    assert fair.bias("B") < 1.0
+
+
+def test_bias_neutral_when_balanced():
+    fair = make_fair()
+    feed(fair, a_missing=0.3, b_missing=0.3)
+    assert fair.bias("A") == pytest.approx(fair.bias("B"), rel=0.2)
+
+
+def test_bias_bounded():
+    fair = make_fair()
+    feed(fair, a_missing=1.0, b_missing=0.0)
+    assert fair.bias("A") <= FairPMM.MAX_BIAS
+    assert fair.bias("B") >= 1.0 / FairPMM.MAX_BIAS
+
+
+def test_goals_shift_the_balance():
+    # Tolerating twice the misses for class A means A needs less help.
+    lenient = make_fair(goals={"A": 2.0, "B": 1.0})
+    strict = make_fair(goals={"A": 0.5, "B": 1.0})
+    feed(lenient, a_missing=0.5, b_missing=0.25)
+    feed(strict, a_missing=0.5, b_missing=0.25)
+    assert strict.bias("A") > lenient.bias("A")
+
+
+def test_invalid_goal_rejected():
+    with pytest.raises(ValueError):
+        make_fair(goals={"A": 0.0})
+
+
+# ----------------------------------------------------------------------
+# allocation reordering
+# ----------------------------------------------------------------------
+def test_allocation_reorders_by_biased_slack():
+    fair = make_fair()
+    feed(fair, a_missing=0.9, b_missing=0.0)
+    # B's query is slightly more urgent, but A's bias overcomes the gap.
+    demands = [
+        QueryDemand(1, priority=100.0, min_pages=10, max_pages=80, class_name="B"),
+        QueryDemand(2, priority=110.0, min_pages=10, max_pages=80, class_name="A"),
+    ]
+    allocation = fair.allocate(demands, memory=100, now=50.0)
+    assert allocation[2] == 80  # the suffering class's query won
+    assert allocation[1] == 0
+
+
+def test_allocation_unbiased_before_enough_observations():
+    fair = make_fair()
+    demands = [
+        QueryDemand(1, priority=100.0, min_pages=10, max_pages=80, class_name="B"),
+        QueryDemand(2, priority=110.0, min_pages=10, max_pages=80, class_name="A"),
+    ]
+    allocation = fair.allocate(demands, memory=100, now=50.0)
+    assert allocation[1] == 80  # plain ED order
+
+
+def test_restart_clears_fairness_state():
+    fair = make_fair()
+    feed(fair, a_missing=0.9, b_missing=0.0)
+    fair._restart(0.0)
+    assert fair.tracker.observations == 0
+
+
+def test_describe_mentions_fairness():
+    assert "FairPMM" in make_fair().describe()
+
+
+# ----------------------------------------------------------------------
+# end to end: the Figure 18 bias shrinks under FairPMM
+# ----------------------------------------------------------------------
+def test_fairpmm_narrows_class_gap_on_multiclass_workload():
+    config = multiclass(small_rate=0.8, medium_rate=0.05, scale=0.1, duration=1500.0, seed=7)
+    plain = RTDBSystem(config, "pmm").run()
+    fair = RTDBSystem(config, "fairpmm").run()
+
+    def gap(result):
+        return result.per_class["Medium"].miss_ratio - result.per_class["Small"].miss_ratio
+
+    # The fairness extension must not *increase* the Medium-class bias;
+    # typically it narrows it substantially.
+    assert gap(fair) <= gap(plain) + 0.02

@@ -1,0 +1,228 @@
+"""Unit tests for the PPHJ hash-join operator (driven outside the sim)."""
+
+import math
+
+import pytest
+
+from repro.queries.base import MemoryGrant, OperatorContext
+from repro.queries.hash_join import HashJoinOperator
+from repro.queries.requests import READ, WRITE, AllocationWait, CPUBurst, DiskAccess
+from repro.rtdbs.config import CPUCosts
+from repro.rtdbs.database import Relation, TempFile
+
+
+class FakeTempAllocator:
+    def __init__(self):
+        self.allocated = []
+        self.released = []
+
+    def allocate(self, disk, pages):
+        temp = TempFile(disk, 10_000, pages)
+        self.allocated.append(temp)
+        return temp
+
+    def release(self, temp):
+        self.released.append(temp)
+
+
+def make_join(inner_pages=120, outer_pages=600, grant_pages=None, tuples_per_page=40):
+    allocator = FakeTempAllocator()
+    context = OperatorContext(
+        tuples_per_page=tuples_per_page,
+        block_size=6,
+        costs=CPUCosts(),
+        allocate_temp=allocator.allocate,
+        release_temp=allocator.release,
+    )
+    inner = Relation(0, 0, 0, inner_pages, 1000)
+    outer = Relation(1, 1, 1, outer_pages, 2000)
+    grant = MemoryGrant(0)
+    operator = HashJoinOperator(context, grant, inner, outer, fudge_factor=1.1)
+    if grant_pages is None:
+        grant_pages = operator.max_pages
+    grant.set(grant_pages)
+    return operator, grant, allocator
+
+
+def drain(operator):
+    return list(operator.run())
+
+
+def io_pages(trace, kind):
+    return sum(r.npages for r in trace if isinstance(r, DiskAccess) and r.kind == kind)
+
+
+# ----------------------------------------------------------------------
+# demand envelope (the paper's formulas, Section 3.2)
+# ----------------------------------------------------------------------
+def test_max_demand_is_fudge_times_inner_plus_buffer():
+    operator, _grant, _alloc = make_join(inner_pages=1200)
+    assert operator.max_pages == math.ceil(1.1 * 1200) + 1  # 1321 as in the paper
+
+
+def test_min_demand_is_about_sqrt():
+    operator, _grant, _alloc = make_join(inner_pages=1200)
+    # The paper quotes sqrt(F * ||R||) + 1 = 37 pages for R = 1200.
+    assert 35 <= operator.min_pages <= 40
+
+
+def test_operand_io_count_counts_both_relations():
+    operator, _grant, _alloc = make_join(inner_pages=120, outer_pages=600)
+    assert operator.operand_io_count == math.ceil(120 / 6) + math.ceil(600 / 6)
+
+
+# ----------------------------------------------------------------------
+# one-pass execution at maximum memory
+# ----------------------------------------------------------------------
+def test_max_memory_join_does_no_temp_io():
+    operator, _grant, _alloc = make_join()
+    trace = drain(operator)
+    assert io_pages(trace, WRITE) == 0
+    reads = io_pages(trace, READ)
+    assert reads == 120 + 600  # exactly one scan of each operand
+
+
+def test_max_memory_cpu_cost_matches_table4():
+    tuples_per_page = 40
+    operator, _grant, _alloc = make_join(tuples_per_page=tuples_per_page)
+    trace = drain(operator)
+    cpu = sum(r.instructions for r in trace if isinstance(r, CPUBurst))
+    costs = CPUCosts()
+    expected = (
+        costs.initiate_query
+        + costs.terminate_query
+        + 120 * tuples_per_page * costs.hash_insert
+        + 600 * tuples_per_page * (costs.hash_probe + costs.hash_output)
+    )
+    assert cpu == pytest.approx(expected, rel=1e-6)
+
+
+def test_operand_reads_are_cacheable_blocks():
+    operator, _grant, _alloc = make_join()
+    trace = [r for r in operator.run() if isinstance(r, DiskAccess) and r.kind == READ]
+    assert all(r.cacheable for r in trace)
+    assert all(r.npages <= 6 for r in trace)
+
+
+# ----------------------------------------------------------------------
+# two-pass execution at minimum memory
+# ----------------------------------------------------------------------
+def test_min_memory_join_spools_both_operands():
+    operator, _grant, _alloc = make_join(grant_pages=None)
+    operator2, grant2, _ = make_join()
+    grant2.set(operator2.min_pages)
+    trace = drain(operator2)
+    written = io_pages(trace, WRITE)
+    read = io_pages(trace, READ)
+    # Essentially everything is spooled once and read back once.
+    assert written == pytest.approx(720, rel=0.15)
+    assert read == pytest.approx(720 + written, rel=0.15)
+
+
+def test_min_memory_conservation_writes_equal_temp_reads():
+    operator, grant, _alloc = make_join()
+    grant.set(operator.min_pages)
+    trace = drain(operator)
+    temp_reads = sum(
+        r.npages
+        for r in trace
+        if isinstance(r, DiskAccess) and r.kind == READ and not r.cacheable
+    )
+    written = io_pages(trace, WRITE)
+    assert temp_reads == pytest.approx(written, rel=0.1)
+
+
+def test_partial_memory_spools_proportionally_less():
+    operator_min, grant_min, _ = make_join()
+    grant_min.set(operator_min.min_pages)
+    spooled_min = io_pages(drain(operator_min), WRITE)
+
+    operator_half, grant_half, _ = make_join()
+    half = (operator_half.min_pages + operator_half.max_pages) // 2
+    grant_half.set(half)
+    spooled_half = io_pages(drain(operator_half), WRITE)
+
+    assert 0 < spooled_half < spooled_min
+
+
+# ----------------------------------------------------------------------
+# adaptation mid-flight
+# ----------------------------------------------------------------------
+def test_contraction_mid_build_spools_hash_tables():
+    operator, grant, _alloc = make_join()
+    trace = []
+    steps = operator.run()
+    for _ in range(20):  # partway through the build phase
+        trace.append(next(steps))
+    grant.set(operator.min_pages)  # memory taken away
+    for request in steps:
+        trace.append(request)
+    assert io_pages(trace, WRITE) > 0
+    assert grant.fluctuations == 0  # grant.started was never set
+
+
+def test_suspension_waits_for_memory():
+    operator, grant, _alloc = make_join()
+    steps = operator.run()
+    for _ in range(10):
+        next(steps)
+    grant.set(0)
+    saw_wait = False
+    for request in steps:
+        if isinstance(request, AllocationWait):
+            saw_wait = True
+            grant.set(operator.max_pages)  # re-grant; operator resumes
+        if isinstance(request, CPUBurst) and saw_wait:
+            break
+    assert saw_wait
+
+
+def test_expansion_during_probe_reads_partitions_back():
+    operator, grant, _alloc = make_join()
+    grant.set(operator.min_pages)
+    steps = operator.run()
+    trace = []
+    # Run until the probe phase is under way (outer reads observed).
+    outer_reads = 0
+    for request in steps:
+        trace.append(request)
+        if (
+            isinstance(request, DiskAccess)
+            and request.kind == READ
+            and request.cacheable
+            and request.disk == 1
+        ):
+            outer_reads += 1
+            if outer_reads == 3:
+                break
+    grant.set(operator.max_pages)  # plenty of memory mid-probe
+    before = operator.expanded
+    trace.extend(steps)
+    assert operator.expanded > before  # late expansion happened
+
+
+def test_release_resources_frees_temp_files():
+    operator, grant, allocator = make_join()
+    grant.set(operator.min_pages)
+    drain(operator)
+    assert allocator.allocated
+    operator.release_resources()
+    assert len(allocator.released) == len(allocator.allocated)
+
+
+def test_empty_relation_rejected():
+    allocator = FakeTempAllocator()
+    context = OperatorContext(
+        tuples_per_page=40,
+        block_size=6,
+        costs=CPUCosts(),
+        allocate_temp=allocator.allocate,
+        release_temp=allocator.release,
+    )
+    with pytest.raises(ValueError):
+        HashJoinOperator(
+            context,
+            MemoryGrant(10),
+            Relation(0, 0, 0, 0, 0),
+            Relation(1, 0, 0, 10, 100),
+        )

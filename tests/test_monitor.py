@@ -1,0 +1,139 @@
+"""Unit tests for monitors: time-weighted stats, tallies, batch means."""
+
+import pytest
+
+from repro.sim import BatchMeans, Series, Simulator, Tally, TimeWeighted
+
+
+# ----------------------------------------------------------------------
+# TimeWeighted
+# ----------------------------------------------------------------------
+def test_time_weighted_mean_simple():
+    sim = Simulator()
+    monitor = TimeWeighted(sim, initial=0.0)
+    sim.run(until=4.0)
+    monitor.record(10.0)
+    sim.run(until=10.0)
+    # 0 for 4s, 10 for 6s -> 6.0 average.
+    assert monitor.mean() == pytest.approx(6.0)
+
+
+def test_time_weighted_add():
+    sim = Simulator()
+    monitor = TimeWeighted(sim, initial=2.0)
+    monitor.add(3.0)
+    assert monitor.value == 5.0
+    monitor.add(-5.0)
+    assert monitor.value == 0.0
+
+
+def test_time_weighted_window_mean():
+    sim = Simulator()
+    monitor = TimeWeighted(sim, initial=1.0)
+    sim.run(until=10.0)
+    snapshot = monitor.snapshot()
+    monitor.record(3.0)
+    sim.run(until=20.0)
+    assert monitor.mean_since(snapshot) == pytest.approx(3.0)
+    assert monitor.mean() == pytest.approx(2.0)
+
+
+def test_time_weighted_zero_elapsed():
+    sim = Simulator()
+    monitor = TimeWeighted(sim, initial=7.0)
+    assert monitor.mean() == 7.0
+    assert monitor.mean_since(monitor.snapshot()) == 7.0
+
+
+# ----------------------------------------------------------------------
+# Tally
+# ----------------------------------------------------------------------
+def test_tally_mean_variance():
+    tally = Tally()
+    for value in (2.0, 4.0, 6.0):
+        tally.record(value)
+    assert tally.mean() == pytest.approx(4.0)
+    assert tally.variance() == pytest.approx(4.0)
+    assert tally.std() == pytest.approx(2.0)
+
+
+def test_empty_tally_is_zero():
+    tally = Tally()
+    assert tally.mean() == 0.0
+    assert tally.variance() == 0.0
+
+
+def test_tally_diff_tracks_increment():
+    tally = Tally()
+    tally.record(1.0)
+    tally.record(2.0)
+    checkpoint = tally.copy()
+    tally.record(10.0)
+    delta = tally.diff(checkpoint)
+    assert delta.count == 1
+    assert delta.mean() == pytest.approx(10.0)
+
+
+def test_tally_diff_rejects_inverted_order():
+    small = Tally()
+    big = Tally()
+    big.record(1.0)
+    with pytest.raises(ValueError):
+        small.diff(big)
+
+
+def test_tally_reset():
+    tally = Tally()
+    tally.record(5.0)
+    tally.reset()
+    assert tally.count == 0 and tally.total == 0.0
+
+
+# ----------------------------------------------------------------------
+# Series
+# ----------------------------------------------------------------------
+def test_series_records_in_order():
+    series = Series()
+    series.record(1.0, 10.0)
+    series.record(2.0, 20.0)
+    assert len(series) == 2
+    assert list(series) == [(1.0, 10.0), (2.0, 20.0)]
+    assert series.last() == (2.0, 20.0)
+
+
+def test_empty_series_last_is_none():
+    assert Series().last() is None
+
+
+# ----------------------------------------------------------------------
+# BatchMeans
+# ----------------------------------------------------------------------
+def test_batch_means_groups_observations():
+    batches = BatchMeans(batch_size=2)
+    batches.extend([1.0, 3.0, 5.0, 7.0, 9.0])
+    assert batches.num_batches == 2
+    assert batches.batch_means == [2.0, 6.0]
+    assert batches.mean() == pytest.approx(4.0)
+
+
+def test_batch_means_interval_contains_true_mean():
+    import numpy as np
+
+    rng = np.random.default_rng(8)
+    batches = BatchMeans(batch_size=50)
+    batches.extend(rng.normal(0.3, 0.1, size=2000))
+    low, high = batches.confidence_interval(0.95)
+    assert low < 0.3 < high
+    assert batches.half_width(0.95) < 0.05
+
+
+def test_batch_means_needs_two_batches():
+    batches = BatchMeans(batch_size=10)
+    batches.extend([1.0] * 10)
+    with pytest.raises(ValueError):
+        batches.confidence_interval()
+
+
+def test_batch_means_validates_size():
+    with pytest.raises(ValueError):
+        BatchMeans(batch_size=0)

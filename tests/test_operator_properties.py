@@ -1,0 +1,158 @@
+"""Property-based tests on the operators' resource accounting.
+
+The key invariant behind the whole simulation: whatever memory schedule
+an operator experiences, its I/O stays *conserved* -- every temp page
+written is read back (or the query finishes having read each operand
+page at least once), and CPU work is bounded between the one-pass
+minimum and a sane multi-pass ceiling.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.base import MemoryGrant, OperatorContext
+from repro.queries.hash_join import HashJoinOperator
+from repro.queries.requests import READ, WRITE, AllocationWait, CPUBurst, DiskAccess
+from repro.queries.sort import ExternalSortOperator
+from repro.rtdbs.config import CPUCosts
+from repro.rtdbs.database import Relation, TempFile
+
+
+def make_context():
+    return OperatorContext(
+        tuples_per_page=40,
+        block_size=6,
+        costs=CPUCosts(),
+        allocate_temp=lambda disk, pages: TempFile(disk, 10_000, pages),
+        release_temp=lambda temp: None,
+    )
+
+
+def run_with_schedule(operator, grant, schedule):
+    """Drive the operator, applying grant changes every few requests.
+
+    ``schedule`` is a list of page counts (0 allowed); the grant cycles
+    through it.  Returns the full request trace.
+    """
+    trace = []
+    position = 0
+    grant.started = True  # count fluctuations like an admitted query
+    for index, request in enumerate(operator.run()):
+        trace.append(request)
+        if isinstance(request, AllocationWait) and grant.pages == 0:
+            # Never deadlock the drain: restore some memory.
+            grant.set(max(operator.min_pages, 8))
+            continue
+        if index % 7 == 6 and schedule:
+            pages = schedule[position % len(schedule)]
+            position += 1
+            grant.set(pages if pages == 0 else max(pages, operator.min_pages))
+    return trace
+
+
+def reads(trace, cacheable=None):
+    total = 0
+    for request in trace:
+        if isinstance(request, DiskAccess) and request.kind == READ:
+            if cacheable is None or request.cacheable == cacheable:
+                total += request.npages
+    return total
+
+
+def writes(trace):
+    return sum(
+        r.npages for r in trace if isinstance(r, DiskAccess) and r.kind == WRITE
+    )
+
+
+def cpu(trace):
+    return sum(r.instructions for r in trace if isinstance(r, CPUBurst))
+
+
+grant_schedules = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=1, max_size=8
+)
+
+
+@given(
+    inner=st.integers(min_value=12, max_value=90),
+    outer_factor=st.integers(min_value=1, max_value=6),
+    schedule=grant_schedules,
+)
+@settings(max_examples=40, deadline=None)
+def test_join_io_conservation_under_any_schedule(inner, outer_factor, schedule):
+    outer = inner * outer_factor
+    context = make_context()
+    grant = MemoryGrant(0)
+    operator = HashJoinOperator(
+        context,
+        grant,
+        Relation(0, 0, 0, inner, 1000),
+        Relation(1, 1, 1, outer, 3000),
+    )
+    grant.set(operator.max_pages)
+    trace = run_with_schedule(operator, grant, schedule)
+
+    # Operands are read exactly once (cacheable reads).
+    assert reads(trace, cacheable=True) == inner + outer
+    # Spooled pages are read back within block-rounding slack.
+    spooled = writes(trace)
+    temp_reads = reads(trace, cacheable=False)
+    assert temp_reads >= spooled * 0.85 - 2 * context.block_size
+    # Total temp traffic is bounded: nothing is written more than once
+    # beyond contraction churn (each suspension/contraction cycle can
+    # re-spool up to the inner relation's in-memory pages).
+    fluctuation_budget = (grant.fluctuations + 2) * (inner + context.block_size)
+    assert spooled <= (inner + outer) + fluctuation_budget
+    # CPU at least the one-pass minimum.
+    costs = context.costs
+    minimum_cpu = (
+        costs.initiate_query
+        + costs.terminate_query
+        + inner * 40 * costs.hash_insert
+        + outer * 40 * costs.hash_output  # contracted probes cost at least a copy
+    )
+    assert cpu(trace) >= minimum_cpu * 0.9
+
+
+@given(
+    pages=st.integers(min_value=12, max_value=150),
+    schedule=grant_schedules,
+)
+@settings(max_examples=40, deadline=None)
+def test_sort_io_conservation_under_any_schedule(pages, schedule):
+    context = make_context()
+    grant = MemoryGrant(0)
+    operator = ExternalSortOperator(context, grant, Relation(0, 0, 0, pages, 1000))
+    grant.set(operator.max_pages)
+    trace = run_with_schedule(operator, grant, schedule)
+
+    # The operand is read exactly once.
+    assert reads(trace, cacheable=True) == pages
+    # Every merge input page was previously written (within rounding
+    # slack from block-padded run tails).
+    spooled = writes(trace)
+    merge_reads = reads(trace, cacheable=False)
+    assert merge_reads <= spooled + 4 * context.block_size
+    # Multi-pass blowup is bounded by a generous log factor.
+    assert spooled <= pages * (2 + math.ceil(math.log2(max(2, pages))))
+
+
+@given(inner=st.integers(min_value=12, max_value=60))
+@settings(max_examples=15, deadline=None)
+def test_join_no_fluctuations_under_constant_grant(inner):
+    context = make_context()
+    grant = MemoryGrant(0)
+    operator = HashJoinOperator(
+        context,
+        grant,
+        Relation(0, 0, 0, inner, 1000),
+        Relation(1, 1, 1, inner * 2, 3000),
+    )
+    grant.set(operator.max_pages)
+    grant.started = True
+    for _request in operator.run():
+        grant.set(operator.max_pages)  # re-setting the same value
+    assert grant.fluctuations == 0

@@ -1,0 +1,184 @@
+"""Unit tests for the PMM controller's mode logic (no simulator)."""
+
+import pytest
+
+from repro.core.allocation import QueryDemand
+from repro.core.pmm import MODE_MAX, MODE_MINMAX, PMM
+from repro.policies.base import BatchStats, DepartureRecord
+from repro.rtdbs.config import PMMParams
+
+
+def departure(qid, missed=False, waiting=5.0, execution=10.0, constraint=60.0):
+    return DepartureRecord(
+        qid=qid,
+        class_name="Medium",
+        missed=missed,
+        arrival=0.0,
+        departure=100.0,
+        waiting_time=waiting,
+        execution_time=execution,
+        time_constraint=constraint,
+        max_demand=1321,
+        min_demand=37,
+        operand_io_count=1200,
+    )
+
+
+def batch(time=100.0, served=30, missed=3, mpl=1.5, cpu=0.1, disks=(0.2, 0.2)):
+    return BatchStats(
+        time=time,
+        served=served,
+        missed=missed,
+        realized_mpl=mpl,
+        cpu_utilization=cpu,
+        disk_utilizations=tuple(disks),
+    )
+
+
+def feed_switch_conditions(pmm, n=40):
+    """Departures that satisfy switch conditions 3 and 4."""
+    for qid in range(n):
+        pmm.on_departure(departure(qid, waiting=5.0 + 0.1 * (qid % 7)))
+
+
+def test_starts_in_max_mode():
+    pmm = PMM(PMMParams())
+    assert pmm.mode == MODE_MAX
+    assert pmm.target_mpl is None
+
+
+def test_allocates_like_max_in_max_mode():
+    pmm = PMM(PMMParams())
+    demands = [QueryDemand(1, 1.0, 10, 100), QueryDemand(2, 2.0, 10, 100)]
+    allocation = pmm.allocate(demands, 150)
+    assert allocation == {1: 100, 2: 0}
+
+
+def test_switches_to_minmax_when_all_conditions_hold():
+    pmm = PMM(PMMParams())
+    feed_switch_conditions(pmm)
+    changed = pmm.on_batch(batch(missed=3, cpu=0.1, disks=(0.2, 0.25)))
+    assert changed
+    assert pmm.mode == MODE_MINMAX
+    assert pmm.target_mpl is not None and pmm.target_mpl >= 1
+
+
+def test_no_switch_without_misses():
+    pmm = PMM(PMMParams())
+    feed_switch_conditions(pmm)
+    assert not pmm.on_batch(batch(missed=0))
+    assert pmm.mode == MODE_MAX
+
+
+def test_no_switch_when_a_resource_is_loaded():
+    pmm = PMM(PMMParams())
+    feed_switch_conditions(pmm)
+    assert not pmm.on_batch(batch(disks=(0.2, 0.9)))  # disk near saturation
+    assert pmm.mode == MODE_MAX
+
+
+def test_no_switch_without_admission_waiting():
+    pmm = PMM(PMMParams())
+    for qid in range(40):
+        pmm.on_departure(departure(qid, waiting=0.0))
+    assert not pmm.on_batch(batch())
+    assert pmm.mode == MODE_MAX
+
+
+def test_no_switch_when_constraints_are_tight():
+    pmm = PMM(PMMParams())
+    for qid in range(40):
+        # Execution time ~ the whole constraint: MinMax would be fatal.
+        pmm.on_departure(departure(qid, execution=60.0, constraint=60.0))
+    assert not pmm.on_batch(batch())
+    assert pmm.mode == MODE_MAX
+
+
+def test_allocates_like_minmax_with_target_in_minmax_mode():
+    pmm = PMM(PMMParams())
+    feed_switch_conditions(pmm)
+    pmm.on_batch(batch())
+    assert pmm.mode == MODE_MINMAX
+    pmm.target = 1  # force a tight limit
+    demands = [QueryDemand(1, 1.0, 10, 100), QueryDemand(2, 2.0, 10, 100)]
+    allocation = pmm.allocate(demands, 1000)
+    assert allocation == {1: 100, 2: 0}
+
+
+def test_reverts_to_max_when_target_sinks_to_max_mode_mpl():
+    pmm = PMM(PMMParams())
+    # A couple of Max-mode batches with realized MPL ~2.
+    for qid in range(40):
+        pmm.on_departure(departure(qid))
+    pmm.on_batch(batch(missed=0, mpl=2.0))
+    feed_switch_conditions(pmm)
+    pmm.on_batch(batch(mpl=2.0))
+    assert pmm.mode == MODE_MINMAX
+    # Engineer projection data whose optimum is below the Max-mode MPL.
+    # The next on_batch adds one more observation at the current target
+    # with the batch's miss ratio, so keep that consistent with the
+    # engineered bowl by reporting a high miss ratio (27/30 = 0.9).
+    pmm.projection.reset()
+    for mpl, miss in [(1, 0.3), (2, 0.25), (3, 0.28), (6, 0.5), (9, 0.9)]:
+        pmm.projection.observe(mpl, miss)
+    pmm.on_batch(batch(mpl=2.0, missed=27))
+    assert pmm.mode == MODE_MAX
+    assert pmm.target_mpl is None
+
+
+def test_workload_change_restarts_pmm():
+    pmm = PMM(PMMParams())
+    feed_switch_conditions(pmm)
+    pmm.on_batch(batch())
+    assert pmm.mode == MODE_MINMAX
+    # A drastically different workload for two batches: the detector
+    # compares batch N against batch N-1.
+    for qid in range(30):
+        record = DepartureRecord(
+            qid=1000 + qid,
+            class_name="Small",
+            missed=False,
+            arrival=0.0,
+            departure=200.0,
+            waiting_time=0.1,
+            execution_time=1.0,
+            time_constraint=5.0,
+            max_demand=111,
+            min_demand=12,
+            operand_io_count=30,
+        )
+        pmm.on_departure(record)
+    changed = pmm.on_batch(batch(time=200.0))
+    assert changed
+    assert pmm.restarts == 1
+    assert pmm.mode == MODE_MAX
+    assert pmm.projection.count == 0
+
+
+def test_trace_records_every_batch():
+    pmm = PMM(PMMParams())
+    for index in range(3):
+        for qid in range(30):
+            pmm.on_departure(departure(index * 30 + qid))
+        pmm.on_batch(batch(time=100.0 * (index + 1)))
+    assert len(pmm.mpl_trace) == 3
+    assert len(pmm.mode_trace) == 3
+
+
+def test_describe_reflects_mode():
+    pmm = PMM(PMMParams())
+    assert "Max" in pmm.describe()
+    feed_switch_conditions(pmm)
+    pmm.on_batch(batch())
+    assert "MinMax" in pmm.describe()
+
+
+def test_reset_restores_pristine_state():
+    pmm = PMM(PMMParams())
+    feed_switch_conditions(pmm)
+    pmm.on_batch(batch())
+    pmm.reset()
+    assert pmm.mode == MODE_MAX
+    assert pmm.restarts == 0
+    assert pmm.mpl_trace == []
+    assert pmm.batches_seen == 0

@@ -1,0 +1,83 @@
+"""Unit tests for the static policies and the policy factory."""
+
+import pytest
+
+from repro.core.allocation import QueryDemand
+from repro.core.pmm import PMM
+from repro.policies import MaxPolicy, MinMaxPolicy, ProportionalPolicy, make_policy
+from repro.rtdbs.config import PMMParams
+
+
+def demands():
+    return [QueryDemand(i, float(i), 10, 100) for i in range(1, 5)]
+
+
+def test_max_policy_name_and_behaviour():
+    policy = MaxPolicy()
+    assert policy.name == "Max"
+    allocation = policy.allocate(demands(), 250)
+    assert allocation == {1: 100, 2: 100, 3: 0, 4: 0}
+
+
+def test_minmax_policy_unbounded():
+    policy = MinMaxPolicy()
+    assert policy.name == "MinMax"
+    assert policy.target_mpl is None
+    allocation = policy.allocate(demands(), 250)
+    assert all(pages > 0 for pages in allocation.values())
+
+
+def test_minmax_policy_with_limit():
+    policy = MinMaxPolicy(2)
+    assert policy.name == "MinMax-2"
+    assert policy.target_mpl == 2
+    allocation = policy.allocate(demands(), 1000)
+    assert [qid for qid, pages in allocation.items() if pages > 0] == [1, 2]
+
+
+def test_proportional_policy_names():
+    assert ProportionalPolicy().name == "Proportional"
+    assert ProportionalPolicy(4).name == "Proportional-4"
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ValueError):
+        MinMaxPolicy(0)
+    with pytest.raises(ValueError):
+        ProportionalPolicy(-1)
+
+
+def test_static_policies_ignore_feedback():
+    policy = MinMaxPolicy()
+    assert policy.on_batch(None) is False  # type: ignore[arg-type]
+    policy.on_departure(None)  # type: ignore[arg-type]
+    policy.reset()
+
+
+@pytest.mark.parametrize(
+    "spec, expected_type, expected_name",
+    [
+        ("max", MaxPolicy, "Max"),
+        ("MAX", MaxPolicy, "Max"),
+        ("minmax", MinMaxPolicy, "MinMax"),
+        ("minmax-10", MinMaxPolicy, "MinMax-10"),
+        ("proportional", ProportionalPolicy, "Proportional"),
+        ("proportional-3", ProportionalPolicy, "Proportional-3"),
+        ("pmm", PMM, "PMM"),
+    ],
+)
+def test_make_policy_specs(spec, expected_type, expected_name):
+    policy = make_policy(spec, PMMParams())
+    assert isinstance(policy, expected_type)
+    assert policy.name == expected_name
+
+
+def test_make_policy_unknown_spec():
+    with pytest.raises(ValueError):
+        make_policy("lru")
+
+
+def test_make_policy_pmm_default_params():
+    policy = make_policy("pmm")
+    assert isinstance(policy, PMM)
+    assert policy.params.sample_size == 30

@@ -1,0 +1,136 @@
+"""Unit tests for the miss-ratio projection (quadratic fit + typing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.projection import CurveType, MissRatioProjection
+
+
+def feed(projection, points):
+    for mpl, miss in points:
+        projection.observe(mpl, miss)
+
+
+def test_insufficient_data_below_three_distinct_mpls():
+    projection = MissRatioProjection()
+    feed(projection, [(5, 0.2), (5, 0.25)])
+    result = projection.project()
+    assert result.curve_type is CurveType.INSUFFICIENT
+    assert result.target is None
+
+
+def test_exact_quadratic_recovered():
+    projection = MissRatioProjection()
+    # miss = 0.01*(mpl - 10)^2 + 0.05 : bowl with minimum at 10.
+    for mpl in (4, 6, 8, 12, 14, 16):
+        projection.observe(mpl, 0.01 * (mpl - 10) ** 2 + 0.05)
+    a, b, c = projection.fit()
+    assert a == pytest.approx(0.01, abs=1e-9)
+    assert b == pytest.approx(-0.2, abs=1e-9)
+    assert c == pytest.approx(1.05, abs=1e-9)
+
+
+def test_bowl_targets_vertex():
+    projection = MissRatioProjection()
+    for mpl in (4, 8, 10, 12, 16):
+        projection.observe(mpl, 0.01 * (mpl - 9) ** 2 + 0.1)
+    result = projection.project()
+    assert result.curve_type is CurveType.BOWL
+    assert result.target == 9
+
+
+def test_decreasing_curve_probes_one_above_max_tried():
+    projection = MissRatioProjection()
+    # Strictly decreasing over the tried range: vertex beyond it.
+    for mpl, miss in [(2, 0.9), (4, 0.6), (6, 0.4)]:
+        projection.observe(mpl, miss)
+    result = projection.project()
+    assert result.curve_type is CurveType.DECREASING
+    assert result.target == 7
+
+
+def test_increasing_curve_probes_one_below_min_tried():
+    projection = MissRatioProjection()
+    for mpl, miss in [(5, 0.2), (7, 0.5), (9, 0.9)]:
+        projection.observe(mpl, miss)
+    result = projection.project()
+    assert result.curve_type is CurveType.INCREASING
+    assert result.target == 4
+
+
+def test_increasing_target_never_below_one():
+    projection = MissRatioProjection()
+    for mpl, miss in [(1, 0.2), (2, 0.5), (3, 0.9)]:
+        projection.observe(mpl, miss)
+    result = projection.project()
+    assert result.curve_type is CurveType.INCREASING
+    assert result.target == 1
+
+
+def test_hill_shape_fails_over_to_heuristic():
+    projection = MissRatioProjection()
+    # Interior maximum: a < 0 with vertex inside the tried range.
+    for mpl in (2, 5, 8, 11):
+        projection.observe(mpl, -0.01 * (mpl - 6) ** 2 + 0.5)
+    result = projection.project()
+    assert result.curve_type is CurveType.HILL
+    assert result.target is None
+
+
+def test_noisy_bowl_still_found():
+    rng = np.random.default_rng(42)
+    projection = MissRatioProjection()
+    for _ in range(200):
+        mpl = float(rng.integers(2, 20))
+        miss = 0.004 * (mpl - 11) ** 2 + 0.1 + rng.normal(0, 0.02)
+        projection.observe(mpl, float(np.clip(miss, 0.0, 1.0)))
+    result = projection.project()
+    assert result.curve_type is CurveType.BOWL
+    assert 9 <= result.target <= 13
+
+
+def test_only_running_sums_are_stored():
+    projection = MissRatioProjection()
+    for mpl in (3, 6, 9, 12):
+        projection.observe(mpl, 0.1)
+    # The paper's eight quantities (plus the tried range) are the
+    # entire state: verify the sums are what least squares needs.
+    assert projection.count == 4
+    assert projection.sum_mpl == 30
+    assert projection.sum_mpl2 == 9 + 36 + 81 + 144
+    assert projection.sum_miss == pytest.approx(0.4)
+
+
+def test_reset_discards_observations():
+    projection = MissRatioProjection()
+    feed(projection, [(2, 0.1), (4, 0.2), (6, 0.3)])
+    projection.reset()
+    assert projection.count == 0
+    assert projection.project().curve_type is CurveType.INSUFFICIENT
+
+
+def test_observation_validation():
+    projection = MissRatioProjection()
+    with pytest.raises(ValueError):
+        projection.observe(0, 0.5)
+    with pytest.raises(ValueError):
+        projection.observe(5, 1.5)
+
+
+def test_min_max_tried_tracked():
+    projection = MissRatioProjection()
+    feed(projection, [(3, 0.1), (9, 0.2), (5, 0.15)])
+    assert projection.min_mpl_tried == 3
+    assert projection.max_mpl_tried == 9
+    assert projection.distinct_mpls == 3
+
+
+def test_flat_line_is_hill_like_failure():
+    projection = MissRatioProjection()
+    # Identical miss at three distinct MPLs: a == b == 0 -> no usable
+    # direction; the projection reports HILL so the RU heuristic runs.
+    for mpl in (2, 5, 8):
+        projection.observe(mpl, 0.3)
+    result = projection.project()
+    assert result.curve_type is CurveType.HILL
+    assert result.target is None

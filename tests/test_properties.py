@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    QueryDemand,
+    allocate_max,
+    allocate_minmax,
+    allocate_proportional,
+)
+from repro.core.projection import CurveType, MissRatioProjection
+from repro.core.ru_heuristic import UtilizationLine
+from repro.rtdbs.database import TempSpace
+from repro.sim.monitor import Tally
+from repro.sim.statmath import normal_ppf
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+demand_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=60),  # min pages
+        st.integers(min_value=0, max_value=400),  # extra to max
+    ),
+    min_size=0,
+    max_size=12,
+).map(
+    lambda pairs: [
+        QueryDemand(qid=i, priority=float(i), min_pages=low, max_pages=low + extra)
+        for i, (low, extra) in enumerate(pairs)
+    ]
+)
+
+memories = st.integers(min_value=0, max_value=2000)
+
+
+# ----------------------------------------------------------------------
+# allocation invariants
+# ----------------------------------------------------------------------
+@given(demands=demand_lists, memory=memories)
+def test_max_allocation_invariants(demands, memory):
+    allocation = allocate_max(demands, memory)
+    assert set(allocation) == {d.qid for d in demands}
+    assert sum(allocation.values()) <= memory
+    for demand in demands:
+        assert allocation[demand.qid] in (0, demand.max_pages)
+
+
+@given(demands=demand_lists, memory=memories, limit=st.one_of(st.none(), st.integers(0, 15)))
+def test_minmax_allocation_invariants(demands, memory, limit):
+    allocation = allocate_minmax(demands, memory, limit)
+    assert sum(allocation.values()) <= memory
+    admitted = [d for d in demands if allocation[d.qid] > 0]
+    if limit is not None:
+        assert len(admitted) <= limit
+    partial = 0
+    for demand in demands:
+        pages = allocation[demand.qid]
+        assert pages == 0 or demand.min_pages <= pages <= demand.max_pages
+        if demand.min_pages < pages < demand.max_pages:
+            partial += 1
+    # The two-pass procedure leaves at most one in-between allocation.
+    assert partial <= 1
+
+
+@given(demands=demand_lists, memory=memories)
+def test_minmax_ed_dominance(demands, memory):
+    """A more urgent admitted query never holds less than a less
+    urgent one with an equal-or-smaller demand envelope."""
+    allocation = allocate_minmax(demands, memory)
+    admitted = [d for d in demands if allocation[d.qid] > 0]
+    for earlier, later in zip(admitted, admitted[1:]):
+        if earlier.max_pages >= later.max_pages and earlier.min_pages >= later.min_pages:
+            assert allocation[earlier.qid] >= allocation[later.qid] or (
+                allocation[earlier.qid] == earlier.max_pages
+            )
+
+
+@given(demands=demand_lists, memory=memories, limit=st.one_of(st.none(), st.integers(0, 15)))
+def test_proportional_allocation_invariants(demands, memory, limit):
+    allocation = allocate_proportional(demands, memory, limit)
+    assert sum(allocation.values()) <= memory
+    for demand in demands:
+        pages = allocation[demand.qid]
+        assert pages == 0 or demand.min_pages <= pages <= demand.max_pages
+
+
+@given(demands=demand_lists, memory=memories)
+def test_more_memory_never_hurts_admission(demands, memory):
+    fewer = allocate_minmax(demands, memory)
+    more = allocate_minmax(demands, memory + 100)
+    admitted_fewer = sum(1 for pages in fewer.values() if pages > 0)
+    admitted_more = sum(1 for pages in more.values() if pages > 0)
+    assert admitted_more >= admitted_fewer
+
+
+# ----------------------------------------------------------------------
+# projection properties
+# ----------------------------------------------------------------------
+@given(
+    coefficients=st.tuples(
+        st.floats(min_value=1e-4, max_value=0.01),
+        st.floats(min_value=2.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=0.3),
+    ),
+    mpls=st.lists(st.integers(1, 40), min_size=4, max_size=15, unique=True),
+)
+def test_projection_recovers_noiseless_quadratics(coefficients, mpls):
+    curvature, vertex, floor = coefficients
+    projection = MissRatioProjection()
+    usable = []
+    for mpl in mpls:
+        miss = curvature * (mpl - vertex) ** 2 + floor
+        if 0.0 <= miss <= 1.0:
+            projection.observe(mpl, miss)
+            usable.append(mpl)
+    if len(set(usable)) < 3:
+        return  # not enough distinct observations to fit
+    result = projection.project()
+    if result.curve_type is CurveType.BOWL:
+        assert abs(result.target - vertex) <= 1.0
+    elif result.curve_type is CurveType.DECREASING:
+        assert vertex >= max(usable) - 1
+    elif result.curve_type is CurveType.INCREASING:
+        assert vertex <= min(usable) + 1
+
+
+@given(st.lists(st.tuples(st.integers(1, 30), st.floats(0, 1)), min_size=1, max_size=60))
+def test_projection_sums_match_direct_computation(points):
+    projection = MissRatioProjection()
+    for mpl, miss in points:
+        projection.observe(mpl, miss)
+    assert projection.count == len(points)
+    assert projection.sum_mpl == sum(m for m, _ in points)
+    assert math.isclose(projection.sum_miss, sum(y for _, y in points), rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# utilisation line
+# ----------------------------------------------------------------------
+@given(
+    slope=st.floats(min_value=0.001, max_value=0.05),
+    intercept=st.floats(min_value=0.0, max_value=0.3),
+    mpls=st.lists(st.integers(1, 20), min_size=2, max_size=20, unique=True),
+)
+def test_line_fit_exact_on_linear_data(slope, intercept, mpls):
+    line = UtilizationLine()
+    for mpl in mpls:
+        line.observe(mpl, min(1.0, intercept + slope * mpl))
+    if all(intercept + slope * m <= 1.0 for m in mpls):
+        predicted = line.predict(10)
+        assert predicted is not None
+        assert math.isclose(predicted, intercept + slope * 10, rel_tol=1e-6, abs_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# tally vs numpy
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=200))
+def test_tally_matches_numpy(values):
+    import numpy as np
+
+    tally = Tally()
+    for value in values:
+        tally.record(value)
+    assert math.isclose(tally.mean(), float(np.mean(values)), rel_tol=1e-6, abs_tol=1e-6)
+    assert math.isclose(
+        tally.variance(), float(np.var(values, ddof=1)), rel_tol=1e-4, abs_tol=1e-4
+    )
+
+
+# ----------------------------------------------------------------------
+# temp space allocator
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=30),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=50)
+def test_temp_space_allocate_release_conserves(sizes, rnd):
+    space = TempSpace(0, [(0, 2000)])
+    live = []
+    for size in sizes:
+        extent = space.allocate(size)
+        if not extent.virtual:
+            live.append(extent)
+        if live and rnd.random() < 0.4:
+            space.release(live.pop(rnd.randrange(len(live))))
+    for extent in live:
+        space.release(extent)
+    assert space.free_pages == 2000
+
+
+# ----------------------------------------------------------------------
+# normal quantile symmetry
+# ----------------------------------------------------------------------
+@given(st.floats(min_value=0.01, max_value=0.99))
+def test_normal_ppf_symmetry(p):
+    assert math.isclose(normal_ppf(p), -normal_ppf(1 - p), rel_tol=1e-9, abs_tol=1e-9)

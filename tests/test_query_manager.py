@@ -1,0 +1,173 @@
+"""Unit tests for the query manager's lifecycle machinery.
+
+These drive a real :class:`RTDBSystem` at tiny scale and inspect the
+manager directly -- admission, suspension/resume, firm aborts in every
+state, and batch feedback delivery.
+"""
+
+import pytest
+
+from repro import MinMaxPolicy, RTDBSystem, baseline
+from repro.core.allocation import QueryDemand
+from repro.policies.base import MemoryPolicy
+
+
+class ScriptedPolicy(MemoryPolicy):
+    """Allocates from a mutable script: {qid: pages}; else nothing."""
+
+    name = "scripted"
+
+    def __init__(self):
+        self.script = {}
+        self.calls = 0
+
+    def allocate(self, demands, memory, now=0.0):
+        self.calls += 1
+        return {d.qid: min(self.script.get(d.qid, 0), d.max_pages) for d in demands}
+
+
+def make_system(policy=None, arrival_rate=0.03, duration=900.0, seed=13):
+    config = baseline(
+        arrival_rate=arrival_rate, scale=0.1, duration=duration, seed=seed
+    )
+    return RTDBSystem(config, policy if policy is not None else MinMaxPolicy())
+
+
+def test_policy_invoked_on_every_arrival_and_departure():
+    policy = ScriptedPolicy()
+    system = make_system(policy)
+    system.run(max_completions=5)
+    # At least one call per arrival (admissions impossible: script
+    # empty, so departures happen via firm aborts).
+    assert policy.calls >= system.source.arrivals
+    assert system.query_manager.misses == system.query_manager.departures > 0
+
+
+def test_scripted_admission_starts_query():
+    policy = ScriptedPolicy()
+    system = make_system(policy)
+    admitted = []
+
+    original_admit = system.query_manager._admit
+
+    def spy(job, pages):
+        admitted.append((job.qid, pages))
+        original_admit(job, pages)
+
+    system.query_manager._admit = spy
+    policy.script = {0: 10_000}  # give query 0 whatever it wants (capped)
+    system.run(max_completions=1)
+    assert admitted and admitted[0][0] == 0
+    assert admitted[0][1] > 0
+
+
+def test_abort_while_waiting_counts_as_miss_with_zero_execution():
+    policy = ScriptedPolicy()  # never admits anyone
+    system = make_system(policy)
+    result = system.run(max_completions=3)
+    assert result.miss_ratio == 1.0
+    for entry in result.departure_log:
+        _t, _cls, missed, _waiting, execution, _fl = entry
+        assert missed and execution == 0.0
+
+
+def test_departure_listener_receives_records():
+    system = make_system()
+    records = []
+    system.query_manager.departure_listeners.append(records.append)
+    system.run(max_completions=4)
+    assert len(records) >= 4
+    record = records[0]
+    assert record.time_constraint > 0
+    assert record.max_demand >= record.min_demand > 0
+    assert record.operand_io_count > 0
+
+
+def test_batches_delivered_every_sample_size():
+    system = make_system(arrival_rate=0.05, duration=3000.0)
+    result = system.run()
+    sample_size = system.config.pmm.sample_size
+    expected = result.served // sample_size
+    assert system.query_manager.batches_delivered == expected
+
+
+def test_mpl_monitor_tracks_admissions():
+    system = make_system(arrival_rate=0.05, duration=1500.0)
+    system.run()
+    assert system.query_manager.mpl_monitor.mean() > 0.0
+    # Present >= admitted at all times, so the time averages order too.
+    assert (
+        system.query_manager.present_monitor.mean()
+        >= system.query_manager.mpl_monitor.mean() - 1e-9
+    )
+
+
+def test_oversized_demand_capped_at_pool():
+    system = make_system()
+    # Inject a fake demand list through the policy interface to verify
+    # the manager caps demands: run briefly, then inspect job records.
+    system.run(max_completions=2)
+    for entry in system.source.departure_log:
+        assert entry is not None
+    # Direct check: every submitted job had demand_max <= pool.
+    # (Jobs are gone after departure; use a fresh system with a spy.)
+    captured = []
+    system2 = make_system()
+    original_submit = system2.query_manager.submit
+
+    def spy(job):
+        original_submit(job)
+        captured.append((job.demand_min, job.demand_max))
+
+    system2.query_manager.submit = spy
+    system2.run(max_completions=2)
+    pool = system2.buffers.total_pages
+    for demand_min, demand_max in captured:
+        assert demand_min <= demand_max <= pool
+
+
+def test_duplicate_qid_rejected():
+    system = make_system()
+    from repro.queries.base import MemoryGrant
+    from repro.rtdbs.query_manager import QueryJob
+
+    # Steal a real operator by generating one arrival manually.
+    system.source._submit_query(system.config.workload.classes[0])
+    job = system.query_manager.present_jobs[0]
+    clone = QueryJob(
+        qid=job.qid,
+        class_name=job.class_name,
+        operator=job.operator,
+        grant=MemoryGrant(0),
+        arrival=0.0,
+        deadline=1.0,
+        standalone=1.0,
+    )
+    with pytest.raises(ValueError):
+        system.query_manager.submit(clone)
+
+
+def test_reallocation_suspends_and_resumes():
+    policy = ScriptedPolicy()
+    system = make_system(policy)
+    qm = system.query_manager
+
+    # Admit query 0 generously, let it run a bit, yank its memory to
+    # zero mid-flight, then restore it.
+    policy.script = {0: 10_000}
+    system.source._submit_query(system.config.workload.classes[0])
+    qm.reallocate()
+    job = qm.present_jobs[0]
+    assert job.state == "running"
+    system.sim.run(until=system.sim.now + 0.5)
+    policy.script = {0: 0}
+    qm.reallocate()
+    assert job.grant.pages == 0
+    fluctuations_after_suspend = job.grant.fluctuations
+    assert fluctuations_after_suspend >= 1
+    policy.script = {0: 10_000}
+    qm.reallocate()
+    assert job.grant.pages > 0
+    # The query eventually completes despite the round trip.
+    system.sim.run(until=system.sim.now + 60.0)
+    assert job.state in ("done", "aborted")

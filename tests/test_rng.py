@@ -1,0 +1,87 @@
+"""Unit tests for the named random-stream registry."""
+
+import pytest
+
+from repro.sim.rng import Stream, Streams
+
+
+def test_same_name_returns_same_stream():
+    streams = Streams(1)
+    assert streams.stream("arrivals") is streams.stream("arrivals")
+
+
+def test_streams_reproducible_across_instances():
+    first = Streams(42).stream("arrivals")
+    second = Streams(42).stream("arrivals")
+    assert [first.uniform(0, 1) for _ in range(5)] == [
+        second.uniform(0, 1) for _ in range(5)
+    ]
+
+
+def test_different_names_are_independent():
+    streams = Streams(42)
+    a = [streams.stream("a").uniform(0, 1) for _ in range(5)]
+    b = [streams.stream("b").uniform(0, 1) for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = Streams(1).stream("x").uniform(0, 1)
+    b = Streams(2).stream("x").uniform(0, 1)
+    assert a != b
+
+
+def test_consuming_one_stream_leaves_others_untouched():
+    reference = Streams(7)
+    reference_value = reference.stream("b").uniform(0, 1)
+
+    mixed = Streams(7)
+    for _ in range(100):
+        mixed.stream("a").uniform(0, 1)  # heavy use of another stream
+    assert mixed.stream("b").uniform(0, 1) == reference_value
+
+
+def test_exponential_mean_roughly_right():
+    stream = Streams(3).stream("exp")
+    samples = [stream.exponential(2.0) for _ in range(4000)]
+    assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+    assert all(s >= 0 for s in samples)
+
+
+def test_uniform_respects_bounds():
+    stream = Streams(3).stream("uni")
+    for _ in range(100):
+        value = stream.uniform(2.5, 7.5)
+        assert 2.5 <= value < 7.5
+
+
+def test_integer_inclusive_bounds():
+    stream = Streams(3).stream("int")
+    values = {stream.integer(1, 3) for _ in range(200)}
+    assert values == {1, 2, 3}
+
+
+def test_choice_uniform():
+    stream = Streams(3).stream("choice")
+    items = ["a", "b", "c"]
+    seen = {stream.choice(items) for _ in range(100)}
+    assert seen == set(items)
+
+
+def test_validation_errors():
+    stream = Streams(3).stream("v")
+    with pytest.raises(ValueError):
+        stream.exponential(0.0)
+    with pytest.raises(ValueError):
+        stream.uniform(5.0, 1.0)
+    with pytest.raises(ValueError):
+        stream.integer(5, 1)
+    with pytest.raises(ValueError):
+        stream.choice([])
+
+
+def test_contains_reports_created_streams():
+    streams = Streams(1)
+    assert "x" not in streams
+    streams.stream("x")
+    assert "x" in streams

@@ -1,0 +1,96 @@
+"""Unit tests for the resource-utilisation heuristic and its line fit."""
+
+import pytest
+
+from repro.core.ru_heuristic import RUHeuristic, UtilizationLine
+
+
+def test_line_predicts_exact_linear_relationship():
+    line = UtilizationLine()
+    for mpl in (1, 2, 3, 4):
+        line.observe(mpl, 0.1 * mpl + 0.05)
+    assert line.predict(6) == pytest.approx(0.65)
+
+
+def test_line_needs_two_distinct_mpls():
+    line = UtilizationLine()
+    assert line.predict(3) is None
+    line.observe(4, 0.5)
+    assert line.predict(3) is None
+    line.observe(4, 0.6)  # same MPL: slope undefined
+    assert line.predict(3) is None
+    line.observe(8, 0.9)
+    assert line.predict(3) is not None
+
+
+def test_line_validates_inputs():
+    line = UtilizationLine()
+    with pytest.raises(ValueError):
+        line.observe(0, 0.5)
+    with pytest.raises(ValueError):
+        line.observe(3, 1.5)
+
+
+def test_formula_matches_paper():
+    # MPL_new = (UtilLow + UtilHigh) / (2 * Util) * MPL_current.
+    heuristic = RUHeuristic(util_low=0.70, util_high=0.85)
+    # Feed a perfectly linear relationship so the smoothed value equals
+    # the raw one.
+    heuristic.observe(10, 0.25)
+    heuristic.observe(20, 0.50)
+    # At MPL 10 the line gives util 0.25:
+    # target = (0.70 + 0.85) / (2 * 0.25) * 10 = 31.
+    assert heuristic.recommend(10, 0.25) == 31
+
+
+def test_recommend_reduces_mpl_when_overutilized():
+    heuristic = RUHeuristic(util_low=0.70, util_high=0.85)
+    heuristic.observe(10, 0.95)
+    heuristic.observe(20, 0.99)
+    target = heuristic.recommend(20, 0.99)
+    assert target < 20
+
+
+def test_recommend_without_line_uses_raw_reading():
+    heuristic = RUHeuristic(util_low=0.70, util_high=0.85)
+    # No observations: falls back on the current reading (0.31).
+    assert heuristic.recommend(4, 0.31) == 10  # 0.775/0.31*4 = 10.0
+
+
+def test_growth_is_capped():
+    heuristic = RUHeuristic(util_low=0.70, util_high=0.85)
+    target = heuristic.recommend(2, 0.001)  # near-idle system
+    assert target <= 2 * heuristic.MAX_GROWTH
+
+
+def test_target_at_least_one():
+    heuristic = RUHeuristic(util_low=0.70, util_high=0.85)
+    assert heuristic.recommend(1, 1.0) >= 1
+
+
+def test_in_desirable_range():
+    heuristic = RUHeuristic(util_low=0.70, util_high=0.85)
+    assert heuristic.in_desirable_range(0.75)
+    assert not heuristic.in_desirable_range(0.5)
+    assert not heuristic.in_desirable_range(0.9)
+
+
+def test_reset_clears_line():
+    heuristic = RUHeuristic(util_low=0.70, util_high=0.85)
+    heuristic.observe(5, 0.4)
+    heuristic.observe(10, 0.8)
+    heuristic.reset()
+    assert heuristic.line.count == 0
+
+
+def test_bad_range_rejected():
+    with pytest.raises(ValueError):
+        RUHeuristic(util_low=0.9, util_high=0.8)
+    with pytest.raises(ValueError):
+        RUHeuristic(util_low=0.0, util_high=0.8)
+
+
+def test_recommend_validates_mpl():
+    heuristic = RUHeuristic(util_low=0.70, util_high=0.85)
+    with pytest.raises(ValueError):
+        heuristic.recommend(0, 0.5)

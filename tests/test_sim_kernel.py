@@ -1,0 +1,243 @@
+"""Unit tests for the discrete-event kernel (events, processes, clock)."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator
+
+
+def test_timeout_fires_at_the_right_time():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield sim.timeout(5.0)
+        log.append(sim.now)
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    assert log == [5.0, 7.5]
+
+
+def test_timeout_not_triggered_before_fire_time():
+    sim = Simulator()
+    timeout = sim.timeout(3.0)
+    assert not timeout.triggered
+    sim.run(until=2.0)
+    assert not timeout.triggered
+    sim.run(until=3.0)
+    assert timeout.triggered
+
+
+def test_zero_delay_timeout_fires_immediately():
+    sim = Simulator()
+    fired = []
+    timeout = sim.timeout(0.0, value="now")
+    timeout.callbacks.append(lambda evt: fired.append(evt.value))
+    sim.run()
+    assert fired == ["now"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_event_value_delivered_to_process():
+    sim = Simulator()
+    event = sim.event()
+    received = []
+
+    def waiter():
+        value = yield event
+        received.append(value)
+
+    sim.process(waiter())
+
+    def trigger():
+        yield sim.timeout(1.0)
+        event.succeed(42)
+
+    sim.process(trigger())
+    sim.run()
+    assert received == [42]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_cancelled_event_never_fires():
+    sim = Simulator()
+    event = sim.event()
+    fired = []
+    event.callbacks.append(lambda evt: fired.append(1))
+    event.cancel()
+    event.succeed(None)  # silently ignored
+    sim.run()
+    assert fired == []
+    assert event.cancelled
+
+
+def test_event_failure_raises_in_process():
+    sim = Simulator()
+    event = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    sim.process(waiter())
+    event.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_is_event_and_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return "done"
+
+    def parent():
+        value = yield sim.process(child())
+        return value
+
+    parent_process = sim.process(parent())
+    sim.run()
+    assert parent_process.triggered
+    assert parent_process.value == "done"
+
+
+def test_interrupt_reaches_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, sim.now))
+
+    process = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(3.0)
+        process.interrupt("deadline")
+
+    sim.process(killer())
+    sim.run()
+    assert log == [("interrupted", "deadline", 3.0)]
+
+
+def test_interrupting_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    process = sim.process(quick())
+    sim.run()
+    assert not process.is_alive
+    process.interrupt("late")  # must not raise
+    sim.run()
+
+
+def test_process_exception_propagates_as_failed_event():
+    sim = Simulator()
+
+    def broken():
+        yield sim.timeout(1.0)
+        raise ValueError("model bug")
+
+    process = sim.process(broken())
+    sim.run()
+    assert process.triggered
+    assert not process.ok
+    assert isinstance(process.value, ValueError)
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def wrong():
+        yield 42
+
+    process = sim.process(wrong())
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.value, TypeError)
+
+
+def test_run_until_advances_clock_exactly_to_horizon():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    assert sim.peek() == 10.0
+
+
+def test_run_backwards_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in ("a", "b", "c"):
+        timeout = sim.timeout(1.0)
+        timeout.callbacks.append(lambda evt, t=tag: order.append(t))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_any_of_fires_on_first_child():
+    sim = Simulator()
+    slow = sim.timeout(10.0, value="slow")
+    fast = sim.timeout(2.0, value="fast")
+    results = []
+
+    def waiter():
+        event, value = yield sim.any_of([slow, fast])
+        results.append((value, sim.now))
+
+    sim.process(waiter())
+    sim.run()
+    assert results == [("fast", 2.0)]
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    first = sim.timeout(1.0)
+    second = sim.timeout(5.0)
+    when = []
+
+    def waiter():
+        yield sim.all_of([first, second])
+        when.append(sim.now)
+
+    sim.process(waiter())
+    sim.run()
+    assert when == [5.0]
+
+
+def test_peek_skips_cancelled_events():
+    sim = Simulator()
+    cancelled = sim.timeout(1.0)
+    cancelled.cancel()
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0

@@ -1,0 +1,127 @@
+"""Unit tests for the preemptive-resume priority server (the CPU)."""
+
+import pytest
+
+from repro.sim import PreemptiveServer, Simulator
+
+
+def make_server(rate=1.0):
+    sim = Simulator()
+    return sim, PreemptiveServer(sim, rate=rate, name="test")
+
+
+def test_single_request_takes_work_over_rate():
+    sim, server = make_server(rate=2.0)
+    done = []
+    request = server.submit(work=10.0, priority=1.0)
+    request.callbacks.append(lambda evt: done.append(sim.now))
+    sim.run()
+    assert done == [5.0]
+
+
+def test_zero_work_completes_immediately():
+    sim, server = make_server()
+    request = server.submit(work=0.0, priority=1.0)
+    assert request.triggered
+    sim.run()
+
+
+def test_negative_work_rejected():
+    _sim, server = make_server()
+    with pytest.raises(ValueError):
+        server.submit(work=-1.0, priority=1.0)
+
+
+def test_lower_priority_waits_for_higher():
+    sim, server = make_server()
+    finish = {}
+    first = server.submit(work=10.0, priority=1.0)
+    second = server.submit(work=5.0, priority=2.0)
+    first.callbacks.append(lambda evt: finish.setdefault("first", sim.now))
+    second.callbacks.append(lambda evt: finish.setdefault("second", sim.now))
+    sim.run()
+    assert finish == {"first": 10.0, "second": 15.0}
+
+
+def test_preemption_pauses_and_resumes_without_losing_work():
+    sim, server = make_server()
+    finish = {}
+
+    def submit_low():
+        low = server.submit(work=10.0, priority=5.0)
+        low.callbacks.append(lambda evt: finish.setdefault("low", sim.now))
+
+    def submit_high():
+        yield sim.timeout(4.0)
+        high = server.submit(work=2.0, priority=1.0)
+        high.callbacks.append(lambda evt: finish.setdefault("high", sim.now))
+
+    submit_low()
+    sim.process(submit_high())
+    sim.run()
+    # Low runs 4s (6 units left), high runs 4..6, low resumes 6..12.
+    assert finish == {"high": 6.0, "low": 12.0}
+
+
+def test_equal_priority_is_fifo():
+    sim, server = make_server()
+    order = []
+    first = server.submit(work=3.0, priority=1.0)
+    second = server.submit(work=3.0, priority=1.0)
+    first.callbacks.append(lambda evt: order.append("first"))
+    second.callbacks.append(lambda evt: order.append("second"))
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_cancel_queued_request():
+    sim, server = make_server()
+    done = []
+    server.submit(work=10.0, priority=1.0)
+    queued = server.submit(work=10.0, priority=2.0)
+    queued.callbacks.append(lambda evt: done.append("queued"))
+    server.cancel(queued)
+    sim.run()
+    assert done == []
+    assert queued.cancelled
+
+
+def test_cancel_in_service_request_advances_queue():
+    sim, server = make_server()
+    finish = {}
+    running = server.submit(work=100.0, priority=1.0)
+    waiting = server.submit(work=5.0, priority=2.0)
+    waiting.callbacks.append(lambda evt: finish.setdefault("waiting", sim.now))
+    server.cancel(running)
+    sim.run()
+    assert finish == {"waiting": 5.0}
+
+
+def test_busy_fraction_tracked():
+    sim, server = make_server()
+    server.submit(work=3.0, priority=1.0)
+
+    def later():
+        yield sim.timeout(6.0)
+        server.submit(work=2.0, priority=1.0)
+
+    sim.process(later())
+    sim.run(until=10.0)
+    # Busy 0..3 and 6..8 over a 10s horizon.
+    assert server.busy.mean() == pytest.approx(0.5)
+
+
+def test_rate_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PreemptiveServer(sim, rate=0.0)
+
+
+def test_queue_length_excludes_in_service():
+    sim, server = make_server()
+    server.submit(work=10.0, priority=1.0)
+    server.submit(work=10.0, priority=2.0)
+    server.submit(work=10.0, priority=3.0)
+    assert server.queue_length == 2
+    sim.run()
+    assert server.queue_length == 0

@@ -1,0 +1,191 @@
+"""Unit tests for the memory-adaptive external sort operator."""
+
+import pytest
+
+from repro.queries.base import MemoryGrant, OperatorContext
+from repro.queries.requests import READ, WRITE, AllocationWait, CPUBurst, DiskAccess
+from repro.queries.sort import ExternalSortOperator
+from repro.rtdbs.config import CPUCosts
+from repro.rtdbs.database import Relation, TempFile
+
+
+class FakeTempAllocator:
+    def __init__(self):
+        self.allocated = []
+        self.released = []
+
+    def allocate(self, disk, pages):
+        temp = TempFile(disk, 20_000, pages)
+        self.allocated.append(temp)
+        return temp
+
+    def release(self, temp):
+        self.released.append(temp)
+
+
+def make_sort(pages=120, grant_pages=None, tuples_per_page=40):
+    allocator = FakeTempAllocator()
+    context = OperatorContext(
+        tuples_per_page=tuples_per_page,
+        block_size=6,
+        costs=CPUCosts(),
+        allocate_temp=allocator.allocate,
+        release_temp=allocator.release,
+    )
+    relation = Relation(0, 0, 0, pages, 1000)
+    grant = MemoryGrant(0)
+    operator = ExternalSortOperator(context, grant, relation)
+    grant.set(operator.max_pages if grant_pages is None else grant_pages)
+    return operator, grant, allocator
+
+
+def drain(operator):
+    return list(operator.run())
+
+
+def io_pages(trace, kind):
+    return sum(r.npages for r in trace if isinstance(r, DiskAccess) and r.kind == kind)
+
+
+# ----------------------------------------------------------------------
+# demand envelope
+# ----------------------------------------------------------------------
+def test_max_demand_is_relation_size():
+    operator, _grant, _alloc = make_sort(pages=120)
+    assert operator.max_pages == 120  # "the size of its operand relation"
+
+
+def test_min_demand_is_stream_friendly_two_pass():
+    operator, _grant, _alloc = make_sort(pages=120)
+    # Advertised minimum: max(sqrt(R)+1, R/10+2) -- a two-pass
+    # workspace whose merge stays within the disk's stream capacity.
+    # The absolute floor capability remains 3 pages.
+    assert operator.min_pages == 14
+    assert operator.MIN_PAGES == 3
+
+
+# ----------------------------------------------------------------------
+# in-memory sort at maximum allocation
+# ----------------------------------------------------------------------
+def test_max_memory_sort_has_no_temp_io():
+    operator, _grant, _alloc = make_sort()
+    trace = drain(operator)
+    assert io_pages(trace, WRITE) == 0
+    assert io_pages(trace, READ) == 120
+    assert operator.merge_passes == 0
+
+
+def test_max_memory_sort_cpu_is_nlogn():
+    operator, _grant, _alloc = make_sort(pages=120, tuples_per_page=40)
+    trace = drain(operator)
+    cpu = sum(r.instructions for r in trace if isinstance(r, CPUBurst))
+    tuples = 120 * 40
+    costs = CPUCosts()
+    lower = tuples * costs.sort_copy + costs.initiate_query + costs.terminate_query
+    assert cpu > lower  # includes log-depth comparisons
+    assert cpu < lower + tuples * 20 * costs.key_compare  # sane depth bound
+
+
+# ----------------------------------------------------------------------
+# external sort at small allocations
+# ----------------------------------------------------------------------
+def test_small_memory_sort_writes_runs_and_merges():
+    operator, _grant, _alloc = make_sort(pages=120, grant_pages=10)
+    trace = drain(operator)
+    # Run formation writes ~everything once; merging may repeat.
+    assert io_pages(trace, WRITE) >= 100
+    assert operator.merge_passes >= 1
+
+
+def test_merge_reads_are_single_pages():
+    operator, _grant, _alloc = make_sort(pages=120, grant_pages=10)
+    trace = drain(operator)
+    merge_reads = [
+        r
+        for r in trace
+        if isinstance(r, DiskAccess) and r.kind == READ and not r.sequential
+    ]
+    assert merge_reads, "expected page-at-a-time merge reads"
+    assert all(r.npages == 1 for r in merge_reads)
+
+
+def test_absolute_floor_three_pages_still_completes():
+    operator, _grant, _alloc = make_sort(pages=60, grant_pages=3)
+    trace = drain(operator)
+    # Binary merges: multiple passes expected but it must terminate.
+    assert operator.merge_passes >= 2
+    assert io_pages(trace, WRITE) >= 60
+
+
+def test_more_memory_means_fewer_merge_passes():
+    few, _g1, _a1 = make_sort(pages=240, grant_pages=4)
+    drain(few)
+    many, _g2, _a2 = make_sort(pages=240, grant_pages=40)
+    drain(many)
+    assert many.merge_passes <= few.merge_passes
+
+
+def test_run_lengths_about_twice_workspace():
+    operator, _grant, _alloc = make_sort(pages=240, grant_pages=12)
+    lengths = []
+    for request in operator.run():
+        if operator.runs:
+            lengths = [run.pages for run in operator.runs]
+        if isinstance(request, DiskAccess) and not request.sequential:
+            break  # merge phase started: formation runs were captured
+    assert lengths, "expected runs to exist before merging"
+    # Replacement selection: expected length 2w (the tail run may be
+    # shorter, block rounding may pad slightly).
+    assert max(lengths) <= 2 * 12 + 6
+    assert max(lengths) >= 12
+
+
+def test_suspension_mid_formation_flushes_and_waits():
+    operator, grant, _alloc = make_sort(pages=120, grant_pages=10)
+    steps = operator.run()
+    for _ in range(8):
+        next(steps)
+    grant.set(0)
+    saw_wait = False
+    for request in steps:
+        if isinstance(request, AllocationWait):
+            saw_wait = True
+            grant.set(10)
+        elif saw_wait:
+            break
+    assert saw_wait
+
+
+def test_shrink_mid_merge_splits_step():
+    operator, grant, _alloc = make_sort(pages=240, grant_pages=30)
+    steps = operator.run()
+    in_merge = False
+    for request in steps:
+        if isinstance(request, DiskAccess) and not request.sequential:
+            in_merge = True
+            break
+    assert in_merge
+    grant.set(3)  # fan-in collapses below the step's -> it must split
+    remaining = list(steps)
+    assert remaining  # it still completes
+    assert operator.merge_passes >= 2
+
+
+def test_sort_releases_temp():
+    operator, _grant, allocator = make_sort(pages=120, grant_pages=10)
+    drain(operator)
+    operator.release_resources()
+    assert len(allocator.released) == len(allocator.allocated)
+
+
+def test_empty_relation_rejected():
+    allocator = FakeTempAllocator()
+    context = OperatorContext(
+        tuples_per_page=40,
+        block_size=6,
+        costs=CPUCosts(),
+        allocate_temp=allocator.allocate,
+        release_temp=allocator.release,
+    )
+    with pytest.raises(ValueError):
+        ExternalSortOperator(context, MemoryGrant(3), Relation(0, 0, 0, 0, 0))

@@ -1,0 +1,92 @@
+"""Unit tests for the workload Source: arrivals, deadlines, stats."""
+
+import pytest
+
+from repro import RTDBSystem, baseline, multiclass, workload_changes
+
+
+def test_poisson_arrival_rate_roughly_matches():
+    config = baseline(arrival_rate=0.05, scale=0.1, duration=4000.0, seed=21)
+    system = RTDBSystem(config, "minmax")
+    system.run()
+    expected = 0.5 * 4000.0  # scaled rate x horizon
+    assert system.source.arrivals == pytest.approx(expected, rel=0.15)
+
+
+def test_deadlines_use_slack_times_standalone():
+    config = baseline(arrival_rate=0.02, scale=0.1, duration=500.0, seed=3)
+    system = RTDBSystem(config, "minmax")
+    captured = []
+    original = system.query_manager.submit
+
+    def spy(job):
+        captured.append(job)
+        original(job)
+
+    system.query_manager.submit = spy
+    system.run()
+    assert captured
+    low, high = config.workload.classes[0].slack_range
+    for job in captured:
+        slack = (job.deadline - job.arrival) / job.standalone
+        assert low - 1e-9 <= slack <= high + 1e-9
+
+
+def test_inner_relation_is_smaller_of_the_pair():
+    config = baseline(arrival_rate=0.02, scale=0.1, duration=800.0, seed=3)
+    system = RTDBSystem(config, "minmax")
+    captured = []
+    original = system.query_manager.submit
+    system.query_manager.submit = lambda job: (captured.append(job), original(job))
+    system.run()
+    for job in captured:
+        operator = job.operator
+        assert operator.inner.pages <= operator.outer.pages
+
+
+def test_set_rate_disables_and_reenables_class():
+    config = workload_changes(scale=0.1, seed=5, duration=600.0)
+    system = RTDBSystem(config, "minmax")
+    system.source.set_rate("Small", 0.0)
+    system.schedule(300.0, lambda: system.source.set_rate("Small", 1.0))
+    result = system.run(duration=600.0)
+    small_times = [entry[0] for entry in result.departure_log if entry[1] == "Small"]
+    # No Small departures early on (their arrivals only start at 300).
+    assert all(time >= 300.0 for time in small_times)
+
+
+def test_set_rate_unknown_class_rejected():
+    config = baseline(arrival_rate=0.05, scale=0.1, duration=100.0)
+    system = RTDBSystem(config, "minmax")
+    with pytest.raises(KeyError):
+        system.source.set_rate("Gigantic", 1.0)
+
+
+def test_per_class_stats_partition_departures():
+    config = multiclass(small_rate=0.3, medium_rate=0.05, scale=0.1, duration=800.0, seed=5)
+    system = RTDBSystem(config, "minmax")
+    result = system.run()
+    total = sum(stats.served for stats in result.per_class.values())
+    assert total == result.served
+
+
+def test_reset_statistics_clears_but_keeps_running():
+    config = baseline(arrival_rate=0.05, scale=0.1, duration=400.0, seed=5)
+    system = RTDBSystem(config, "minmax")
+    system.schedule(200.0, system.source.reset_statistics)
+    result = system.run()
+    assert all(entry[0] >= 200.0 for entry in result.departure_log)
+    assert result.served > 0
+
+
+def test_temp_placement_round_robin_spreads_disks():
+    config = baseline(arrival_rate=0.02, scale=0.1, duration=1200.0, seed=3).with_overrides(
+        temp_placement="round_robin"
+    )
+    system = RTDBSystem(config, "minmax")
+    captured = []
+    original = system.query_manager.submit
+    system.query_manager.submit = lambda job: (captured.append(job), original(job))
+    system.run()
+    temp_disks = {job.operator.temp_disk for job in captured}
+    assert len(temp_disks) > 3  # spread over the farm, not one disk

@@ -1,0 +1,134 @@
+"""Unit tests for the large-sample tests, validated against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.stats_tests import (
+    MIN_SAMPLES,
+    mean_difference_significant,
+    mean_significantly_positive,
+)
+from repro.sim.monitor import Tally
+from repro.sim.statmath import normal_ppf, t_ppf
+
+
+def tally_of(values):
+    tally = Tally()
+    for value in values:
+        tally.record(float(value))
+    return tally
+
+
+# ----------------------------------------------------------------------
+# quantile helpers vs scipy
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("p", [0.005, 0.025, 0.05, 0.5, 0.9, 0.95, 0.975, 0.995])
+def test_normal_ppf_matches_scipy(p):
+    assert normal_ppf(p) == pytest.approx(scipy_stats.norm.ppf(p), abs=1e-6)
+
+
+@pytest.mark.parametrize("p", [0.9, 0.95, 0.975])
+@pytest.mark.parametrize("dof", [3, 5, 10, 30, 100])
+def test_t_ppf_close_to_scipy(p, dof):
+    assert t_ppf(p, dof) == pytest.approx(scipy_stats.t.ppf(p, dof), rel=5e-3)
+
+
+def test_normal_ppf_domain():
+    with pytest.raises(ValueError):
+        normal_ppf(0.0)
+    with pytest.raises(ValueError):
+        normal_ppf(1.0)
+
+
+def test_t_ppf_rejects_bad_dof():
+    with pytest.raises(ValueError):
+        t_ppf(0.9, 0)
+
+
+# ----------------------------------------------------------------------
+# one-sided positive-mean test
+# ----------------------------------------------------------------------
+def test_clearly_positive_mean_detected():
+    rng = np.random.default_rng(1)
+    sample = rng.normal(5.0, 1.0, size=100)
+    assert mean_significantly_positive(tally_of(sample), 0.95)
+
+
+def test_zero_mean_not_flagged():
+    rng = np.random.default_rng(2)
+    sample = rng.normal(0.0, 1.0, size=200)
+    assert not mean_significantly_positive(tally_of(sample), 0.95)
+
+
+def test_all_zero_waiting_times_not_flagged():
+    # The MinMax-switch condition 3 with no memory contention at all.
+    assert not mean_significantly_positive(tally_of([0.0] * 50), 0.95)
+
+
+def test_small_samples_conservative():
+    sample = [10.0] * (MIN_SAMPLES - 1)
+    assert not mean_significantly_positive(tally_of(sample), 0.95)
+
+
+def test_constant_positive_sample_flagged():
+    sample = [3.0] * (MIN_SAMPLES + 5)
+    assert mean_significantly_positive(tally_of(sample), 0.95)
+
+
+def test_agrees_with_scipy_one_sample_t():
+    rng = np.random.default_rng(3)
+    for mean in (0.05, 0.2, 0.5):
+        sample = rng.normal(mean, 1.0, size=60)
+        ours = mean_significantly_positive(tally_of(sample), 0.95)
+        t_stat, p_value = scipy_stats.ttest_1samp(sample, 0.0, alternative="greater")
+        theirs = p_value < 0.05
+        assert ours == theirs, f"disagreement at mean={mean}"
+
+
+def test_confidence_validation():
+    with pytest.raises(ValueError):
+        mean_significantly_positive(tally_of([1.0] * 30), 0.3)
+
+
+# ----------------------------------------------------------------------
+# two-sample difference test
+# ----------------------------------------------------------------------
+def test_identical_distributions_not_flagged():
+    rng = np.random.default_rng(4)
+    a = tally_of(rng.normal(10, 2, size=100))
+    b = tally_of(rng.normal(10, 2, size=100))
+    assert not mean_difference_significant(a, b, 0.99)
+
+
+def test_shifted_distributions_flagged():
+    rng = np.random.default_rng(5)
+    a = tally_of(rng.normal(10, 1, size=100))
+    b = tally_of(rng.normal(14, 1, size=100))
+    assert mean_difference_significant(a, b, 0.99)
+
+
+def test_two_sample_small_samples_conservative():
+    a = tally_of([1.0] * 5)
+    b = tally_of([100.0] * 5)
+    assert not mean_difference_significant(a, b, 0.99)
+
+
+def test_two_sample_agrees_with_scipy_z():
+    rng = np.random.default_rng(6)
+    for shift in (0.1, 0.4, 1.0):
+        a_values = rng.normal(5.0, 1.5, size=80)
+        b_values = rng.normal(5.0 + shift, 1.5, size=80)
+        ours = mean_difference_significant(tally_of(a_values), tally_of(b_values), 0.99)
+        z = (a_values.mean() - b_values.mean()) / np.sqrt(
+            a_values.var(ddof=1) / 80 + b_values.var(ddof=1) / 80
+        )
+        theirs = abs(z) > scipy_stats.norm.ppf(0.995)
+        assert ours == theirs, f"disagreement at shift={shift}"
+
+
+def test_workload_change_direction_symmetric():
+    small = tally_of([100.0] * 40)
+    large = tally_of([1000.0] * 40)
+    assert mean_difference_significant(small, large, 0.99)
+    assert mean_difference_significant(large, small, 0.99)
