@@ -40,7 +40,10 @@ def make_context() -> OperatorContext:
 def summarise(trace) -> str:
     reads = sum(r.npages for r in trace if isinstance(r, DiskAccess) and r.kind == READ)
     writes = sum(r.npages for r in trace if isinstance(r, DiskAccess) and r.kind == WRITE)
+    # CPU = stand-alone bursts plus the per-block bursts batched onto
+    # disk accesses (DiskAccess.cpu).
     cpu = sum(r.instructions for r in trace if isinstance(r, CPUBurst))
+    cpu += sum(r.cpu for r in trace if isinstance(r, DiskAccess))
     return f"pages read={reads:5d}  pages written={writes:5d}  CPU instructions={cpu/1e6:6.2f}M"
 
 

@@ -86,6 +86,9 @@ class Operator(abc.ABC):
         self.context = context
         self.grant = grant
         self._temp_files: List[TempFile] = []
+        #: Per-block CPU work accumulated to ride on the next disk
+        #: access (see :class:`repro.queries.requests.DiskAccess.cpu`).
+        self._cpu_carry = 0.0
 
     # -- demand envelope ------------------------------------------------
     @property
@@ -131,6 +134,28 @@ class Operator(abc.ABC):
         self._temp_files.clear()
 
     # -- helpers shared by the concrete operators -------------------------
+    def _carry_cpu(self, instructions: float) -> None:
+        """Accumulate a processing burst to attach to the next access."""
+        self._cpu_carry += instructions
+
+    def _take_carry(self) -> float:
+        """Claim the accumulated burst (for a DiskAccess being built)."""
+        carry = self._cpu_carry
+        self._cpu_carry = 0.0
+        return carry
+
+    def _flush_cpu(self) -> Generator["Request", None, None]:
+        """Emit any carried CPU work as a stand-alone burst.
+
+        Called at phase boundaries and before suspending on an
+        :class:`AllocationWait`, so no work is held across a suspension
+        and request traces stay complete.
+        """
+        if self._cpu_carry > 0.0:
+            burst = CPUBurst(self._cpu_carry)
+            self._cpu_carry = 0.0
+            yield burst
+
     @staticmethod
     def _log2_ceil(value: float) -> int:
         """``ceil(log2(value))`` with a floor of 1 (comparison depth)."""

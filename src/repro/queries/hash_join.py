@@ -63,6 +63,10 @@ class HashJoinOperator(Operator):
         self.partition_ht_pages = max(
             1, math.ceil(self.fudge * inner.pages / self.partitions)
         )
+        # The demand envelope is fixed at construction; precompute it
+        # (these properties sit on the per-block scheduling path).
+        self._min_pages = max(self.partitions + 1, self.partition_ht_pages + 2)
+        self._max_pages = math.ceil(self.fudge * inner.pages) + 1
 
         # --- dynamic state -------------------------------------------
         #: Currently expanded partitions.
@@ -89,12 +93,12 @@ class HashJoinOperator(Operator):
     def min_pages(self) -> int:
         """Two-pass minimum: max of split-phase and join-phase needs,
         ~ sqrt(F * ||R||) + 1 as in the paper (Section 3.2)."""
-        return max(self.partitions + 1, self.partition_ht_pages + 2)
+        return self._min_pages
 
     @property
     def max_pages(self) -> int:
         """One-pass maximum: F * ||R|| plus one I/O buffer."""
-        return math.ceil(self.fudge * self.inner.pages) + 1
+        return self._max_pages
 
     @property
     def operand_pages(self) -> int:
@@ -105,7 +109,12 @@ class HashJoinOperator(Operator):
     # memory arithmetic
     # ------------------------------------------------------------------
     def _need(self, expanded: int, r_mem: float) -> int:
-        """Pages required with ``expanded`` partitions holding ``r_mem``."""
+        """Pages required with ``expanded`` partitions holding ``r_mem``.
+
+        KEEP IN SYNC: the build/probe block loops inline this formula
+        (and the ``_effective_grant`` clamp) for speed -- change the
+        memory model here and in both phase loops together.
+        """
         return (
             math.ceil(self.fudge * r_mem)
             + (self.partitions - expanded)
@@ -152,7 +161,10 @@ class HashJoinOperator(Operator):
     def _write(self, pages: int) -> DiskAccess:
         self.pages_written += pages
         self.io_count += 1
-        return DiskAccess(WRITE, self.temp_disk, self._temp_address(pages), pages)
+        return DiskAccess(
+            WRITE, self.temp_disk, self._temp_address(pages), pages,
+            cpu=self._take_carry(),
+        )
 
     def _read_temp(self, pages: int) -> DiskAccess:
         temp = self._ensure_temp()
@@ -162,7 +174,9 @@ class HashJoinOperator(Operator):
         self._temp_cursor += pages
         self.pages_read += pages
         self.io_count += 1
-        return DiskAccess(READ, self.temp_disk, address, pages)
+        return DiskAccess(
+            READ, self.temp_disk, address, pages, cpu=self._take_carry()
+        )
 
     # ------------------------------------------------------------------
     # adaptation
@@ -207,7 +221,7 @@ class HashJoinOperator(Operator):
                 chunk = min(block, max(1, math.ceil(pages_left)))
                 chunk = min(chunk, math.ceil(pages_left))
                 yield self._read_temp(chunk)
-                yield CPUBurst(chunk * tuples_per_page * costs.hash_insert)
+                self._carry_cpu(chunk * tuples_per_page * costs.hash_insert)
                 pages_left -= chunk
             self.r_spooled -= share
             self.r_mem += share
@@ -224,74 +238,109 @@ class HashJoinOperator(Operator):
         yield from self._build_phase()
         yield from self._probe_phase()
         yield from self._cleanup_phase()
+        yield from self._flush_cpu()
         yield CPUBurst(costs.terminate_query)
 
     def _build_phase(self) -> Generator[Request, None, None]:
         costs = self.context.costs
         block = self.context.block_size
         tuples_per_page = self.context.tuples_per_page
+        # Per-page CPU costs, hoisted off the per-block loop.
+        insert_cost = tuples_per_page * costs.hash_insert
+        output_cost = tuples_per_page * costs.hash_output
+        inner = self.inner
+        grant_channel = self.grant
+        partitions = self.partitions
+        min_pages = self._min_pages
+        fudge = self.fudge
+        ceil = math.ceil
         r_read = 0
-        while r_read < self.inner.pages:
-            if self.grant.pages == 0:
+        while r_read < inner.pages:
+            grant = grant_channel.pages
+            if grant == 0:
+                yield from self._flush_cpu()
                 yield from self._spool_everything()
                 yield AllocationWait()
                 continue
-            yield from self._contract_to_fit(self._effective_grant())
-            pages = min(block, self.inner.pages - r_read)
+            if grant < min_pages:
+                grant = min_pages  # inlined _effective_grant()
+            # Inlined _need() > grant check (late contraction trigger).
+            if self.expanded > 0 and (
+                ceil(fudge * self.r_mem) + (partitions - self.expanded) + 1 > grant
+            ):
+                yield from self._contract_to_fit(grant)
+            pages = min(block, inner.pages - r_read)
             self.pages_read += pages
             self.io_count += 1
             yield DiskAccess(
-                READ, self.inner.disk, self.inner.start_page + r_read, pages, cacheable=True
+                READ, inner.disk, inner.start_page + r_read, pages,
+                cacheable=True, cpu=self._take_carry(),
             )
-            tuples = pages * tuples_per_page
-            expanded_fraction = self.expanded / self.partitions
-            yield CPUBurst(
-                tuples * expanded_fraction * costs.hash_insert
-                + tuples * (1.0 - expanded_fraction) * costs.hash_output
+            expanded_fraction = self.expanded / partitions
+            contracted_fraction = 1.0 - expanded_fraction
+            self._cpu_carry += pages * (
+                expanded_fraction * insert_cost + contracted_fraction * output_cost
             )
             self.r_mem += pages * expanded_fraction
-            spooled = pages * (1.0 - expanded_fraction)
+            spooled = pages * contracted_fraction
             self.r_spooled += spooled
             self._pending_spool += spooled
-            yield from self._flush_spool()
+            if self._pending_spool >= block:
+                yield from self._flush_spool()
             r_read += pages
-        yield from self._flush_spool(force=True)
+        if self._pending_spool > 1e-9:
+            yield from self._flush_spool(force=True)
 
     def _probe_phase(self) -> Generator[Request, None, None]:
         costs = self.context.costs
         block = self.context.block_size
         tuples_per_page = self.context.tuples_per_page
+        # Per-page CPU costs, hoisted off the per-block loop.
+        probe_cost = tuples_per_page * (
+            costs.hash_probe + self.selectivity * costs.hash_output
+        )
+        output_cost = tuples_per_page * costs.hash_output
+        outer = self.outer
+        grant_channel = self.grant
+        partitions = self.partitions
+        min_pages = self._min_pages
+        fudge = self.fudge
+        ceil = math.ceil
         s_read = 0
-        while s_read < self.outer.pages:
-            if self.grant.pages == 0:
+        while s_read < outer.pages:
+            grant = grant_channel.pages
+            if grant == 0:
+                yield from self._flush_cpu()
                 yield from self._spool_everything()
                 yield AllocationWait()
                 continue
-            grant = self._effective_grant()
-            if self._need(self.expanded, self.r_mem) > grant:
+            if grant < min_pages:
+                grant = min_pages  # inlined _effective_grant()
+            # Inlined _need() > grant check (contract vs. expand).
+            if ceil(fudge * self.r_mem) + (partitions - self.expanded) + 1 > grant:
                 yield from self._contract_to_fit(grant)
-            else:
+            elif self.expanded < partitions and self.r_spooled > 0:
                 yield from self._expand_if_possible()
-            pages = min(block, self.outer.pages - s_read)
+            pages = min(block, outer.pages - s_read)
             self.pages_read += pages
             self.io_count += 1
             yield DiskAccess(
-                READ, self.outer.disk, self.outer.start_page + s_read, pages, cacheable=True
+                READ, outer.disk, outer.start_page + s_read, pages,
+                cacheable=True, cpu=self._take_carry(),
             )
-            tuples = pages * tuples_per_page
-            expanded_fraction = self.expanded / self.partitions
-            yield CPUBurst(
-                tuples
-                * expanded_fraction
-                * (costs.hash_probe + self.selectivity * costs.hash_output)
-                + tuples * (1.0 - expanded_fraction) * costs.hash_output
+            expanded_fraction = self.expanded / partitions
+            contracted_fraction = 1.0 - expanded_fraction
+            self._cpu_carry += pages * (
+                expanded_fraction * probe_cost + contracted_fraction * output_cost
             )
-            spooled = pages * (1.0 - expanded_fraction)
+            spooled = pages * contracted_fraction
             self.s_spooled += spooled
             self._pending_spool += spooled
-            yield from self._flush_spool()
+            if self._pending_spool >= block:
+                yield from self._flush_spool()
             s_read += pages
-        yield from self._flush_spool(force=True)
+        if self._pending_spool > 1e-9:
+            yield from self._flush_spool(force=True)
 
     def _cleanup_phase(self) -> Generator[Request, None, None]:
         """Join the spooled partition pairs, one partition at a time."""
@@ -313,6 +362,7 @@ class HashJoinOperator(Operator):
                 if self.grant.pages == 0:
                     # Nothing dirty mid-cleanup: discard progress on this
                     # partition and redo it once memory returns.
+                    yield from self._flush_cpu()
                     yield AllocationWait()
                     continue
                 yield from self._scan_temp(
@@ -335,7 +385,7 @@ class HashJoinOperator(Operator):
         while pages_left > 1e-9:
             chunk = min(block, math.ceil(pages_left))
             yield self._read_temp(chunk)
-            yield CPUBurst(
+            self._carry_cpu(
                 min(chunk, pages_left) * tuples_per_page * per_tuple_cost
             )
             pages_left -= chunk

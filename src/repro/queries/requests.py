@@ -4,29 +4,34 @@ An operator is a generator producing a stream of these requests; the
 query manager executes each one against the simulated CPU and disks
 (charging the Table 4 ``start an I/O`` CPU cost before every disk
 access) and resumes the operator when it completes.
+
+These are deliberately plain ``__slots__`` classes rather than frozen
+dataclasses: tens of thousands are created per simulated second, and
+``object.__setattr__``-based frozen initialisation dominated operator
+CPU time in profiles.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 #: Disk access kinds (mirror :mod:`repro.rtdbs.disk`).
 READ = "read"
 WRITE = "write"
 
 
-@dataclass(frozen=True)
 class CPUBurst:
     """Consume CPU: ``instructions`` at the query's ED priority."""
 
-    instructions: float
+    __slots__ = ("instructions",)
 
-    def __post_init__(self):
-        if self.instructions < 0:
-            raise ValueError(f"negative CPU burst: {self.instructions}")
+    def __init__(self, instructions: float):
+        if instructions < 0:
+            raise ValueError(f"negative CPU burst: {instructions}")
+        self.instructions = instructions
+
+    def __repr__(self) -> str:
+        return f"CPUBurst(instructions={self.instructions!r})"
 
 
-@dataclass(frozen=True)
 class DiskAccess:
     """One disk access of ``npages`` starting at ``start_page``.
 
@@ -36,24 +41,56 @@ class DiskAccess:
     (base relation) reads, which may be served by -- and are retained
     in -- the buffer pool's unreserved LRU region; temp-file traffic is
     transient and bypasses it.
+
+    ``cpu`` carries the instructions of the per-block processing burst
+    that precedes this access (hashing/sorting the previous block).
+    The query manager charges it in the same CPU submission as the
+    Table 4 "start an I/O" cost, so each page-block costs the operator
+    one scheduling decision instead of two -- total CPU work and the
+    CPU-before-disk ordering are unchanged.
     """
 
-    kind: str  # READ or WRITE
-    disk: int
-    start_page: int
-    npages: int
-    sequential: bool = True
-    cacheable: bool = False
+    __slots__ = ("kind", "disk", "start_page", "npages", "sequential", "cacheable", "cpu")
 
-    def __post_init__(self):
-        if self.kind not in (READ, WRITE):
-            raise ValueError(f"unknown disk access kind {self.kind!r}")
-        if self.npages <= 0:
-            raise ValueError(f"disk access needs at least one page, got {self.npages}")
-        if self.start_page < 0:
-            raise ValueError(f"negative start page: {self.start_page}")
+    def __init__(
+        self,
+        kind: str,
+        disk: int,
+        start_page: int,
+        npages: int,
+        sequential: bool = True,
+        cacheable: bool = False,
+        cpu: float = 0.0,
+    ):
+        if kind != READ and kind != WRITE:
+            raise ValueError(f"unknown disk access kind {kind!r}")
+        if npages <= 0:
+            raise ValueError(f"disk access needs at least one page, got {npages}")
+        if start_page < 0:
+            raise ValueError(f"negative start page: {start_page}")
+        if cpu < 0:
+            raise ValueError(f"negative attached CPU burst: {cpu}")
+        self.kind = kind
+        self.disk = disk
+        self.start_page = start_page
+        self.npages = npages
+        self.sequential = sequential
+        self.cacheable = cacheable
+        self.cpu = cpu
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskAccess(kind={self.kind!r}, disk={self.disk!r}, "
+            f"start_page={self.start_page!r}, npages={self.npages!r}, "
+            f"sequential={self.sequential!r}, cacheable={self.cacheable!r}, "
+            f"cpu={self.cpu!r})"
+        )
 
 
-@dataclass(frozen=True)
 class AllocationWait:
     """The operator holds zero memory; sleep until the grant changes."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "AllocationWait()"

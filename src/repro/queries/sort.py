@@ -64,6 +64,11 @@ class ExternalSortOperator(Operator):
             raise ValueError("relation must be non-empty")
         self.relation = relation
         self.temp_disk = relation.disk if temp_disk is None else temp_disk
+        # Fixed demand envelope, precomputed off the per-block path.
+        pages = relation.pages
+        two_pass = math.ceil(math.sqrt(pages)) + 1
+        stream_friendly = math.ceil(pages / (2 * self.STREAM_FRIENDLY_FANIN)) + 2
+        self._min_pages = max(self.MIN_PAGES, two_pass, stream_friendly)
 
         # --- dynamic state -------------------------------------------
         self.runs: List[_Run] = []
@@ -97,10 +102,7 @@ class ExternalSortOperator(Operator):
         the sort's execution time exceeds any feasible slack, so
         admitting it with less memory is never useful (see DESIGN.md).
         """
-        pages = self.relation.pages
-        two_pass = math.ceil(math.sqrt(pages)) + 1
-        stream_friendly = math.ceil(pages / (2 * self.STREAM_FRIENDLY_FANIN)) + 2
-        return max(self.MIN_PAGES, two_pass, stream_friendly)
+        return self._min_pages
 
     @property
     def max_pages(self) -> int:
@@ -143,6 +145,7 @@ class ExternalSortOperator(Operator):
         in_memory = yield from self._run_formation()
         if not in_memory:
             yield from self._merge_phase()
+        yield from self._flush_cpu()
         yield CPUBurst(costs.terminate_query)
 
     # ------------------------------------------------------------------
@@ -173,6 +176,7 @@ class ExternalSortOperator(Operator):
             if self.grant.pages == 0:
                 # Suspension: flush the workspace as (the tail of) the
                 # current run, then sleep.
+                yield from self._flush_cpu()
                 emit = workspace_fill
                 workspace_fill = 0.0
                 result = yield from self._emit_run_pages(
@@ -195,11 +199,12 @@ class ExternalSortOperator(Operator):
             self.pages_read += pages
             self.io_count += 1
             yield DiskAccess(
-                READ, relation.disk, relation.start_page + read, pages, cacheable=True
+                READ, relation.disk, relation.start_page + read, pages,
+                cacheable=True, cpu=self._take_carry(),
             )
             tuples = pages * tuples_per_page
             depth = self._log2_ceil(max(2.0, workspace * tuples_per_page))
-            yield CPUBurst(tuples * (depth * costs.key_compare + costs.sort_copy))
+            self._carry_cpu(tuples * (depth * costs.key_compare + costs.sort_copy))
             read += pages
             workspace_fill += pages
             overflow = workspace_fill - workspace
@@ -221,7 +226,8 @@ class ExternalSortOperator(Operator):
             # comparisons were already charged per block above; what
             # remains is the output pass copying tuples to the result.
             total_tuples = relation.pages * tuples_per_page
-            yield CPUBurst(total_tuples * self.context.costs.sort_copy)
+            self._carry_cpu(total_tuples * self.context.costs.sort_copy)
+            yield from self._flush_cpu()
             return True
 
         # Flush whatever is left in the workspace as the final run tail.
@@ -259,7 +265,9 @@ class ExternalSortOperator(Operator):
         address = temp.start_page + (self.pages_written % max(1, temp.pages - pages))
         self.pages_written += pages
         self.io_count += 1
-        return DiskAccess(WRITE, self.temp_disk, address, pages)
+        return DiskAccess(
+            WRITE, self.temp_disk, address, pages, cpu=self._take_carry()
+        )
 
     # ------------------------------------------------------------------
     # phase 2: adaptive merging
@@ -271,6 +279,7 @@ class ExternalSortOperator(Operator):
 
         while len(self.runs) > 1:
             if self.grant.pages == 0:
+                yield from self._flush_cpu()
                 yield AllocationWait()
                 continue
             fanin = min(len(self.runs), max(2, self._effective_grant() - 1))
@@ -310,9 +319,12 @@ class ExternalSortOperator(Operator):
                 page = run.next_page()
                 self.pages_read += 1
                 self.io_count += 1
-                yield DiskAccess(READ, self.temp_disk, page, 1, sequential=False)
+                yield DiskAccess(
+                    READ, self.temp_disk, page, 1, sequential=False,
+                    cpu=self._take_carry(),
+                )
                 depth = self._log2_ceil(max(2, fanin))
-                yield CPUBurst(
+                self._carry_cpu(
                     tuples_per_page * (depth * costs.key_compare + costs.sort_copy)
                 )
                 if final:

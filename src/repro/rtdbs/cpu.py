@@ -9,7 +9,7 @@ resuming, without lost work) less urgent bursts.
 from __future__ import annotations
 
 from repro.rtdbs.config import ResourceParams
-from repro.sim.resources import PreemptiveServer, ServiceRequest
+from repro.sim.resources import CallbackBurst, PreemptiveServer, ServiceRequest
 from repro.sim.simulator import Simulator
 
 
@@ -20,7 +20,7 @@ class CPU:
         self.sim = sim
         self.resources = resources
         self._server = PreemptiveServer(sim, rate=resources.cpu_rate, name="cpu")
-        self.instructions_executed = 0
+        self.instructions_executed = 0.0
 
     def execute(self, instructions: float, priority: float) -> ServiceRequest:
         """Submit a burst of ``instructions`` at ED ``priority``.
@@ -30,8 +30,24 @@ class CPU:
         """
         if instructions < 0:
             raise ValueError(f"negative instruction count: {instructions}")
-        self.instructions_executed += int(instructions)
+        self.instructions_executed += instructions
         return self._server.submit(instructions, priority)
+
+    def execute_call(self, instructions: float, priority: float, callback) -> CallbackBurst:
+        """Submit a burst whose completion invokes ``callback(burst)``.
+
+        The Event-free fast path for callers that chain resources via
+        callbacks (the per-block CPU-then-disk pipeline).
+        """
+        if instructions < 0:
+            raise ValueError(f"negative instruction count: {instructions}")
+        self.instructions_executed += instructions
+        return self._server.submit_call(instructions, priority, callback)
+
+    def execute_reuse(self, burst: CallbackBurst, instructions: float, priority: float) -> None:
+        """Re-submit a recycled :class:`CallbackBurst` with fresh work."""
+        self.instructions_executed += instructions
+        self._server.resubmit_call(burst, instructions, priority)
 
     def cancel(self, request: ServiceRequest) -> None:
         """Withdraw a burst (used when a query hits its firm deadline)."""

@@ -18,7 +18,7 @@ a more urgent request (or an abort) arrives meanwhile.
 from __future__ import annotations
 
 import heapq
-from collections import OrderedDict
+from itertools import islice
 from typing import List, Optional, Tuple
 
 from repro.rtdbs.config import ResourceParams
@@ -56,39 +56,56 @@ class DiskRequest(Event):
 
 
 class PrefetchCache:
-    """LRU cache of recently transferred pages (one per disk)."""
+    """LRU cache of recently transferred pages (one per disk).
+
+    Backed by a plain insertion-ordered dict: recency refresh is a
+    delete-and-reinsert, eviction pops from the iteration front.  Plain
+    dicts beat ``OrderedDict`` on every operation this hot path uses.
+    """
 
     def __init__(self, capacity_pages: int):
         if capacity_pages <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity_pages
-        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self._pages: dict = {}
         self.hits = 0
         self.misses = 0
 
     def contains_all(self, start_page: int, npages: int) -> bool:
         """True when every page of the range is cached (a free read)."""
+        pages = self._pages
         for page in range(start_page, start_page + npages):
-            if page not in self._pages:
+            if page not in pages:
                 return False
         return True
 
     def touch(self, start_page: int, npages: int) -> None:
         """Record a hit: refresh the pages' recency."""
         self.hits += 1
+        pages = self._pages
+        pop = pages.pop
         for page in range(start_page, start_page + npages):
-            self._pages.move_to_end(page)
+            pop(page)
+            pages[page] = None
 
     def insert(self, start_page: int, npages: int) -> None:
-        """Record a transfer: install the pages, evicting LRU ones."""
+        """Record a transfer: install the pages, evicting LRU ones.
+
+        Evictions are deferred to the end of the block: the surviving
+        set (the ``capacity`` most recently touched pages) is identical
+        to per-page eviction, without a capacity test on every page.
+        """
         self.misses += 1
+        pages = self._pages
+        pop = pages.pop
         for page in range(start_page, start_page + npages):
-            if page in self._pages:
-                self._pages.move_to_end(page)
-            else:
-                self._pages[page] = None
-                if len(self._pages) > self.capacity:
-                    self._pages.popitem(last=False)
+            pop(page, None)
+            pages[page] = None
+        excess = len(pages) - self.capacity
+        if excess > 0:
+            victims = list(islice(pages, excess))
+            for page in victims:
+                del pages[page]
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -123,14 +140,24 @@ class Disk:
         #: number of simultaneously tracked streams is bounded by the
         #: cache size (256 KB / 32 pages ~ a handful of block streams);
         #: beyond that, streams evict each other and sequentiality is
-        #: lost -- the physical face of thrashing.
-        self._streams: "OrderedDict[int, None]" = OrderedDict()
+        #: lost -- the physical face of thrashing.  (Insertion-ordered
+        #: plain dict; oldest tail is the iteration front.)
+        self._streams: dict = {}
         self._max_streams = max(1, resources.disk_cache_pages // resources.block_size)
         self.sequential_continuations = 0
         self.cache = PrefetchCache(resources.disk_cache_pages)
         self.busy = TimeWeighted(sim, initial=0.0)
         self.service_times = Tally()
         self.accesses = 0
+        self._complete_cb = self._complete  # pre-bound: one per serve
+        # Physical constants hoisted off the per-access path.
+        self._cylinder_size = resources.cylinder_size
+        self._pages_per_disk = resources.pages_per_disk
+        self._transfer_s = resources.transfer_s_per_page
+        self._rotation_s = resources.rotation_s
+        self._half_rotation_s = resources.rotation_s / 2.0
+        self._stochastic_rotation = resources.stochastic_rotation
+        self._seek_time = resources.seek_time
 
     # ------------------------------------------------------------------
     # public API
@@ -143,15 +170,15 @@ class Disk:
         """
         if npages <= 0:
             raise ValueError(f"disk access must cover at least one page, got {npages}")
-        if kind not in (READ, WRITE):
+        if kind != READ and kind != WRITE:
             raise ValueError(f"unknown access kind {kind!r}")
         last_page = start_page + npages - 1
-        if start_page < 0 or last_page >= self.resources.pages_per_disk:
+        if start_page < 0 or last_page >= self._pages_per_disk:
             raise ValueError(
                 f"disk {self.disk_id}: access [{start_page}, {last_page}] out of range"
             )
         self._sequence += 1
-        cylinder = start_page // self.resources.cylinder_size
+        cylinder = start_page // self._cylinder_size
         request = DiskRequest(
             self.sim, kind, start_page, npages, priority, self._sequence, cylinder
         )
@@ -159,20 +186,74 @@ class Disk:
             self.cache.touch(start_page, npages)
             request.succeed(None)
             return request
-        heapq.heappush(self._queue, (priority, request._seq, request))
-        if self._serving is None:
-            self._serve_next()
+        if self._serving is None and not self._queue:
+            self._serve(request)  # uncontended: skip the heap entirely
+        else:
+            heapq.heappush(self._queue, (priority, request._seq, request))
+            if self._serving is None:
+                self._serve_next()
         return request
 
+    def submit_op(self, op) -> bool:
+        """Queue an access whose completion event is ``op`` itself.
+
+        ``op`` must carry ``kind``/``start_page``/``npages``/``priority``
+        and be a waitable :class:`Event` (the query manager's per-block
+        CPU+disk op).  Scheduling the op directly avoids allocating a
+        separate :class:`DiskRequest` per access.  Returns ``True`` when
+        the access was served from the prefetch cache (no arm time; the
+        op was not queued and the caller completes it).
+        """
+        start_page = op.start_page
+        npages = op.npages
+        if npages <= 0:
+            raise ValueError(f"disk access must cover at least one page, got {npages}")
+        if start_page < 0 or start_page + npages > self._pages_per_disk:
+            raise ValueError(
+                f"disk {self.disk_id}: access [{start_page}, "
+                f"{start_page + npages - 1}] out of range"
+            )
+        if op.kind == READ and self.cache.contains_all(start_page, npages):
+            self.cache.touch(start_page, npages)
+            return True
+        self._sequence += 1
+        op._seq = self._sequence
+        op.cylinder = start_page // self._cylinder_size
+        if self._serving is None and not self._queue:
+            self._serve(op)
+        else:
+            heapq.heappush(self._queue, (op.priority, op._seq, op))
+            if self._serving is None:
+                self._serve_next()
+        return False
+
     def cancel(self, request: DiskRequest) -> None:
-        """Withdraw a queued request (in-service accesses finish)."""
+        """Withdraw a request, honouring non-preemptive service.
+
+        An access already holding the arm runs to the end: its head
+        movement, stream-tail bookkeeping, and cache installation in
+        :meth:`_complete` all still happen -- only the completion is
+        delivered to no-one (every waiter callback is dropped).  A
+        *queued* request, by contrast, is dropped before it ever
+        reaches the arm: it contributes no service time and leaves no
+        physical trace on the disk.
+        """
         if request.triggered or request.cancelled:
             return
         if self._serving is request:
-            # Non-preemptive: let the arm finish, but deliver nowhere.
-            request.cancel()
+            # Keep the scheduled completion alive so _complete still
+            # runs its physical bookkeeping; just detach all waiters
+            # (the first callback is the disk's own _complete).
+            del request.callbacks[1:]
             return
         request.cancel()
+        queue = self._queue
+        for index, entry in enumerate(queue):
+            if entry[2] is request:
+                queue[index] = queue[-1]
+                queue.pop()
+                heapq.heapify(queue)
+                break
 
     @property
     def queue_length(self) -> int:
@@ -193,24 +274,26 @@ class Disk:
 
     def _pop_best(self) -> Optional[DiskRequest]:
         """Highest-priority request; elevator order among equal priorities."""
-        self._compact()
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        if not queue:
             return None
-        top_priority = self._queue[0][0]
+        top = heapq.heappop(queue)
+        if not queue or queue[0][0] != top[0]:
+            return top[2]  # common case: unique priority, no re-push
         # Collect the (rare) priority ties and pick by elevator order.
-        ties: List[Tuple[float, int, DiskRequest]] = []
-        while self._queue and self._queue[0][0] == top_priority:
-            entry = heapq.heappop(self._queue)
+        ties: List[Tuple[float, int, DiskRequest]] = [top]
+        while queue and queue[0][0] == top[0]:
+            entry = heapq.heappop(queue)
             if not entry[2].cancelled:
                 ties.append(entry)
-        if not ties:
-            return self._pop_best()
         if len(ties) == 1:
             return ties[0][2]
         chosen = self._elevator_choice([entry[2] for entry in ties])
         for entry in ties:
             if entry[2] is not chosen:
-                heapq.heappush(self._queue, entry)
+                heapq.heappush(queue, entry)
         return chosen
 
     def _elevator_choice(self, requests: List[DiskRequest]) -> DiskRequest:
@@ -226,46 +309,52 @@ class Disk:
         return min(requests, key=lambda req: abs(req.cylinder - self.head))
 
     def _service_time(self, request: DiskRequest) -> float:
-        resources = self.resources
-        transfer = request.npages * resources.transfer_s_per_page
+        transfer = request.npages * self._transfer_s
         if request.start_page in self._streams:
             # Sequential continuation of a tracked stream: prefetched.
             self.sequential_continuations += 1
             return transfer
-        seek = resources.seek_time(abs(request.cylinder - self.head))
-        if resources.stochastic_rotation and self._rotation_stream is not None:
-            rotate = self._rotation_stream.uniform(0.0, resources.rotation_s)
+        seek = self._seek_time(abs(request.cylinder - self.head))
+        if self._stochastic_rotation and self._rotation_stream is not None:
+            rotate = self._rotation_stream.uniform(0.0, self._rotation_s)
         else:
-            rotate = resources.rotation_s / 2.0
+            rotate = self._half_rotation_s
         return seek + rotate + transfer
 
     def _serve_next(self) -> None:
         request = self._pop_best()
         if request is None:
-            if self.busy.value != 0.0:
-                self.busy.record(0.0)
+            self.busy.record_if_changed(0.0)
             return
-        if self.busy.value != 1.0:
-            self.busy.record(1.0)
+        self._serve(request)
+
+    def _serve(self, request: DiskRequest) -> None:
+        self.busy.record_if_changed(1.0)
         self._serving = request
         duration = self._service_time(request)
         self.service_times.record(duration)
         self.accesses += 1
-        timer = self.sim.timeout(duration)
-        timer.callbacks.append(lambda _evt, req=request: self._complete(req))
+        # Service is non-preemptive, so the request itself doubles as
+        # its own completion timer: one kernel event per access instead
+        # of a Timeout that then re-schedules the request.  The disk's
+        # bookkeeping runs first (callbacks[0]), then any waiters.
+        request.callbacks.insert(0, self._complete_cb)
+        self.sim._schedule_event(request, duration)
 
     def _complete(self, request: DiskRequest) -> None:
         # Head movement and sweep direction update.
-        end_cylinder = (request.start_page + request.npages - 1) // self.resources.cylinder_size
+        end_cylinder = (request.start_page + request.npages - 1) // self._cylinder_size
         if end_cylinder != self.head:
             self.direction = 1 if end_cylinder > self.head else -1
         self.head = end_cylinder
-        self._streams.pop(request.start_page, None)
-        self._streams[request.start_page + request.npages] = None
-        while len(self._streams) > self._max_streams:
-            self._streams.popitem(last=False)
+        streams = self._streams
+        streams.pop(request.start_page, None)
+        streams[request.start_page + request.npages] = None
+        while len(streams) > self._max_streams:
+            del streams[next(iter(streams))]
         self.cache.insert(request.start_page, request.npages)
         self._serving = None
-        if not request.cancelled and not request.triggered:
-            request.succeed(None)
-        self._serve_next()
+        if self._queue:
+            self._serve_next()
+        else:
+            self.busy.record_if_changed(0.0)

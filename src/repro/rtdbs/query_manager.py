@@ -21,9 +21,8 @@ Responsibilities (Section 4, plus firm-RTDBS semantics [Hari90]):
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.allocation import QueryDemand
 from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
@@ -35,6 +34,7 @@ from repro.rtdbs.cpu import CPU
 from repro.rtdbs.disk import Disk
 from repro.sim.events import Event, Interrupt
 from repro.sim.monitor import TimeWeighted
+from repro.sim.resources import CallbackBurst, ServiceRequest
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
@@ -42,6 +42,69 @@ WAITING = "waiting"
 RUNNING = "running"
 DONE = "done"
 ABORTED = "aborted"
+
+
+class _DiskOp(Event):
+    """Completion event for one operator :class:`DiskAccess`.
+
+    Chains the combined CPU submission (carried per-block burst plus
+    the Table 4 start-I/O cost) and the disk access itself through
+    plain callbacks, so the query's process suspends and resumes once
+    per page-block instead of once per resource.  Resource ordering is
+    unchanged: the disk request is still submitted at the simulated
+    instant the CPU burst completes.
+
+    The op is also the *disk request itself* (via ``Disk.submit_op``)
+    and its CPU stage is an Event-free :class:`CallbackBurst`.  A job
+    has at most one outstanding access, so the op (and its burst) are
+    allocated once per query and recycled for every block.
+    """
+
+    __slots__ = ("cpu", "disk", "kind", "start_page", "npages", "priority",
+                 "stage", "burst", "_seq", "cylinder")
+
+    def __init__(self, sim, cpu, priority: float):
+        super().__init__(sim)
+        self.cpu = cpu
+        self.priority = priority
+        self.disk = None
+        self.kind = READ
+        self.start_page = 0
+        self.npages = 0
+        self.stage = "cpu"
+        self.burst = CallbackBurst(0.0, priority, 0, self._cpu_done)
+
+    def begin(self, disk, access, start_io: float) -> None:
+        """Arm the op for one :class:`DiskAccess` and submit its CPU leg."""
+        self._triggered = False
+        self._value = None
+        self.disk = disk
+        self.kind = access.kind
+        self.start_page = access.start_page
+        self.npages = access.npages
+        self.stage = "cpu"
+        self.cpu.execute_reuse(self.burst, start_io + access.cpu, self.priority)
+
+    def _cpu_done(self, _burst) -> None:
+        if self._cancelled:
+            return
+        self.stage = "disk"
+        if self.disk.submit_op(self):
+            # Disk-cache hit: no arm time; complete in place (the
+            # waiting process resumes synchronously, exactly when a
+            # direct wait on the disk request would resume).
+            self._triggered = True
+            self._run_callbacks()
+
+    def cancel_op(self) -> None:
+        """Abort: withdraw whichever resource request is outstanding."""
+        if self.stage == "cpu":
+            self.cancel()
+            self.cpu.cancel(self.burst)
+        else:
+            # The op *is* the disk request; the disk distinguishes
+            # in-service (bookkeeping still runs) from queued requests.
+            self.disk.cancel(self)
 
 
 @dataclass
@@ -58,8 +121,9 @@ class QueryJob:
     state: str = WAITING
     admit_time: Optional[float] = None
     process: Optional[Process] = None
-    #: Outstanding resource request: ("cpu"|"disk"|"wait", handle, resource).
-    pending: Optional[Tuple[str, Event, object]] = None
+    #: Outstanding resource request handle: a :class:`_DiskOp`, a CPU
+    #: :class:`ServiceRequest`, or an allocation-wait :class:`Event`.
+    pending: Optional[object] = None
     #: Deadline-expiry timer (cancelled on completion).
     expiry_timer: Optional[Event] = None
     demand_min: int = 0
@@ -196,42 +260,49 @@ class QueryManager:
     def _drive(self, job: QueryJob):
         """Translate the operator's request stream into resource usage."""
         start_io = self.config.cpu_costs.start_io
+        cpu = self.cpu
+        disks = self.disks
+        buffers = self.buffers
+        priority = job.priority  # the deadline: fixed for the job's life
+        op: Optional[_DiskOp] = None  # lazily created, reused per block
         try:
             for request in job.operator.run():
-                if isinstance(request, CPUBurst):
-                    handle = self.cpu.execute(request.instructions, job.priority)
-                    job.pending = ("cpu", handle, self.cpu)
-                    yield handle
-                    job.pending = None
-                elif isinstance(request, DiskAccess):
-                    if (
-                        request.kind == READ
-                        and request.cacheable
-                        and self.buffers.read_hit(
-                            request.disk, request.start_page, request.npages
-                        )
+                request_type = type(request)
+                if request_type is DiskAccess:
+                    cacheable_read = request.kind == READ and request.cacheable
+                    if cacheable_read and buffers.read_hit(
+                        request.disk, request.start_page, request.npages
                     ):
-                        continue  # served from the buffer pool
-                    handle = self.cpu.execute(start_io, job.priority)
-                    job.pending = ("cpu", handle, self.cpu)
-                    yield handle
-                    disk = self.disks[request.disk]
-                    handle = disk.submit(
-                        request.kind, request.start_page, request.npages, job.priority
-                    )
-                    job.pending = ("disk", handle, disk)
-                    yield handle
+                        # Served from the buffer pool: no I/O, but the
+                        # attached per-block processing burst still runs.
+                        if request.cpu > 0.0:
+                            handle = cpu.execute(request.cpu, priority)
+                            job.pending = handle
+                            yield handle
+                            job.pending = None
+                        continue
+                    if op is None:
+                        op = _DiskOp(self.sim, cpu, priority)
+                    op.begin(disks[request.disk], request, start_io)
+                    job.pending = op
+                    yield op
                     job.pending = None
-                    if request.kind == READ and request.cacheable:
-                        self.buffers.install(
+                    if cacheable_read:
+                        buffers.install(
                             request.disk, request.start_page, request.npages
                         )
-                elif isinstance(request, AllocationWait):
+                elif request_type is CPUBurst:
+                    handle = cpu.execute(request.instructions, priority)
+                    if not handle.triggered:  # zero-work bursts skip the queue
+                        job.pending = handle
+                        yield handle
+                    job.pending = None
+                elif request_type is AllocationWait:
                     if job.grant.pages > 0:
                         continue  # raced with a re-grant: keep going
                     wake = self.sim.event()
                     job.grant.on_change(lambda evt=wake: evt.succeed(None))
-                    job.pending = ("wait", wake, None)
+                    job.pending = wake
                     yield wake
                     job.pending = None
                 else:  # pragma: no cover - operator contract violation
@@ -261,14 +332,14 @@ class QueryManager:
             return
         was_running = job.state == RUNNING
         job.state = ABORTED
-        if job.pending is not None:
-            kind, handle, resource = job.pending
-            if kind == "cpu":
-                self.cpu.cancel(handle)
-            elif kind == "disk":
-                resource.cancel(handle)
+        pending = job.pending
+        if pending is not None:
+            if type(pending) is _DiskOp:
+                pending.cancel_op()
+            elif isinstance(pending, ServiceRequest):
+                self.cpu.cancel(pending)
             else:
-                handle.cancel()
+                pending.cancel()  # allocation-wait wake event
             job.pending = None
         if was_running and job.process is not None:
             job.process.interrupt("deadline")

@@ -186,16 +186,7 @@ class RTDBSystem:
         self.source.start()
 
         stop_event = self.query_manager.stop_event
-        while True:
-            next_time = self.sim.peek()
-            if next_time > horizon:
-                break
-            if stop_event is not None and stop_event.triggered:
-                break
-            if not self.sim.step():
-                break
-        if stop_event is None or not stop_event.triggered:
-            self.sim.now = max(self.sim.now, horizon)
+        self.sim.run(until=horizon, stop=stop_event)
         return self._build_result(warmup)
 
     # ------------------------------------------------------------------

@@ -34,7 +34,7 @@ class Event:
     waiting process as the result of its ``yield``.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_cancelled")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_cancelled", "_gen")
 
     def __init__(self, sim: "Simulator"):  # noqa: F821 - forward ref
         self.sim = sim
@@ -43,6 +43,11 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._cancelled = False
+        #: Schedule generation.  A heap entry remembers the generation
+        #: at push time; bumping this invalidates the entry without an
+        #: O(n) heap removal (used by preemptive servers to re-time a
+        #: directly-scheduled completion).
+        self._gen = 0
 
     # ------------------------------------------------------------------
     # state inspection
@@ -108,9 +113,11 @@ class Event:
     def _run_callbacks(self) -> None:
         if self._cancelled:
             return
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
 
 class Timeout(Event):
@@ -162,16 +169,22 @@ class AnyOf(Event):
 
 
 class AllOf(Event):
-    """Fires once every one of the given events has fired."""
+    """Fires once every one of the given events has fired.
 
-    __slots__ = ("_remaining",)
+    The value is always the list of the child events' values, in the
+    order the events were given -- whether the children were already
+    triggered at construction or fired later.
+    """
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: List[Event]):  # noqa: F821
         super().__init__(sim)
-        pending = [event for event in events if not event.triggered]
+        self._events = list(events)
+        pending = [event for event in self._events if not event.triggered]
         self._remaining = len(pending)
         if self._remaining == 0:
-            self.succeed([event.value for event in events])
+            self.succeed([event.value for event in self._events])
             return
         for event in pending:
             event.callbacks.append(self._on_child)
@@ -181,7 +194,7 @@ class AllOf(Event):
             return
         self._remaining -= 1
         if self._remaining == 0 and not self.triggered:
-            self.succeed(None)
+            self.succeed([child.value for child in self._events])
 
 
 def _type_check_callback(callback: Optional[Callable]) -> None:

@@ -47,6 +47,19 @@ class TimeWeighted:
         self._value = float(value)
         self._last_change = now
 
+    def record_if_changed(self, value: float) -> None:
+        """Hot-path variant of :meth:`record`: no-op when unchanged.
+
+        Busy indicators flip between 0.0 and 1.0 on every resource
+        dispatch; servers call this so redundant re-records of the same
+        value cost only the comparison.
+        """
+        if value != self._value:
+            now = self.sim.now
+            self._integral += self._value * (now - self._last_change)
+            self._value = value
+            self._last_change = now
+
     def add(self, delta: float) -> None:
         """Increment the signal (convenience for counters like MPL)."""
         self.record(self._value + delta)

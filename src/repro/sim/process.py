@@ -38,9 +38,7 @@ class Process(Event):
         self._target: Optional[Event] = None
         self._alive = True
         # Bootstrap: start the generator at the current simulation time.
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed(None)
+        sim.call_soon(self._bootstrap)
 
     # ------------------------------------------------------------------
     @property
@@ -65,15 +63,15 @@ class Process(Event):
             except ValueError:
                 pass
             self._target = None
-        interrupt_event = Event(self.sim)
-        interrupt_event.callbacks.append(
-            lambda _evt, c=cause: self._throw_interrupt(c)
-        )
-        interrupt_event.succeed(None)
+        self.sim.call_soon(self._throw_interrupt, cause)
 
     # ------------------------------------------------------------------
     # internal machinery
     # ------------------------------------------------------------------
+    def _bootstrap(self, _arg: Any = None) -> None:
+        if self._alive:
+            self._step()
+
     def _throw_interrupt(self, cause: Any) -> None:
         if not self._alive:
             return
@@ -125,8 +123,6 @@ class Process(Event):
         self._target = target
         if target.triggered:
             # Already fired: resume on the next kernel step at this time.
-            resume = Event(self.sim)
-            resume.callbacks.append(lambda _evt: self._resume(target))
-            resume.succeed(None)
+            self.sim.call_soon(self._resume, target)
         else:
             target.callbacks.append(self._resume)

@@ -39,6 +39,44 @@ class ServiceRequest(Event):
         return (self.priority, self._seq)
 
 
+class CallbackBurst:
+    """A unit of server work that invokes a plain callback on completion.
+
+    The Event-free fast path for :meth:`PreemptiveServer.submit_call`:
+    callers that chain work through callbacks (the per-block CPU+disk
+    pipeline) skip the Event allocation, the callbacks list, and the
+    kernel's event dispatch entirely.  Shares the queue discipline with
+    :class:`ServiceRequest` (same ``priority``/``_seq``/``work_remaining``
+    interface); ``_gen`` invalidates a scheduled completion after a
+    preemption or cancellation.
+    """
+
+    __slots__ = ("work_remaining", "priority", "_seq", "callback", "_gen", "_cancelled")
+
+    def __init__(self, work: float, priority: float, seq: int, callback):
+        self.work_remaining = work
+        self.priority = priority
+        self._seq = seq
+        self.callback = callback
+        self._gen = 0
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def triggered(self) -> bool:
+        return False  # completion is a callback, never an event state
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._gen += 1
+
+    def _sort_key(self) -> Tuple[float, int]:
+        return (self.priority, self._seq)
+
+
 class PreemptiveServer:
     """Single server with preemptive-resume priority scheduling.
 
@@ -62,8 +100,10 @@ class PreemptiveServer:
         self._sequence = 0
         self._current: Optional[ServiceRequest] = None
         self._current_started: float = 0.0
-        self._completion_timer: Optional[Event] = None
         self.busy = TimeWeighted(sim, initial=0.0)
+        #: Pre-bound completion callback (stable identity, so _start can
+        #: tell whether a resumed request already carries it).
+        self._complete_cb = self._complete
 
     # ------------------------------------------------------------------
     @property
@@ -90,24 +130,57 @@ class PreemptiveServer:
         if work == 0:
             request.succeed(None)
             return request
-        if self._current is None:
+        self._enqueue(request)
+        return request
+
+    def submit_call(self, work: float, priority: float, callback) -> CallbackBurst:
+        """Submit work whose completion invokes ``callback(burst)``.
+
+        The Event-free fast path: same preemptive-resume ED discipline
+        as :meth:`submit`, but completion is a direct callback with no
+        event allocation or kernel dispatch.  Zero-work bursts complete
+        on the next kernel step (mirroring a zero-work :meth:`submit`).
+        """
+        self._sequence += 1
+        burst = CallbackBurst(float(work), float(priority), self._sequence, callback)
+        if work == 0:
+            self.sim.call_soon(callback, burst)
+            return burst
+        self._enqueue(burst)
+        return burst
+
+    def resubmit_call(self, burst: CallbackBurst, work: float, priority: float) -> None:
+        """Re-submit a completed :class:`CallbackBurst` with new work.
+
+        Callers that issue one burst at a time (the per-block CPU+disk
+        pipeline) reuse a single burst object per query instead of
+        allocating one per block.  The burst must not be in service or
+        queued.
+        """
+        self._sequence += 1
+        burst._seq = self._sequence
+        burst.priority = priority
+        burst.work_remaining = work
+        self._enqueue(burst)
+
+    def _enqueue(self, request) -> None:
+        current = self._current
+        if current is None:
             self._start(request)
-        elif (priority, request._seq) < self._current._sort_key():
+        elif request.priority < current.priority or (
+            request.priority == current.priority and request._seq < current._seq
+        ):
             self._preempt()
             self._start(request)
         else:
-            heapq.heappush(self._queue, (priority, request._seq, request))
-        return request
+            heapq.heappush(self._queue, (request.priority, request._seq, request))
 
     def cancel(self, request: ServiceRequest) -> None:
         """Withdraw a request; if it is in service the server moves on."""
         if request.triggered or request.cancelled:
             return
-        request.cancel()
+        request.cancel()  # also invalidates any scheduled completion
         if self._current is request:
-            if self._completion_timer is not None:
-                self._completion_timer.cancel()
-                self._completion_timer = None
             self._current = None
             self._dispatch_next()
         # Queued cancelled requests are dropped lazily by _compact().
@@ -119,34 +192,46 @@ class PreemptiveServer:
         while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
 
-    def _start(self, request: ServiceRequest) -> None:
+    def _start(self, request) -> None:
         self._current = request
         self._current_started = self.sim.now
-        self.busy.record(1.0)
+        self.busy.record_if_changed(1.0)
         duration = request.work_remaining / self.rate
-        timer = self.sim.timeout(duration)
-        timer.callbacks.append(self._complete)
-        self._completion_timer = timer
+        # The request is its own completion timer, scheduled directly
+        # at its finish time (one kernel entry per burst, no Timeout).
+        # Preemption bumps the request's generation, which invalidates
+        # the pending heap entry without an O(n) removal; the request
+        # is then re-scheduled when it regains the server.
+        if type(request) is CallbackBurst:
+            self.sim.call_later(duration, self._burst_done, (request, request._gen))
+        else:
+            callbacks = request.callbacks
+            if not callbacks or callbacks[0] is not self._complete_cb:
+                callbacks.insert(0, self._complete_cb)
+            self.sim._schedule_event(request, duration)
 
     def _preempt(self) -> None:
         request = self._current
         assert request is not None
         elapsed = self.sim.now - self._current_started
         request.work_remaining = max(0.0, request.work_remaining - elapsed * self.rate)
-        if self._completion_timer is not None:
-            self._completion_timer.cancel()
-            self._completion_timer = None
+        request._gen += 1  # stale the scheduled completion
         self._current = None
         heapq.heappush(self._queue, (request.priority, request._seq, request))
 
-    def _complete(self, _timer: Event) -> None:
-        request = self._current
+    def _complete(self, request: ServiceRequest) -> None:
+        request.work_remaining = 0.0
         self._current = None
-        self._completion_timer = None
-        if request is not None and not request.cancelled:
-            request.work_remaining = 0.0
-            request.succeed(None)
         self._dispatch_next()
+
+    def _burst_done(self, token) -> None:
+        burst, gen = token
+        if burst._gen != gen or self._current is not burst:
+            return  # stale: preempted, rescheduled, or cancelled
+        burst.work_remaining = 0.0
+        self._current = None
+        self._dispatch_next()
+        burst.callback(burst)
 
     def _dispatch_next(self) -> None:
         self._compact()
@@ -154,4 +239,4 @@ class PreemptiveServer:
             _prio, _seq, request = heapq.heappop(self._queue)
             self._start(request)
         else:
-            self.busy.record(0.0)
+            self.busy.record_if_changed(0.0)

@@ -20,13 +20,27 @@ import numpy as np
 
 
 class Stream:
-    """A thin convenience wrapper over :class:`numpy.random.Generator`."""
+    """A thin convenience wrapper over :class:`numpy.random.Generator`.
 
-    __slots__ = ("name", "generator")
+    ``uniform`` draws are served from a buffer of raw ``random()``
+    doubles: a NumPy scalar draw costs microseconds of call overhead,
+    and hot streams (disk rotational latencies) draw one same-range
+    variate per access.  ``Generator.uniform(low, high)`` consumes
+    exactly one ``random()`` double and returns
+    ``low + (high - low) * double``, so scaling buffered doubles
+    reproduces the scalar variate sequence bit for bit -- every
+    fixed-seed simulation statistic is unchanged.
+    """
+
+    __slots__ = ("name", "generator", "_buf", "_buf_pos")
+
+    _BUFFER = 256
 
     def __init__(self, name: str, generator: np.random.Generator):
         self.name = name
         self.generator = generator
+        self._buf: list = []
+        self._buf_pos = 0
 
     def exponential(self, mean: float) -> float:
         """Exponential variate with the given mean (for Poisson arrivals)."""
@@ -38,7 +52,13 @@ class Stream:
         """Uniform variate on ``[low, high)``."""
         if high < low:
             raise ValueError(f"empty uniform range [{low}, {high})")
-        return float(self.generator.uniform(low, high))
+        pos = self._buf_pos
+        buf = self._buf
+        if pos >= len(buf):
+            buf = self._buf = self.generator.random(self._BUFFER).tolist()
+            pos = 0
+        self._buf_pos = pos + 1
+        return low + (high - low) * buf[pos]
 
     def integer(self, low: int, high: int) -> int:
         """Uniform integer on ``[low, high]`` inclusive."""

@@ -1,12 +1,30 @@
-"""The simulation clock and event loop."""
+"""The simulation clock and event loop.
+
+The kernel keeps two scheduling structures:
+
+* a binary heap for events with a strictly positive delay (timeouts);
+* a FIFO deque for *immediate* events -- ``succeed()``-ed events and
+  deferred callbacks scheduled at the current simulation time.
+
+Immediate events vastly outnumber timeouts on the RTDBS hot path (every
+resource completion, process resume, and grant change is one), and the
+deque turns each of those from an O(log n) heap push/pop pair into two
+O(1) deque operations.  Both structures share one monotonically
+increasing sequence counter, and the event loop interleaves them by
+sequence number, so firing order among same-time events is *exactly*
+the FIFO-by-schedule-time order the pure-heap kernel produced.
+"""
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+
+_INFINITY = float("inf")
 
 
 class Simulator:
@@ -31,8 +49,21 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        #: Heap entries: ``(time, seq, event, generation)`` for events
+        #: -- an entry whose generation no longer matches the event's
+        #: is stale (the event was rescheduled) and is skipped on pop
+        #: -- or ``(time, seq, None, (fn, arg))`` for bare timed
+        #: callbacks (see :meth:`call_later`).
+        self._heap: List[Tuple[float, int, Optional[Event], Any]] = []
+        #: Immediate queue entries: ``(seq, event, generation, None)``
+        #: for events firing at the current time, ``(seq, None, fn,
+        #: arg)`` for bare deferred callbacks (see :meth:`call_soon`).
+        self._immediate: Deque[Tuple[int, Optional[Event], Any, Any]] = deque()
         self._sequence = 0
+        #: Total events (and deferred callbacks) processed; perf tests
+        #: use this to pin down the hot-path event volume of a fixed
+        #: seed so it cannot silently re-bloat.
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # factories
@@ -62,46 +93,144 @@ class Simulator:
     # ------------------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        if delay == 0.0:
+            self._immediate.append((self._sequence, event, event._gen, None))
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, self._sequence, event, event._gen)
+            )
+
+    def call_soon(self, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``fn(arg)`` on the next kernel step at the current time.
+
+        This is the allocation-free alternative to creating a throwaway
+        :class:`Event` just to defer a callback (process bootstrap,
+        resume-on-already-fired-event, interrupt delivery).
+        """
+        self._sequence += 1
+        self._immediate.append((self._sequence, None, fn, arg))
+
+    def call_later(self, delay: float, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``fn(arg)`` after ``delay`` simulated seconds.
+
+        The Event-free counterpart of a :class:`Timeout`: resource
+        servers use it to time completions without allocating a
+        one-shot event per service.  The callback is responsible for
+        its own staleness checks (there is nothing to cancel).
+        """
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, None, (fn, arg)))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else float("inf")
+        immediate = self._immediate
+        while immediate:
+            event = immediate[0][1]
+            if event is not None and event._cancelled:
+                immediate.popleft()
+                continue
+            return self.now
+        heap = self._heap
+        while heap:
+            event = heap[0][2]
+            if event is not None and (event._cancelled or heap[0][3] != event._gen):
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return _INFINITY
 
     def step(self) -> bool:
-        """Process a single event.  Returns False when the heap is empty."""
-        while self._heap:
-            when, _seq, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if when < self.now - 1e-12:  # pragma: no cover - invariant guard
-                raise RuntimeError(f"event scheduled in the past: {when} < {self.now}")
-            self.now = max(self.now, when)
+        """Process a single event.  Returns False when nothing is left."""
+        immediate = self._immediate
+        heap = self._heap
+        while True:
+            if immediate:
+                # All deque entries fire at the current time.  A heap
+                # event also at the current time runs first only if it
+                # was scheduled earlier (smaller sequence number).
+                if heap and heap[0][0] <= self.now and heap[0][1] < immediate[0][0]:
+                    _when, _seq, event, extra = heapq.heappop(heap)
+                    if event is None:
+                        self.events_processed += 1
+                        extra[0](extra[1])
+                        return True
+                    if event._cancelled or extra != event._gen:
+                        continue
+                else:
+                    _seq, event, fn, arg = immediate.popleft()
+                    if event is None:
+                        self.events_processed += 1
+                        fn(arg)
+                        return True
+                    if event._cancelled or fn != event._gen:
+                        continue
+            elif heap:
+                when, _seq, event, extra = heapq.heappop(heap)
+                if event is None:
+                    if when > self.now:
+                        self.now = when
+                    self.events_processed += 1
+                    extra[0](extra[1])
+                    return True
+                if event._cancelled or extra != event._gen:
+                    continue
+                if when > self.now:
+                    self.now = when
+            else:
+                return False
+            self.events_processed += 1
             event._triggered = True  # timeouts trigger at fire time
             event._run_callbacks()
             return True
-        return False
 
-    def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock passes ``until``.
+    def run(self, until: Optional[float] = None, stop: Optional[Event] = None) -> None:
+        """Run until the heap drains, ``stop`` triggers, or the clock
+        passes ``until``.
 
-        When ``until`` is given the clock is left exactly at ``until``
-        even if the next event lies beyond it, matching the usual DES
-        convention so that time-weighted statistics close their final
-        interval at the horizon.
+        When ``until`` is given and no ``stop`` event fired, the clock
+        is left exactly at ``until`` even if the next event lies beyond
+        it, matching the usual DES convention so that time-weighted
+        statistics close their final interval at the horizon.  When
+        ``stop`` triggers, the clock stays where the stop occurred.
         """
         if until is None:
-            while self.step():
-                pass
+            if stop is None:
+                while self.step():
+                    pass
+            else:
+                while not stop._triggered and self.step():
+                    pass
             return
         if until < self.now:
             raise ValueError(f"cannot run backwards: until={until} < now={self.now}")
-        while self._heap:
-            next_time = self.peek()
-            if next_time > until:
+        immediate = self._immediate
+        heap = self._heap
+        check_stop = stop is not None
+        while True:
+            if check_stop and stop._triggered:
+                return
+            if immediate:
+                # Immediate events are always at the current time, which
+                # never exceeds the horizon inside this loop.
+                self.step()
+                continue
+            # Heap-only: pop and fire inline so the horizon check and
+            # the dispatch inspect the top entry just once.
+            if not heap:
                 break
-            if not self.step():  # pragma: no cover - peek guaranteed a step
+            when, _seq, event, extra = heap[0]
+            if event is not None and (event._cancelled or extra != event._gen):
+                heapq.heappop(heap)
+                continue
+            if when > until:
                 break
+            heapq.heappop(heap)
+            if when > self.now:
+                self.now = when
+            self.events_processed += 1
+            if event is None:
+                extra[0](extra[1])
+            else:
+                event._triggered = True
+                event._run_callbacks()
         self.now = max(self.now, until)

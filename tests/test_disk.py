@@ -128,6 +128,53 @@ def test_cancel_queued_request_never_completes():
     assert fired == []
 
 
+def test_cancel_queued_request_is_dropped_before_service():
+    sim, disk, resources = make_disk()
+    base = 700 * resources.cylinder_size
+    disk.submit(READ, base, 6, priority=0.0)
+    doomed = disk.submit(READ, base + 600, 6, priority=5.0)
+    assert disk.queue_length == 1
+    disk.cancel(doomed)
+    # Dropped immediately -- not lazily at the next dispatch.
+    assert disk.queue_length == 0
+    sim.run()
+    # The arm never served it: only the first access is counted, and the
+    # cancelled request's pages were never transferred into the cache.
+    assert disk.accesses == 1
+    assert not disk.cache.contains_all(base + 600, 6)
+
+
+def test_cancel_in_service_request_is_non_preemptive():
+    """Regression: cancelling the access being served must not deliver
+    its completion, but the arm still finishes -- head, stream tails,
+    and prefetch cache all advance exactly as for an uncancelled access,
+    and the next request waits the full service time."""
+    sim, disk, resources = make_disk()
+    base_cylinder = 700
+    base = base_cylinder * resources.cylinder_size
+    victim = disk.submit(READ, base, 6, priority=1.0)
+    queued = disk.submit(READ, base + 600, 6, priority=2.0)
+    fired = []
+    victim.callbacks.append(lambda evt: fired.append("victim"))
+    queued.callbacks.append(lambda evt: fired.append("queued"))
+    victim_service = disk.service_times.total  # duration already charged
+    disk.cancel(victim)
+    sim.run()
+    # Delivered nowhere...
+    assert "victim" not in fired
+    # ...but the access physically completed: head moved to its last
+    # cylinder before the queued access was served from there.
+    assert fired == ["queued"]
+    assert disk.accesses == 2
+    assert disk.cache.contains_all(base, 6)  # pages still installed
+    end_cylinder = (base + 600 + 5) // resources.cylinder_size
+    assert disk.head == end_cylinder
+    # The queued request could only start after the full service time
+    # of the cancelled access (non-preemptive arm).
+    assert disk.service_times.count == 2
+    assert disk.service_times.total >= victim_service
+
+
 def test_out_of_range_access_rejected():
     sim, disk, resources = make_disk()
     with pytest.raises(ValueError):

@@ -143,8 +143,12 @@ def test_describe_mentions_fairness():
 # ----------------------------------------------------------------------
 # end to end: the Figure 18 bias shrinks under FairPMM
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 def test_fairpmm_narrows_class_gap_on_multiclass_workload():
-    config = multiclass(small_rate=0.8, medium_rate=0.05, scale=0.1, duration=1500.0, seed=7)
+    # 800 simulated seconds keeps the class gap comfortably resolved
+    # (gap ~0.52 plain vs ~0.36 fair at this seed) at half the cost of
+    # the original 1500-second horizon.
+    config = multiclass(small_rate=0.8, medium_rate=0.05, scale=0.1, duration=800.0, seed=7)
     plain = RTDBSystem(config, "pmm").run()
     fair = RTDBSystem(config, "fairpmm").run()
 

@@ -87,6 +87,7 @@ def test_max_memory_cpu_cost_matches_table4():
     operator, _grant, _alloc = make_join(tuples_per_page=tuples_per_page)
     trace = drain(operator)
     cpu = sum(r.instructions for r in trace if isinstance(r, CPUBurst))
+    cpu += sum(r.cpu for r in trace if isinstance(r, DiskAccess))
     costs = CPUCosts()
     expected = (
         costs.initiate_query

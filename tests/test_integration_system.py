@@ -23,6 +23,7 @@ def run(config, policy, **kwargs):
 
 @pytest.fixture(scope="module")
 def small_minmax_result():
+    # Shared full-system run (the priciest fixture in tier-1).
     config = baseline(arrival_rate=0.04, scale=0.1, duration=1200.0, seed=5)
     return run(config, "minmax")
 
@@ -61,6 +62,7 @@ def test_firm_deadlines_bound_residence(small_minmax_result):
         assert waiting >= 0 and execution >= 0
 
 
+@pytest.mark.slow
 def test_reproducible_with_same_seed():
     config = baseline(arrival_rate=0.04, scale=0.1, duration=600.0, seed=9)
     first = run(config, "minmax")
@@ -70,6 +72,7 @@ def test_reproducible_with_same_seed():
     assert first.avg_response == second.avg_response
 
 
+@pytest.mark.slow
 def test_different_seeds_differ():
     config_a = baseline(arrival_rate=0.04, scale=0.1, duration=600.0, seed=1)
     config_b = baseline(arrival_rate=0.04, scale=0.1, duration=600.0, seed=2)
@@ -78,6 +81,7 @@ def test_different_seeds_differ():
     assert first.departure_log != second.departure_log
 
 
+@pytest.mark.slow
 def test_solo_query_matches_cost_model():
     # A single query at maximum memory should track the closed-form
     # stand-alone estimate (the deadline semantics depend on this).
@@ -97,6 +101,7 @@ def test_max_completions_stops_early():
     assert 40 <= result.served <= 45  # a few in-flight departures may add
 
 
+@pytest.mark.slow
 def test_warmup_discards_early_statistics():
     config = baseline(arrival_rate=0.05, scale=0.1, duration=1000.0, seed=5)
     warm = run(config, "minmax", warmup=300.0)
@@ -109,6 +114,7 @@ def test_custom_policy_instance_accepted():
     assert result.policy == "MinMax-3"
 
 
+@pytest.mark.slow
 def test_sort_workload_runs():
     config = external_sort_workload(arrival_rate=0.06, scale=0.1, duration=800.0, seed=5)
     result = run(config, "pmm")
@@ -116,6 +122,7 @@ def test_sort_workload_runs():
     assert "Sort" in result.per_class
 
 
+@pytest.mark.slow
 def test_multiclass_tracks_both_classes():
     config = multiclass(small_rate=0.4, medium_rate=0.05, scale=0.1, duration=800.0, seed=5)
     result = run(config, "minmax")
@@ -148,6 +155,7 @@ def test_memory_never_oversubscribed_live():
     assert violations == []
 
 
+@pytest.mark.slow
 def test_pmm_trace_present_only_for_pmm():
     config = baseline(arrival_rate=0.05, scale=0.1, duration=900.0, seed=5)
     static = run(config, "minmax")

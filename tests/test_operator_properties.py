@@ -68,7 +68,15 @@ def writes(trace):
 
 
 def cpu(trace):
-    return sum(r.instructions for r in trace if isinstance(r, CPUBurst))
+    """Total instructions: stand-alone bursts plus bursts attached to
+    disk accesses (the per-block batching optimisation)."""
+    total = 0.0
+    for request in trace:
+        if isinstance(request, CPUBurst):
+            total += request.instructions
+        elif isinstance(request, DiskAccess):
+            total += request.cpu
+    return total
 
 
 grant_schedules = st.lists(

@@ -235,6 +235,46 @@ def test_all_of_waits_for_every_child():
     assert when == [5.0]
 
 
+def test_all_of_value_is_child_values_when_children_fire_later():
+    sim = Simulator()
+    first = sim.timeout(1.0, value="a")
+    second = sim.timeout(5.0, value="b")
+    received = []
+
+    def waiter():
+        values = yield sim.all_of([first, second])
+        received.append(values)
+
+    sim.process(waiter())
+    sim.run()
+    assert received == [["a", "b"]]  # in construction order, not fire order
+
+
+def test_all_of_value_is_child_values_when_children_pre_triggered():
+    sim = Simulator()
+    first = sim.event().succeed("x")
+    second = sim.event().succeed("y")
+    composite = sim.all_of([first, second])
+    sim.run()
+    assert composite.triggered
+    assert composite.value == ["x", "y"]
+
+
+def test_all_of_mixed_pre_triggered_and_pending_children():
+    sim = Simulator()
+    already = sim.event().succeed("done")
+    pending = sim.timeout(3.0, value="later")
+    received = []
+
+    def waiter():
+        values = yield sim.all_of([already, pending])
+        received.append((values, sim.now))
+
+    sim.process(waiter())
+    sim.run()
+    assert received == [(["done", "later"], 3.0)]
+
+
 def test_peek_skips_cancelled_events():
     sim = Simulator()
     cancelled = sim.timeout(1.0)

@@ -79,6 +79,7 @@ def test_max_memory_sort_cpu_is_nlogn():
     operator, _grant, _alloc = make_sort(pages=120, tuples_per_page=40)
     trace = drain(operator)
     cpu = sum(r.instructions for r in trace if isinstance(r, CPUBurst))
+    cpu += sum(r.cpu for r in trace if isinstance(r, DiskAccess))
     tuples = 120 * 40
     costs = CPUCosts()
     lower = tuples * costs.sort_copy + costs.initiate_query + costs.terminate_query

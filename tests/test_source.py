@@ -5,11 +5,15 @@ import pytest
 from repro import RTDBSystem, baseline, multiclass, workload_changes
 
 
+@pytest.mark.slow
 def test_poisson_arrival_rate_roughly_matches():
-    config = baseline(arrival_rate=0.05, scale=0.1, duration=4000.0, seed=21)
+    # 1200 simulated seconds is the shortest horizon at which the
+    # fixed-seed arrival count sits well inside the 15% tolerance
+    # (observed relative error ~1.2%; the tolerance is ~3.7 sigma).
+    config = baseline(arrival_rate=0.05, scale=0.1, duration=1200.0, seed=21)
     system = RTDBSystem(config, "minmax")
     system.run()
-    expected = 0.5 * 4000.0  # scaled rate x horizon
+    expected = 0.5 * 1200.0  # scaled rate x horizon
     assert system.source.arrivals == pytest.approx(expected, rel=0.15)
 
 
@@ -44,6 +48,7 @@ def test_inner_relation_is_smaller_of_the_pair():
         assert operator.inner.pages <= operator.outer.pages
 
 
+@pytest.mark.slow
 def test_set_rate_disables_and_reenables_class():
     config = workload_changes(scale=0.1, seed=5, duration=600.0)
     system = RTDBSystem(config, "minmax")
@@ -62,6 +67,7 @@ def test_set_rate_unknown_class_rejected():
         system.source.set_rate("Gigantic", 1.0)
 
 
+@pytest.mark.slow
 def test_per_class_stats_partition_departures():
     config = multiclass(small_rate=0.3, medium_rate=0.05, scale=0.1, duration=800.0, seed=5)
     system = RTDBSystem(config, "minmax")
