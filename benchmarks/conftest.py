@@ -5,6 +5,11 @@ Section 5, prints the regenerated series (for EXPERIMENTS.md), and
 asserts the *qualitative* relations the paper reports -- rankings and
 crossovers, not absolute numbers.
 
+Execution goes through the experiment engine
+(:mod:`repro.experiments.runner`): grid points fan out across worker
+processes and land in a persistent on-disk result cache, so a warm
+re-run of ``pytest benchmarks/`` replays cached results in seconds.
+
 Scale/duration can be overridden through environment variables:
 
 * ``REPRO_BENCH_SCALE``    (default 0.1 -- the paper's own small-scale
@@ -12,16 +17,50 @@ Scale/duration can be overridden through environment variables:
 * ``REPRO_BENCH_DURATION`` (default 1800 simulated seconds per point)
 * ``REPRO_BENCH_SEED``     (default 7)
 
-Simulation runs are memoised across benchmarks within one pytest
-session, so figures sharing a sweep (3, 4, 5, 7, Table 7) pay for it
-once.
+Engine knobs:
+
+* ``REPRO_BENCH_JOBS``     worker processes for the simulation grids
+  (default: ``REPRO_JOBS`` if set, else all cores; ``1`` forces serial)
+* ``REPRO_BENCH_CACHE``    ``0``/``off`` disables the persistent cache,
+  ``1``/``on`` forces it on at the default location, and any other
+  value relocates it to that path; default: on, at ``REPRO_CACHE_DIR``
+  or ``.repro_cache/``
+
+Simulation runs are additionally memoised in-process, so figures
+sharing a sweep (3, 4, 5, 7, Table 7) pay for it once per session even
+with the persistent cache disabled.
 """
 
 import os
 
 import pytest
 
+from repro.experiments import runner
 from repro.experiments.runner import ExperimentSettings
+
+_FALSEY = {"0", "false", "no", "off"}
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def engine():
+    """Point the experiment engine at the benchmark env knobs."""
+    jobs = os.environ.get("REPRO_BENCH_JOBS")
+    cache = os.environ.get("REPRO_BENCH_CACHE", "")
+    cache_enabled = None
+    cache_dir = None
+    if cache.lower() in _FALSEY:
+        cache_enabled = False
+    elif cache.lower() in _TRUTHY:
+        cache_enabled = True
+    elif cache:
+        cache_dir = cache
+    runner.configure(
+        jobs=int(jobs) if jobs else None,
+        cache_dir=cache_dir,
+        cache_enabled=cache_enabled,
+    )
+    return runner
 
 
 @pytest.fixture(scope="session")

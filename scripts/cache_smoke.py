@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Cold/warm smoke check for the persistent experiment cache (CI).
+
+Runs one small figure twice in *separate processes* against a fresh
+cache directory:
+
+* the **cold** run must execute simulations (engine reports misses and
+  stores, and cache files appear on disk);
+* the **warm** run must be served entirely from the persistent cache
+  (zero misses) and therefore finish much faster.
+
+Worker count comes from ``REPRO_BENCH_JOBS`` (default 2).  Usage::
+
+    PYTHONPATH=src REPRO_BENCH_JOBS=2 python scripts/cache_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+FIGURE = os.environ.get("REPRO_SMOKE_FIGURE", "fig3")
+DURATION = os.environ.get("REPRO_SMOKE_DURATION", "600")
+
+
+def run_cli(cache_dir: str, jobs: str) -> tuple[float, dict, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        FIGURE,
+        "--duration",
+        DURATION,
+        "--jobs",
+        jobs,
+        "--cache-dir",
+        cache_dir,
+    ]
+    start = time.perf_counter()
+    proc = subprocess.run(command, env=env, capture_output=True, text=True)
+    elapsed = time.perf_counter() - start
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        raise SystemExit(f"CLI failed with exit code {proc.returncode}")
+    match = re.search(
+        r"\[engine\] jobs=\d+ cache=\S+ memo_hits=(\d+) disk_hits=(\d+) "
+        r"misses=(\d+) stores=(\d+)",
+        proc.stdout,
+    )
+    if match is None:
+        raise SystemExit("engine stats line missing from CLI output")
+    stats = dict(
+        zip(("memo_hits", "disk_hits", "misses", "stores"), map(int, match.groups()))
+    )
+    return elapsed, stats, proc.stdout
+
+
+def main() -> int:
+    jobs = os.environ.get("REPRO_BENCH_JOBS", "2")
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as cache_dir:
+        cold_s, cold, _ = run_cli(cache_dir, jobs)
+        stored = sum(1 for _ in Path(cache_dir).rglob("*.pkl"))
+        if cold["misses"] == 0 or cold["stores"] == 0 or stored == 0:
+            raise SystemExit(f"cold run did not populate the cache: {cold}")
+
+        warm_s, warm, _ = run_cli(cache_dir, jobs)
+        if warm["misses"] != 0:
+            raise SystemExit(f"warm run re-ran simulations: {warm}")
+        if warm["disk_hits"] == 0:
+            raise SystemExit(f"warm run never read the persistent cache: {warm}")
+
+        print(
+            f"[cache-smoke] OK: cold {cold_s:.1f}s ({cold['misses']} runs, "
+            f"{stored} cached), warm {warm_s:.1f}s ({warm['disk_hits']} disk hits, "
+            f"0 misses), speedup {cold_s / warm_s:.1f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

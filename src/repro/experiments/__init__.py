@@ -1,6 +1,23 @@
-"""Experiment harness: one runner per figure/table of Section 5."""
+"""Experiment harness: one runner per figure/table of Section 5.
 
-from repro.experiments.runner import ExperimentSettings, run_config, sweep
+Execution goes through :mod:`repro.experiments.runner`, a parallel
+engine with a persistent on-disk result cache -- see that module for
+the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` knobs.
+"""
+
+from repro.experiments.runner import (
+    CACHE_VERSION,
+    ExperimentSettings,
+    ResultCache,
+    RunSpec,
+    SetupSignatureError,
+    cache_key,
+    clear_cache,
+    configure,
+    run_config,
+    run_many,
+    sweep,
+)
 from repro.experiments.figures import (
     figure_03_baseline_miss_ratio,
     figure_04_baseline_disk_util,
@@ -22,7 +39,15 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "CACHE_VERSION",
     "ExperimentSettings",
+    "ResultCache",
+    "RunSpec",
+    "SetupSignatureError",
+    "cache_key",
+    "clear_cache",
+    "configure",
+    "run_many",
     "figure_03_baseline_miss_ratio",
     "figure_04_baseline_disk_util",
     "figure_05_baseline_mpl",

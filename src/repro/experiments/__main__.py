@@ -12,6 +12,17 @@ Examples
     python -m repro.experiments fig3 fig11
     python -m repro.experiments --all --scale 0.1 --duration 1500
     python -m repro.experiments fig3 --scale 1.0 --duration 20000  # full size
+    python -m repro.experiments fig3 --jobs 8                      # parallel grid
+    python -m repro.experiments fig3 --no-cache                    # force re-runs
+
+Execution knobs (flags override the environment):
+
+* ``--jobs N`` / ``REPRO_JOBS``           worker processes (default: all cores)
+* ``--cache-dir D`` / ``REPRO_CACHE_DIR`` persistent result cache (default
+  ``.repro_cache``)
+* ``--no-cache`` / ``REPRO_NO_CACHE=1``   bypass the persistent cache; each
+  distinct grid point still runs at most once per invocation (in-process
+  memo), since several figures project the same sweep
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments import figures
+from repro.experiments import figures, runner
 from repro.experiments.runner import ExperimentSettings
 
 #: Experiment registry: id -> (description, runner taking settings).
@@ -85,7 +96,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--chart", action="store_true", help="also render ASCII charts of the series"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation grids (default: REPRO_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result cache (re-run each distinct grid "
+        "point once; results are still shared within this invocation)",
+    )
     args = parser.parse_args(argv)
+
+    runner.configure(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache_enabled=False if args.no_cache else None,
+    )
 
     everything = {**REGISTRY, **SPECIAL}
     if args.list:
@@ -105,10 +139,10 @@ def main(argv=None) -> int:
         scale=args.scale, duration=args.duration, seed=args.seed
     )
     for key in chosen:
-        description, runner = everything[key]
+        description, experiment = everything[key]
         print(f"\n=== {description} ===")
         started = time.time()
-        output = runner(settings)
+        output = experiment(settings)
         if hasattr(output, "render"):
             print(output.render())
             if args.chart and getattr(output, "series", None):
@@ -123,6 +157,13 @@ def main(argv=None) -> int:
                     )
                 )
         print(f"[{key} done in {time.time() - started:.1f}s]")
+    stats = runner.stats
+    print(
+        f"[engine] jobs={runner.default_jobs()} "
+        f"cache={'off' if not runner.cache_enabled() else runner.cache_dir()} "
+        f"memo_hits={stats.memo_hits} disk_hits={stats.disk_hits} "
+        f"misses={stats.misses} stores={stats.stores}"
+    )
     return 0
 
 

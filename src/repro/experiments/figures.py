@@ -18,7 +18,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.output import phase_average
 from repro.analysis.report import format_series, format_table
-from repro.experiments.runner import ExperimentSettings, run_config, sweep
+from repro.experiments.runner import (
+    ExperimentSettings,
+    RunSpec,
+    run_config,
+    run_many,
+    sweep,
+)
 from repro.rtdbs.system import SimulationResult
 from repro.sim.rng import Streams
 from repro.workloads.presets import (
@@ -315,13 +321,15 @@ def figure_11_minmax_n_sweep(
     config = disk_contention(
         arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
     )
+    # One batch for the whole N sweep plus the PMM reference run.
+    specs = [RunSpec(config, f"minmax-{n}", settings) for n in n_values]
+    specs.append(RunSpec(config, "pmm", settings))
+    *n_results, pmm_result = run_many(specs)
     points = []
     raw_points = []
-    for n in n_values:
-        result = run_config(config, f"minmax-{n}", settings)
+    for n, result in zip(n_values, n_results):
         points.append((float(n), result.miss_ratio))
         raw_points.append((float(n), result))
-    pmm_result = run_config(config, "pmm", settings)
     return FigureResult(
         figure_id="Figure 11",
         title=f"MinMax-N sweep (lambda={arrival_rate}, 6 disks)",
@@ -361,6 +369,41 @@ def make_phases(
     return phases
 
 
+@dataclass(frozen=True)
+class _PhaseSetup:
+    """Picklable setup hook: toggle class rates at each phase boundary.
+
+    Defined at module level (not as a closure) so workload-change runs
+    can cross the process-pool boundary; ``signature`` is its explicit
+    contribution to the cache key.
+    """
+
+    phases: Tuple[Tuple[float, float, str], ...]
+    medium_rate: float
+    small_rate: float
+
+    def __call__(self, system) -> None:
+        # Start with Medium only; toggle the class rates per phase.
+        system.source.set_rate("Small", 0.0)
+        for start, _end, name in self.phases:
+            if start == 0.0:
+                continue
+            if name == "Small":
+                system.schedule(start, lambda s=system, r=self.small_rate: (
+                    s.source.set_rate("Medium", 0.0),
+                    s.source.set_rate("Small", r),
+                ))
+            else:
+                system.schedule(start, lambda s=system, r=self.medium_rate: (
+                    s.source.set_rate("Small", 0.0),
+                    s.source.set_rate("Medium", r),
+                ))
+
+    @property
+    def signature(self) -> tuple:
+        return ("workload_changes.phases", self.phases, self.medium_rate, self.small_rate)
+
+
 def figure_12_14_workload_changes(
     settings: ExperimentSettings = ExperimentSettings(),
     policies: Sequence[str] = ("max", "minmax", "pmm"),
@@ -368,7 +411,8 @@ def figure_12_14_workload_changes(
 ) -> Tuple[Dict[str, Dict], List[Tuple[float, float, str]]]:
     """Figures 12-14: miss ratio over an alternating workload.
 
-    Returns ``({policy: {"result", "phase_miss", "series"}}, phases)``;
+    All policies are submitted as one batch.  Returns
+    ``({policy: {"result", "phase_miss", "series"}}, phases)``;
     ``phase_miss`` is the per-phase average miss ratio the paper prints
     along the top of each figure.
     """
@@ -380,37 +424,27 @@ def figure_12_14_workload_changes(
         seed=settings.seed,
         warmup=settings.warmup,
     )
-    output: Dict[str, Dict] = {}
+    specs = []
     for policy in policies:
         config = workload_changes(scale=settings.scale, seed=settings.seed)
-        medium_rate = config.workload.classes[0].arrival_rate
-        small_rate = config.workload.classes[1].arrival_rate
-
-        def setup(system, _phases=phases, _m=medium_rate, _s=small_rate):
-            # Start with Medium only; toggle the class rates per phase.
-            system.source.set_rate("Small", 0.0)
-            for start, _end, name in _phases:
-                if start == 0.0:
-                    continue
-                if name == "Small":
-                    system.schedule(start, lambda s=system, r=_s: (
-                        s.source.set_rate("Medium", 0.0),
-                        s.source.set_rate("Small", r),
-                    ))
-                else:
-                    system.schedule(start, lambda s=system, r=_m: (
-                        s.source.set_rate("Small", 0.0),
-                        s.source.set_rate("Medium", r),
-                    ))
-
-        result = run_config(
-            config,
-            policy,
-            run_settings,
-            cache_key=("workload_changes", policy, settings, num_phases),
-            setup=setup,
+        setup = _PhaseSetup(
+            phases=tuple(phases),
+            medium_rate=config.workload.classes[0].arrival_rate,
+            small_rate=config.workload.classes[1].arrival_rate,
         )
-        window = max(60.0, horizon / 60.0)
+        specs.append(
+            RunSpec(
+                config=config,
+                policy=policy,
+                settings=run_settings,
+                setup=setup,
+                setup_signature=setup.signature,
+            )
+        )
+    results = run_many(specs)
+    window = max(60.0, horizon / 60.0)
+    output: Dict[str, Dict] = {}
+    for policy, result in zip(policies, results):
         output[policy] = {
             "result": result,
             "series": result.windowed_miss_ratio(window),
@@ -536,13 +570,20 @@ def section_54_utillow_sensitivity(
     """Section 5.4: PMM's miss ratio is insensitive to UtilLow."""
     from repro.rtdbs.config import PMMParams
 
+    specs = [
+        RunSpec(
+            baseline(
+                arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
+            ).with_overrides(pmm=PMMParams(util_low=util_low, util_high=0.85)),
+            "pmm",
+            settings,
+        )
+        for util_low in util_lows
+    ]
+    results = run_many(specs)
     points = []
     raw_points = []
-    for util_low in util_lows:
-        config = baseline(
-            arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
-        ).with_overrides(pmm=PMMParams(util_low=util_low, util_high=0.85))
-        result = run_config(config, "pmm", settings)
+    for util_low, result in zip(util_lows, results):
         points.append((util_low, result.miss_ratio))
         raw_points.append((util_low, result))
     return FigureResult(
@@ -563,23 +604,29 @@ def section_57_scalability(
     policies: Sequence[str] = ("max", "minmax", "pmm"),
 ) -> Dict[str, Dict[str, float]]:
     """Section 5.7: scale sizes x factor / rates / factor; the policy
-    ranking must be preserved.  Returns miss ratios at both scales."""
+    ranking must be preserved.  Returns miss ratios at both scales.
+
+    The whole (scale x policy) grid goes out as one batch."""
+    base_config = disk_contention(
+        arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
+    )
+    scaled_config = disk_contention(
+        arrival_rate=arrival_rate, scale=settings.scale * factor, seed=settings.seed
+    )
+    scaled_settings = ExperimentSettings(
+        scale=settings.scale * factor,
+        duration=settings.duration * factor,
+        seed=settings.seed,
+        warmup=settings.warmup * factor,
+    )
+    policy_list = list(policies)
+    specs = [RunSpec(base_config, policy, settings) for policy in policy_list] + [
+        RunSpec(scaled_config, policy, scaled_settings) for policy in policy_list
+    ]
+    results = run_many(specs)
     output: Dict[str, Dict[str, float]] = {"base": {}, "scaled": {}}
-    for policy in policies:
-        base_config = disk_contention(
-            arrival_rate=arrival_rate, scale=settings.scale, seed=settings.seed
-        )
-        scaled_config = disk_contention(
-            arrival_rate=arrival_rate, scale=settings.scale * factor, seed=settings.seed
-        )
-        output["base"][policy] = run_config(base_config, policy, settings).miss_ratio
-        scaled_settings = ExperimentSettings(
-            scale=settings.scale * factor,
-            duration=settings.duration * factor,
-            seed=settings.seed,
-            warmup=settings.warmup * factor,
-        )
-        output["scaled"][policy] = run_config(
-            scaled_config, policy, scaled_settings
-        ).miss_ratio
+    for policy, result in zip(policy_list, results[: len(policy_list)]):
+        output["base"][policy] = result.miss_ratio
+    for policy, result in zip(policy_list, results[len(policy_list) :]):
+        output["scaled"][policy] = result.miss_ratio
     return output

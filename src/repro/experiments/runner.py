@@ -1,19 +1,69 @@
-"""Shared experiment execution with in-process memoisation.
+"""The experiment execution engine: parallel fan-out plus result caching.
 
-Several figures are different projections of the *same* simulation runs
-(Figures 3, 4, 5, 7 and Table 7 all come from the baseline sweep), so
-runs are cached by their full parameter signature: repeated calls --
-e.g. from separate benchmark tests in one pytest session -- pay for
-each distinct simulation once.
+Reproducing Section 5 means running a grid of independent fixed-seed
+simulations -- (policy x arrival-rate) points that share nothing at run
+time.  The engine exploits that shape three ways:
+
+* **Canonical cache keys.**  Every run is identified by a content hash
+  of its complete parameter record -- the :class:`SimulationConfig`
+  (walked field by field), the policy name, the
+  :class:`ExperimentSettings`, and, for runs with a ``setup`` hook, an
+  explicit ``setup_signature`` describing the hook's behaviour.  The
+  key is independent of process, platform, and ``PYTHONHASHSEED``, and
+  is salted with :data:`CACHE_VERSION` so stale entries can never
+  outlive a semantic change to the simulator.
+
+* **Process-pool fan-out.**  :func:`run_many` submits a whole batch of
+  :class:`RunSpec`\\ s across ``jobs`` worker processes
+  (``--jobs`` / ``REPRO_JOBS``; default: all cores).  Each simulation
+  carries its own seed and builds its own :class:`RTDBSystem`, so
+  parallel results are bit-identical to serial execution.
+
+* **A persistent on-disk cache.**  Results are pickled under
+  ``<cache-dir>/v<CACHE_VERSION>/<key>.pkl`` (``--cache-dir`` /
+  ``REPRO_CACHE_DIR``; default ``.repro_cache``), so warm re-runs of
+  ``pytest benchmarks/`` or the CLI skip the simulations entirely.  An
+  in-process memo sits in front of the disk so repeated calls within
+  one session also share the identical result object.
+
+Runs with a ``setup`` hook but no ``setup_signature`` raise
+:class:`SetupSignatureError` rather than silently bypassing the cache;
+pass ``cache=False`` to run such a hook uncached on purpose.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+import os
+import pickle
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, is_dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.rtdbs.config import SimulationConfig
 from repro.rtdbs.system import RTDBSystem, SimulationResult
+
+#: Cache salt.  Bump whenever simulation semantics change (event
+#: ordering, cost model, statistics) so previously cached results are
+#: invalidated wholesale; the salt both prefixes the hashed material
+#: and names the on-disk directory (``v<CACHE_VERSION>/``).
+CACHE_VERSION = 1
+
+#: Default persistent cache location (relative to the working
+#: directory; override with ``REPRO_CACHE_DIR`` or ``--cache-dir``).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class SetupSignatureError(ValueError):
+    """A ``setup`` hook was supplied without a ``setup_signature``.
+
+    Caching such a run would be unsound (two different hooks with the
+    same config would collide) and silently skipping the cache hides
+    the full cost of every warm re-run, so the engine refuses instead.
+    """
 
 
 @dataclass(frozen=True)
@@ -33,87 +83,378 @@ class ExperimentSettings:
     max_completions: Optional[int] = None
 
 
-_CACHE: Dict[tuple, SimulationResult] = {}
+@dataclass(frozen=True)
+class RunSpec:
+    """One grid point: everything needed to execute one simulation.
+
+    ``setup`` receives the built :class:`RTDBSystem` before the run
+    starts (experiment drivers use it to schedule mid-run workload
+    changes); it must be picklable for parallel execution, so use a
+    module-level callable (see ``figures._PhaseSetup``), not a closure.
+    ``setup_signature`` is the hook's contribution to the cache key and
+    is mandatory whenever a ``setup`` run is cached.
+    """
+
+    config: SimulationConfig
+    policy: str
+    settings: ExperimentSettings = ExperimentSettings()
+    setup: Optional[Callable[[RTDBSystem], None]] = None
+    setup_signature: Optional[tuple] = None
 
 
-def clear_cache() -> None:
-    """Drop memoised runs (tests use this for isolation)."""
-    _CACHE.clear()
+# ----------------------------------------------------------------------
+# Canonical content-hash cache keys
+# ----------------------------------------------------------------------
+def _canonical(value):
+    """A deterministic, hashable-by-repr projection of a parameter tree.
+
+    Dataclasses are walked field by field (type name included, so two
+    different parameter records never collide), mappings are sorted,
+    and only repr-stable leaf types are accepted -- anything else
+    (functions, open handles) is a hard error rather than a silently
+    unstable key.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _canonical(getattr(value, f.name))) for f in fields(value)
+        )
+    if isinstance(value, (tuple, list)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted((str(k), _canonical(v)) for k, v in value.items())
+        )
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot build a stable cache key from {type(value).__name__!r}; "
+        "pass only plain data (or give the run an explicit setup_signature)"
+    )
+
+
+def cache_key(
+    config: SimulationConfig,
+    policy: str,
+    settings: ExperimentSettings,
+    setup_signature: Optional[tuple] = None,
+) -> str:
+    """The canonical content-hash key of one simulation run."""
+    material = (
+        "repro-experiment",
+        CACHE_VERSION,
+        str(policy),
+        _canonical(config),
+        _canonical(settings),
+        None if setup_signature is None else _canonical(setup_signature),
+    )
+    return sha256(repr(material).encode("utf-8")).hexdigest()
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Cache key of a :class:`RunSpec`; raises on un-signed setup hooks."""
+    if spec.setup is not None and spec.setup_signature is None:
+        raise SetupSignatureError(
+            "a run with a setup hook cannot be cached without a "
+            "setup_signature describing the hook; pass setup_signature=... "
+            "or disable caching for this run with cache=False"
+        )
+    return cache_key(spec.config, spec.policy, spec.settings, spec.setup_signature)
+
+
+# ----------------------------------------------------------------------
+# Persistent on-disk cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Pickle-per-result store under ``<root>/v<CACHE_VERSION>/``.
+
+    Writes are atomic (temp file + rename) so concurrent workers and
+    parallel pytest sessions can share one directory; unreadable or
+    mismatched entries are treated as misses and deleted.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(
+            root
+            if root is not None
+            else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        )
+        self.version = CACHE_VERSION
+        self.directory = self.root / f"v{self.version}"
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt / truncated / incompatible entry: drop it.
+            path.unlink(missing_ok=True)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != self.version
+            or payload.get("key") != key
+        ):
+            path.unlink(missing_ok=True)
+            return None
+        return payload.get("result")
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle_fd, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".write-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle_fd, "wb") as handle:
+                pickle.dump(
+                    {"version": self.version, "key": key, "result": result},
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(temp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.directory.glob("*.pkl"))
+        except OSError:
+            return 0
+
+
+# ----------------------------------------------------------------------
+# Engine state: defaults, stats, configuration
+# ----------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """Counters for one engine session (reset with :func:`reset_stats`)."""
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memo_hits + self.disk_hits
+
+
+_memo: Dict[str, SimulationResult] = {}
+stats = EngineStats()
+
+#: Session overrides installed by :func:`configure` (CLI flags,
+#: benchmark fixtures); ``None`` means "fall back to the environment".
+_jobs_override: Optional[int] = None
+_cache_dir_override: Optional[str] = None
+_cache_enabled_override: Optional[bool] = None
+
+_FALSEY = {"0", "false", "no", "off", ""}
+
+
+def configure(
+    jobs: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    cache_enabled: Optional[bool] = None,
+) -> None:
+    """Install session-wide engine defaults (CLI flags, test fixtures).
+
+    Only non-``None`` arguments change state; the environment variables
+    ``REPRO_JOBS``, ``REPRO_CACHE_DIR`` and ``REPRO_NO_CACHE`` fill any
+    remaining gaps.
+    """
+    global _jobs_override, _cache_dir_override, _cache_enabled_override
+    if jobs is not None:
+        _jobs_override = max(1, int(jobs))
+    if cache_dir is not None:
+        _cache_dir_override = os.fspath(cache_dir)
+    if cache_enabled is not None:
+        _cache_enabled_override = bool(cache_enabled)
+
+
+def default_jobs() -> int:
+    """Worker count when a call does not pass ``jobs`` explicitly."""
+    if _jobs_override is not None:
+        return _jobs_override
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def cache_enabled() -> bool:
+    if _cache_enabled_override is not None:
+        return _cache_enabled_override
+    return os.environ.get("REPRO_NO_CACHE", "").lower() in _FALSEY
+
+
+def cache_dir() -> Path:
+    if _cache_dir_override is not None:
+        return Path(_cache_dir_override)
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def _active_cache() -> Optional[ResultCache]:
+    if not cache_enabled():
+        return None
+    return ResultCache(cache_dir())
+
+
+def reset_stats() -> None:
+    global stats
+    stats = EngineStats()
+
+
+def clear_cache(disk: bool = False) -> None:
+    """Drop memoised runs; with ``disk=True`` also wipe the disk cache."""
+    _memo.clear()
+    if disk:
+        ResultCache(cache_dir()).clear()
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _execute(spec: RunSpec) -> SimulationResult:
+    """Build and run one simulation (also the process-pool entry point)."""
+    system = RTDBSystem(spec.config, spec.policy)
+    if spec.setup is not None:
+        spec.setup(system)
+    settings = spec.settings
+    return system.run(
+        duration=settings.duration,
+        warmup=settings.warmup,
+        max_completions=settings.max_completions,
+    )
+
+
+def run_many(
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    cache: bool = True,
+) -> List[SimulationResult]:
+    """Run a batch of grid points, in parallel, through the caches.
+
+    Cached points (memo first, then disk) are served without touching a
+    worker; the remaining misses are fanned out across ``jobs`` worker
+    processes (default: :func:`default_jobs`).  Results come back in
+    spec order and are bit-identical to serial execution -- every run
+    is an isolated fixed-seed simulation.
+
+    ``cache=False`` bypasses both cache layers entirely (and permits
+    un-signed ``setup`` hooks).
+    """
+    spec_list = list(specs)
+    results: List[Optional[SimulationResult]] = [None] * len(spec_list)
+    keys: List[Optional[str]] = [None] * len(spec_list)
+    disk = _active_cache() if cache else None
+    pending: List[Tuple[int, RunSpec]] = []
+    pending_by_key: Dict[str, int] = {}
+    duplicate_of: Dict[int, int] = {}
+    for index, spec in enumerate(spec_list):
+        if not cache:
+            pending.append((index, spec))
+            continue
+        key = spec_key(spec)
+        keys[index] = key
+        memo_hit = _memo.get(key)
+        if memo_hit is not None:
+            stats.memo_hits += 1
+            results[index] = memo_hit
+            continue
+        if key in pending_by_key:
+            # Same grid point appears twice in one batch: run it once.
+            duplicate_of[index] = pending_by_key[key]
+            continue
+        if disk is not None:
+            disk_hit = disk.get(key)
+            if disk_hit is not None:
+                stats.disk_hits += 1
+                _memo[key] = disk_hit
+                results[index] = disk_hit
+                continue
+        stats.misses += 1
+        pending_by_key[key] = index
+        pending.append((index, spec))
+
+    worker_count = min(max(1, jobs if jobs is not None else default_jobs()), len(pending))
+    if worker_count > 1:
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            fresh = list(pool.map(_execute, [spec for _index, spec in pending]))
+    else:
+        fresh = [_execute(spec) for _index, spec in pending]
+
+    for (index, _spec), result in zip(pending, fresh):
+        results[index] = result
+        key = keys[index]
+        if key is not None:
+            _memo[key] = result
+            if disk is not None:
+                disk.put(key, result)
+                stats.stores += 1
+    for index, source_index in duplicate_of.items():
+        results[index] = results[source_index]
+    return results  # type: ignore[return-value]
 
 
 def run_config(
     config: SimulationConfig,
     policy: str,
     settings: ExperimentSettings,
-    cache_key: Optional[tuple] = None,
     setup: Optional[Callable[[RTDBSystem], None]] = None,
+    setup_signature: Optional[tuple] = None,
+    cache: bool = True,
 ) -> SimulationResult:
-    """Run (or fetch from cache) one simulation.
+    """Run (or fetch from the caches) one simulation.
 
-    ``setup`` receives the built system before the run starts --
-    experiment drivers use it to schedule mid-run workload changes.
-    Runs with a ``setup`` hook are cached only when ``cache_key``
-    includes enough information to identify the hook's behaviour.
+    Single-point convenience wrapper over :func:`run_many`; always
+    executes in-process (no pool for one run).
     """
-    key = cache_key
-    if key is None and setup is None:
-        key = _config_signature(config, policy, settings)
-    if key is not None and key in _CACHE:
-        return _CACHE[key]
-    system = RTDBSystem(config, policy)
-    if setup is not None:
-        setup(system)
-    result = system.run(
-        duration=settings.duration,
-        warmup=settings.warmup,
-        max_completions=settings.max_completions,
+    spec = RunSpec(
+        config=config,
+        policy=policy,
+        settings=settings,
+        setup=setup,
+        setup_signature=setup_signature,
     )
-    if key is not None:
-        _CACHE[key] = result
-    return result
+    return run_many([spec], jobs=1, cache=cache)[0]
 
 
 def sweep(
     configs: Iterable[Tuple[float, SimulationConfig]],
     policies: Iterable[str],
     settings: ExperimentSettings,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Dict[str, List[Tuple[float, SimulationResult]]]:
     """Run a (x-value, config) grid for several policies.
 
-    Returns ``{policy: [(x, result), ...]}`` with results in x order.
+    The entire (policy x config) grid is submitted as **one**
+    :func:`run_many` batch, so a sweep saturates the worker pool
+    instead of running policy by policy.  Returns
+    ``{policy: [(x, result), ...]}`` with results in x order.
     """
     config_list = list(configs)
+    policy_list = list(policies)
+    specs = [
+        RunSpec(config=config, policy=policy, settings=settings)
+        for policy in policy_list
+        for _x, config in config_list
+    ]
+    flat = run_many(specs, jobs=jobs, cache=cache)
     output: Dict[str, List[Tuple[float, SimulationResult]]] = {}
-    for policy in policies:
-        series: List[Tuple[float, SimulationResult]] = []
-        for x_value, config in config_list:
-            series.append((x_value, run_config(config, policy, settings)))
-        output[policy] = series
+    cursor = iter(flat)
+    for policy in policy_list:
+        output[policy] = [(x, next(cursor)) for x, _config in config_list]
     return output
-
-
-def _config_signature(
-    config: SimulationConfig, policy: str, settings: ExperimentSettings
-) -> tuple:
-    classes = tuple(
-        (c.name, c.query_type, c.rel_groups, round(c.arrival_rate, 9), c.slack_range)
-        for c in config.workload.classes
-    )
-    groups = tuple((g.rel_per_disk, g.size_range) for g in config.database.groups)
-    resources = config.resources
-    return (
-        policy,
-        classes,
-        groups,
-        config.database.tuple_size,
-        config.workload.fudge_factor,
-        resources.num_disks,
-        resources.memory_pages,
-        resources.num_cylinders,
-        resources.cpu_mips,
-        config.pmm,
-        config.seed,
-        config.temp_placement,
-        config.firm_deadlines,
-        settings,
-    )

@@ -41,7 +41,13 @@ class ClassResult:
 
 @dataclass
 class SimulationResult:
-    """Everything the paper's figures and tables are drawn from."""
+    """Everything the paper's figures and tables are drawn from.
+
+    The experiment engine ships results across process-pool workers and
+    stores them in a persistent on-disk cache, so every field must stay
+    plain picklable data (numbers, strings, tuples/lists/dicts of
+    those) -- no simulator handles, no callables.
+    """
 
     policy: str
     simulated_seconds: float
@@ -78,6 +84,21 @@ class SimulationResult:
         if not self.disk_utilizations:
             return 0.0
         return sum(self.disk_utilizations) / len(self.disk_utilizations)
+
+    def equals_exactly(self, other: "SimulationResult") -> bool:
+        """Bit-exact equality, tolerating NaN statistics.
+
+        Dataclass ``==`` is the natural comparison, but a run with zero
+        completions reports NaN averages and ``NaN != NaN`` would make
+        two genuinely identical results compare unequal.  Comparing the
+        full ``repr`` sidesteps that (``repr(nan) == repr(nan)``) while
+        staying exact for every finite float -- ``repr`` round-trips
+        Python floats losslessly.  The engine's serial-vs-parallel and
+        pickle round-trip guarantees are asserted with this.
+        """
+        if not isinstance(other, SimulationResult):
+            return False
+        return repr(self) == repr(other)
 
     def windowed_miss_ratio(
         self, window_seconds: float, class_name: Optional[str] = None

@@ -1,0 +1,199 @@
+"""Engine-level tests: cache keys, persistence, and parallel execution.
+
+These pin the guarantees the experiment engine makes:
+
+* cache keys are canonical content hashes -- stable across processes
+  and ``PYTHONHASHSEED``, salted by :data:`runner.CACHE_VERSION`;
+* :class:`SimulationResult` round-trips through pickle losslessly (the
+  process-pool and the on-disk cache both depend on it);
+* a fixed-seed grid produces bit-identical results serially and under
+  process-pool fan-out;
+* the persistent cache serves warm runs and never serves stale salt.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import (
+    ExperimentSettings,
+    ResultCache,
+    RunSpec,
+    SetupSignatureError,
+    cache_key,
+    clear_cache,
+    run_config,
+    run_many,
+)
+from repro.workloads.presets import baseline
+
+
+@pytest.fixture(autouse=True)
+def isolated_engine(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "_jobs_override", 1)
+    monkeypatch.setattr(runner, "_cache_dir_override", str(tmp_path / "cache"))
+    monkeypatch.setattr(runner, "_cache_enabled_override", True)
+    clear_cache()
+    runner.reset_stats()
+    yield
+    clear_cache()
+
+
+TINY = ExperimentSettings(scale=0.1, duration=200.0, seed=3)
+
+
+def tiny_config(rate=0.04, seed=3):
+    return baseline(arrival_rate=rate, scale=0.1, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+def test_cache_key_stable_across_processes():
+    key = cache_key(tiny_config(), "minmax", TINY)
+    script = (
+        "from repro.experiments.runner import ExperimentSettings, cache_key\n"
+        "from repro.workloads.presets import baseline\n"
+        "config = baseline(arrival_rate=0.04, scale=0.1, seed=3)\n"
+        "settings = ExperimentSettings(scale=0.1, duration=200.0, seed=3)\n"
+        "print(cache_key(config, 'minmax', settings))\n"
+    )
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    # A different hash seed must not perturb the key.
+    env["PYTHONHASHSEED"] = "424242"
+    output = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True, text=True
+    )
+    assert output.returncode == 0, output.stderr
+    assert output.stdout.strip() == key
+
+
+def test_cache_key_distinguishes_every_dimension():
+    base = cache_key(tiny_config(), "minmax", TINY)
+    assert cache_key(tiny_config(), "max", TINY) != base
+    assert cache_key(tiny_config(rate=0.05), "minmax", TINY) != base
+    assert cache_key(tiny_config(seed=4), "minmax", TINY) != base
+    longer = ExperimentSettings(scale=0.1, duration=300.0, seed=3)
+    assert cache_key(tiny_config(), "minmax", longer) != base
+    signed = cache_key(tiny_config(), "minmax", TINY, setup_signature=("phases", 5))
+    assert signed != base
+    assert cache_key(tiny_config(), "minmax", TINY, setup_signature=("phases", 6)) != signed
+
+
+def test_cache_key_salted_by_version(monkeypatch):
+    before = cache_key(tiny_config(), "minmax", TINY)
+    monkeypatch.setattr(runner, "CACHE_VERSION", runner.CACHE_VERSION + 1)
+    assert cache_key(tiny_config(), "minmax", TINY) != before
+
+
+def test_cache_key_rejects_unhashable_material():
+    with pytest.raises(TypeError):
+        cache_key(tiny_config(), "minmax", TINY, setup_signature=(lambda: None,))
+
+
+# ----------------------------------------------------------------------
+# Pickle round-trip
+# ----------------------------------------------------------------------
+def test_simulation_result_pickle_roundtrip():
+    result = run_config(tiny_config(), "minmax", TINY)
+    clone = pickle.loads(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+    assert clone == result  # dataclass equality, every field
+    assert clone.equals_exactly(result)
+    assert clone.per_class.keys() == result.per_class.keys()
+    assert clone.departure_log == result.departure_log
+
+
+# ----------------------------------------------------------------------
+# Serial vs parallel
+# ----------------------------------------------------------------------
+def test_serial_and_parallel_results_identical():
+    specs = [
+        RunSpec(tiny_config(rate=rate), policy, TINY)
+        for policy in ("max", "minmax")
+        for rate in (0.04, 0.05)
+    ]
+    serial = run_many(specs, jobs=1, cache=False)
+    parallel = run_many(specs, jobs=2, cache=False)
+    assert len(serial) == len(parallel) == len(specs)
+    for left, right in zip(serial, parallel):
+        assert left.equals_exactly(right)
+        assert (left.arrivals, left.served, left.missed) == (
+            right.arrivals,
+            right.served,
+            right.missed,
+        )
+
+
+def test_run_many_dedupes_identical_specs_within_a_batch():
+    spec = RunSpec(tiny_config(), "minmax", TINY)
+    other = RunSpec(tiny_config(rate=0.05), "minmax", TINY)
+    results = run_many([spec, other, spec])
+    assert runner.stats.misses == 2  # the duplicate never executed
+    assert results[0] is results[2]
+    assert not results[1].equals_exactly(results[0])
+
+
+def test_run_many_preserves_spec_order_with_mixed_hits():
+    first = RunSpec(tiny_config(rate=0.04), "minmax", TINY)
+    second = RunSpec(tiny_config(rate=0.05), "minmax", TINY)
+    warmed = run_config(tiny_config(rate=0.04), "minmax", TINY)
+    results = run_many([first, second])
+    assert results[0] is warmed  # served from the memo, in position
+    assert results[1].policy == warmed.policy  # same policy, different rate...
+    assert not results[1].equals_exactly(results[0])  # ...distinct run
+
+
+# ----------------------------------------------------------------------
+# Persistent cache
+# ----------------------------------------------------------------------
+def test_disk_cache_survives_memo_clear():
+    result = run_config(tiny_config(), "minmax", TINY)
+    assert runner.stats.misses == 1 and runner.stats.stores == 1
+    clear_cache()  # drop the in-process memo, keep the disk
+    warm = run_config(tiny_config(), "minmax", TINY)
+    assert runner.stats.disk_hits == 1
+    assert warm is not result  # different object...
+    assert warm.equals_exactly(result)  # ...same experiment, exactly
+
+
+def test_cache_version_bump_invalidates_disk_entries(monkeypatch, tmp_path):
+    cache = ResultCache(tmp_path / "salted")
+    key = cache_key(tiny_config(), "minmax", TINY)
+    result = run_config(tiny_config(), "minmax", TINY)
+    cache.put(key, result)
+    assert cache.get(key).equals_exactly(result)
+    monkeypatch.setattr(runner, "CACHE_VERSION", runner.CACHE_VERSION + 1)
+    bumped = ResultCache(tmp_path / "salted")
+    new_key = cache_key(tiny_config(), "minmax", TINY)
+    assert bumped.get(new_key) is None  # old entries unreachable
+    assert bumped.directory != cache.directory  # versioned directory
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "corrupt")
+    key = cache_key(tiny_config(), "minmax", TINY)
+    cache.directory.mkdir(parents=True)
+    cache.path_for(key).write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+    assert not cache.path_for(key).exists()  # dropped, not retried forever
+
+
+def test_cache_disabled_bypasses_disk(monkeypatch):
+    monkeypatch.setattr(runner, "_cache_enabled_override", False)
+    result = run_config(tiny_config(), "minmax", TINY)
+    assert len(ResultCache(runner.cache_dir())) == 0
+    again = run_config(tiny_config(), "minmax", TINY)
+    assert again is result  # the in-process memo still applies
+
+
+def test_spec_key_requires_setup_signature():
+    spec = RunSpec(tiny_config(), "minmax", TINY, setup=lambda system: None)
+    with pytest.raises(SetupSignatureError):
+        runner.spec_key(spec)

@@ -1,14 +1,25 @@
-"""Unit tests for the experiment harness (runner cache, figure plumbing)."""
+"""Unit tests for the experiment harness (runner caches, figure plumbing)."""
 
 import pytest
 
+from repro.experiments import runner
 from repro.experiments.figures import FigureResult, make_phases
-from repro.experiments.runner import ExperimentSettings, clear_cache, run_config, sweep
+from repro.experiments.runner import (
+    ExperimentSettings,
+    SetupSignatureError,
+    clear_cache,
+    run_config,
+    sweep,
+)
 from repro.workloads.presets import baseline
 
 
 @pytest.fixture(autouse=True)
-def fresh_cache():
+def isolated_engine(tmp_path, monkeypatch):
+    """Fresh memo + a throwaway disk cache, serial execution."""
+    monkeypatch.setattr(runner, "_jobs_override", 1)
+    monkeypatch.setattr(runner, "_cache_dir_override", str(tmp_path / "cache"))
+    monkeypatch.setattr(runner, "_cache_enabled_override", True)
     clear_cache()
     yield
     clear_cache()
@@ -39,13 +50,45 @@ def test_run_config_distinguishes_settings():
     assert first is not second
 
 
-def test_setup_hook_requires_explicit_cache_key():
+def test_setup_hook_without_signature_refuses_to_cache():
+    config = baseline(arrival_rate=0.05, scale=0.1, seed=3)
+    with pytest.raises(SetupSignatureError):
+        run_config(config, "minmax", TINY, setup=lambda system: None)
+
+
+def test_setup_hook_runs_uncached_when_asked():
     config = baseline(arrival_rate=0.05, scale=0.1, seed=3)
     calls = []
-    first = run_config(config, "minmax", TINY, setup=lambda system: calls.append(1))
-    second = run_config(config, "minmax", TINY, setup=lambda system: calls.append(1))
-    assert calls == [1, 1]  # not cached without a key
+    first = run_config(
+        config, "minmax", TINY, setup=lambda system: calls.append(1), cache=False
+    )
+    second = run_config(
+        config, "minmax", TINY, setup=lambda system: calls.append(1), cache=False
+    )
+    assert calls == [1, 1]  # really ran twice
     assert first is not second
+    assert first.equals_exactly(second)  # same seed, same experiment
+
+
+def test_setup_hook_with_signature_is_cached():
+    config = baseline(arrival_rate=0.05, scale=0.1, seed=3)
+    calls = []
+    first = run_config(
+        config,
+        "minmax",
+        TINY,
+        setup=lambda system: calls.append(1),
+        setup_signature=("noop-setup",),
+    )
+    second = run_config(
+        config,
+        "minmax",
+        TINY,
+        setup=lambda system: calls.append(1),
+        setup_signature=("noop-setup",),
+    )
+    assert calls == [1]
+    assert first is second
 
 
 def test_sweep_returns_per_policy_series():
