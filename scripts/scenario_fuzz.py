@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Rotating-seed invariant fuzz over generated scenarios.
+
+The CI ``scenario-fuzz`` job runs this with a seed derived from the CI
+run number (rotating-but-logged), so every CI run fuzzes a *fresh*
+slice of scenario space while staying exactly reproducible.  On any
+failure the script prints the one command line that reproduces it::
+
+    PYTHONPATH=src python scripts/scenario_fuzz.py \\
+        --seed <S> --family <F> --index <I> --policy <P>
+
+Seed resolution order: ``--seed``, ``$SCENARIO_FUZZ_SEED``,
+``$GITHUB_RUN_NUMBER``, then the current day number (local runs rotate
+daily).  The chosen seed is always printed first.
+
+Modes
+-----
+* sweep (default): ``--count N`` scenarios round-robin over all
+  families, rotating through all policies, each run with the
+  InvariantChecker attached.
+* single: ``--family F --index I [--policy P]`` re-runs one scenario
+  (the reproduction mode the failure line points at).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.rtdbs.system import RTDBSystem  # noqa: E402
+from repro.scenarios import FAMILIES, ScenarioGenerator  # noqa: E402
+
+POLICIES = ("max", "minmax", "minmax-2", "minmax-6", "proportional", "pmm", "fairpmm")
+
+
+def resolve_seed(explicit) -> int:
+    if explicit is not None:
+        return int(explicit)
+    for variable in ("SCENARIO_FUZZ_SEED", "GITHUB_RUN_NUMBER"):
+        value = os.environ.get(variable)
+        if value:
+            return int(value)
+    return int(time.time() // 86_400)  # rotates daily on dev machines
+
+
+def run_one(scenario, policy: str) -> "tuple":
+    system = RTDBSystem(scenario.config, policy, invariants=True)
+    result = system.run()
+    if system.invariants.failures:  # pragma: no cover - defensive double-check
+        raise AssertionError(system.invariants.failures[0])
+    return result, system.invariants
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=None, help="generator seed")
+    parser.add_argument("--count", type=int, default=150, help="scenarios to sweep")
+    parser.add_argument(
+        "--family", default=None, help="single-scenario mode: the family"
+    )
+    parser.add_argument(
+        "--index", type=int, default=None, help="single-scenario mode: the index"
+    )
+    parser.add_argument(
+        "--policy", default=None, help="run only this policy (default: rotate all)"
+    )
+    args = parser.parse_args(argv)
+
+    seed = resolve_seed(args.seed)
+    generator = ScenarioGenerator(seed=seed)
+    print(f"[scenario-fuzz] seed={seed} policies={','.join(POLICIES)}")
+
+    if args.family is not None or args.index is not None:
+        if args.family is None or args.index is None:
+            parser.error("single-scenario mode needs both --family and --index")
+        scenario = generator.generate(args.family, args.index)
+        policies = (args.policy,) if args.policy else POLICIES
+        print(f"[scenario-fuzz] single scenario {scenario.name} "
+              f"hash={scenario.content_hash}")
+        for policy in policies:
+            result, checker = run_one(scenario, policy)
+            print(
+                f"  {policy:12s} arrivals={result.arrivals} served={result.served} "
+                f"missed={result.missed} checks={sum(checker.checks.values())}"
+            )
+        print("[scenario-fuzz] OK")
+        return 0
+
+    checked = 0
+    started = time.time()
+    scenarios = generator.batch(args.count, tuple(FAMILIES))
+    for position, scenario in enumerate(scenarios):
+        policy = args.policy or POLICIES[position % len(POLICIES)]
+        try:
+            result, checker = run_one(scenario, policy)
+        except Exception as error:
+            print(f"\n[scenario-fuzz] FAILED: {scenario.name} x {policy}")
+            print(f"  hash : {scenario.content_hash}")
+            print(f"  error: {error}")
+            print("  repro:")
+            print(f"    {scenario.repro_command(policy)}")
+            return 1
+        checked += sum(checker.checks.values())
+    print(
+        f"[scenario-fuzz] OK: {len(scenarios)} scenarios x rotating policies, "
+        f"{checked} invariant checks, 0 violations "
+        f"({time.time() - started:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from repro.core.fairness import FairPMM
 from repro.core.pmm import PMM
 from repro.policies.static import MaxPolicy, MinMaxPolicy, ProportionalPolicy, make_policy
 from repro.rtdbs.config import (
+    ArrivalModulation,
     CPUCosts,
     DatabaseParams,
     PMMParams,
@@ -39,7 +40,9 @@ from repro.rtdbs.config import (
     SimulationConfig,
     WorkloadParams,
 )
+from repro.rtdbs.invariants import InvariantChecker, InvariantViolation
 from repro.rtdbs.system import RTDBSystem, SimulationResult
+from repro.scenarios import Scenario, ScenarioGenerator
 from repro.workloads.presets import (
     baseline,
     disk_contention,
@@ -52,9 +55,12 @@ from repro.workloads.presets import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrivalModulation",
     "CPUCosts",
     "DatabaseParams",
     "FairPMM",
+    "InvariantChecker",
+    "InvariantViolation",
     "MaxPolicy",
     "MinMaxPolicy",
     "PMM",
@@ -64,6 +70,8 @@ __all__ = [
     "RTDBSystem",
     "RelationGroup",
     "ResourceParams",
+    "Scenario",
+    "ScenarioGenerator",
     "SimulationConfig",
     "SimulationResult",
     "WorkloadParams",

@@ -83,6 +83,45 @@ SPECIAL = {
 }
 
 
+def _split_tokens(text):
+    return tuple(token.strip() for token in text.split(",") if token.strip())
+
+
+def _run_shootout(args) -> bool:
+    """Generated-scenario matrix x all policies; True when checks pass."""
+    from repro.experiments.shootout import DEFAULT_POLICIES, scenario_shootout
+
+    ignored = [
+        flag
+        for flag, value, default in (
+            ("--scale", args.scale, 0.1),
+            ("--duration", args.duration, 1800.0),
+            ("--seed", args.seed, 7),
+        )
+        if value != default
+    ]
+    if ignored:
+        print(
+            f"note: {', '.join(ignored)} do(es) not apply to scenario-shootout -- "
+            "each generated scenario carries its own horizon and simulation "
+            "seed; vary the matrix with --scenario-seed/--scenarios/--families",
+            file=sys.stderr,
+        )
+    policies = _split_tokens(args.policies) if args.policies else DEFAULT_POLICIES
+    families = _split_tokens(args.families) if args.families else None
+    report = scenario_shootout(
+        count=args.scenarios,
+        families=families,
+        policies=policies,
+        scenario_seed=args.scenario_seed,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        invariants=not args.no_invariants,
+    )
+    print(report.render())
+    return report.ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
@@ -113,6 +152,30 @@ def main(argv=None) -> int:
         help="bypass the persistent result cache (re-run each distinct grid "
         "point once; results are still shared within this invocation)",
     )
+    shootout_group = parser.add_argument_group(
+        "scenario-shootout", "options for the generated-scenario matrix"
+    )
+    shootout_group.add_argument(
+        "--scenarios", type=int, default=15, help="number of generated scenarios"
+    )
+    shootout_group.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated scenario families (default: all)",
+    )
+    shootout_group.add_argument(
+        "--scenario-seed", type=int, default=0, help="scenario-generator seed"
+    )
+    shootout_group.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy specs (default: all of Table 5 + PMM/FairPMM)",
+    )
+    shootout_group.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="run the matrix without the runtime invariant checker",
+    )
     args = parser.parse_args(argv)
 
     runner.configure(
@@ -122,6 +185,10 @@ def main(argv=None) -> int:
     )
 
     everything = {**REGISTRY, **SPECIAL}
+    everything["scenario-shootout"] = (
+        "Scenario shootout: generated matrix x all policies, cross-checked",
+        lambda _settings: _run_shootout(args),
+    )
     if args.list:
         for key, (description, _fn) in everything.items():
             print(f"  {key:10s} {description}")
@@ -138,11 +205,14 @@ def main(argv=None) -> int:
     settings = ExperimentSettings(
         scale=args.scale, duration=args.duration, seed=args.seed
     )
+    exit_status = 0
     for key in chosen:
         description, experiment = everything[key]
         print(f"\n=== {description} ===")
         started = time.time()
         output = experiment(settings)
+        if output is False:  # a cross-checked harness reported failures
+            exit_status = 1
         if hasattr(output, "render"):
             print(output.render())
             if args.chart and getattr(output, "series", None):
@@ -164,7 +234,7 @@ def main(argv=None) -> int:
         f"memo_hits={stats.memo_hits} disk_hits={stats.disk_hits} "
         f"misses={stats.misses} stores={stats.stores}"
     )
-    return 0
+    return exit_status
 
 
 if __name__ == "__main__":

@@ -50,7 +50,9 @@ from repro.rtdbs.system import RTDBSystem, SimulationResult
 #: ordering, cost model, statistics) so previously cached results are
 #: invalidated wholesale; the salt both prefixes the hashed material
 #: and names the on-disk directory (``v<CACHE_VERSION>/``).
-CACHE_VERSION = 1
+#: v2: ``QueryClass`` grew the ``modulation`` field (PR 3) -- the walked
+#: config record, and with it every key, changed shape.
+CACHE_VERSION = 2
 
 #: Default persistent cache location (relative to the working
 #: directory; override with ``REPRO_CACHE_DIR`` or ``--cache-dir``).
@@ -130,6 +132,11 @@ def _canonical(value):
         f"cannot build a stable cache key from {type(value).__name__!r}; "
         "pass only plain data (or give the run an explicit setup_signature)"
     )
+
+
+def canonical_record(value):
+    """Public face of :func:`_canonical` (scenario hashing reuses it)."""
+    return _canonical(value)
 
 
 def cache_key(

@@ -1,0 +1,157 @@
+"""The differential scenario shootout: matrix x policies, cross-checked.
+
+``scenario_shootout`` fans a generated scenario matrix across all
+memory policies through the cached parallel engine (each grid point
+runs with the invariant checker attached), then cross-checks the
+results *against each other* -- structural laws that no single run can
+establish:
+
+* **arrival determinism** -- a scenario's arrival process draws from
+  streams no policy decision touches, so every policy must observe the
+  *identical* arrival count for the same scenario.  A mismatch means a
+  policy leaked into workload generation (or the thinning process lost
+  its independence).
+* **result sanity** -- every result's counts add up (served =
+  completed + missed <= arrivals), ratios and utilisations are in
+  range; delegated to the invariant checker's result law.
+* **aggregate policy ordering** -- across the whole matrix, MinMax's
+  mean miss ratio must not exceed Max's by more than a tolerance: the
+  paper's central finding (Section 5.1: Max's insistence on maximum
+  allocations is the worst strategy under load) restated as a
+  structural regression guard.  Individual scenarios may flip the
+  ordering (small samples, weird mixes); the aggregate must not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.experiments import runner
+from repro.rtdbs.invariants import InvariantChecker
+from repro.rtdbs.system import SimulationResult
+from repro.scenarios import Scenario, ScenarioGenerator
+
+#: Policies in every shootout (all of Table 5 plus PMM and FairPMM).
+DEFAULT_POLICIES = ("max", "minmax", "minmax-4", "proportional", "pmm", "fairpmm")
+
+#: Aggregate-ordering tolerance: MinMax's mean miss ratio may exceed
+#: Max's by at most this much before the shootout fails.
+ORDERING_TOLERANCE = 0.05
+
+
+@dataclass
+class ShootoutReport:
+    """Everything one shootout produced: results, failures, rendering."""
+
+    scenarios: List[Scenario]
+    policies: Tuple[str, ...]
+    #: ``results[scenario_index][policy]``.
+    results: List[Dict[str, SimulationResult]]
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every cross-check passed."""
+        return not self.failures
+
+    def mean_miss_ratio(self, policy: str) -> float:
+        """Matrix-wide miss ratio of one policy (total missed / served)."""
+        served = sum(r[policy].served for r in self.results if policy in r)
+        missed = sum(r[policy].missed for r in self.results if policy in r)
+        return missed / served if served else 0.0
+
+    def render(self) -> str:
+        """Plain-text summary table plus any failures."""
+        headers = ["scenario", "hash", "arrivals"] + [
+            f"miss[{policy}]" for policy in self.policies
+        ]
+        rows = []
+        for scenario, by_policy in zip(self.scenarios, self.results):
+            any_result = next(iter(by_policy.values()))
+            rows.append(
+                [scenario.name, scenario.content_hash[:10], any_result.arrivals]
+                + [round(by_policy[policy].miss_ratio, 3) for policy in self.policies]
+            )
+        rows.append(
+            ["(matrix mean)", "", sum(r[self.policies[0]].arrivals for r in self.results)]
+            + [round(self.mean_miss_ratio(policy), 3) for policy in self.policies]
+        )
+        table = format_table(
+            headers, rows, title="Scenario shootout: miss ratio by policy"
+        )
+        if self.failures:
+            table += "\n\nCROSS-CHECK FAILURES:\n" + "\n".join(
+                f"  - {failure}" for failure in self.failures
+            )
+        else:
+            table += "\n\nAll cross-checks passed."
+        return table
+
+
+def scenario_shootout(
+    count: int = 15,
+    families: Optional[Sequence[str]] = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    scenario_seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: bool = True,
+    invariants: bool = True,
+) -> ShootoutReport:
+    """Run the (scenario x policy) matrix and cross-check the results.
+
+    The whole matrix is submitted as **one** :func:`runner.run_many`
+    batch, so it saturates the worker pool and lands in the persistent
+    cache under each scenario's content-hashed key.
+    """
+    policy_list = tuple(policies)
+    scenarios = ScenarioGenerator(scenario_seed).batch(count, families)
+    specs = [
+        scenario.run_spec(policy, invariants=invariants)
+        for scenario in scenarios
+        for policy in policy_list
+    ]
+    flat = runner.run_many(specs, jobs=jobs, cache=cache)
+    cursor = iter(flat)
+    results: List[Dict[str, SimulationResult]] = [
+        {policy: next(cursor) for policy in policy_list} for _ in scenarios
+    ]
+    report = ShootoutReport(
+        scenarios=scenarios, policies=policy_list, results=results
+    )
+    _cross_check(report)
+    return report
+
+
+def _cross_check(report: ShootoutReport) -> None:
+    """Populate ``report.failures`` with every violated structural law."""
+    checker = InvariantChecker()  # unattached: only the result law is used
+    for scenario, by_policy in zip(report.scenarios, report.results):
+        arrival_counts = {
+            policy: result.arrivals for policy, result in by_policy.items()
+        }
+        if len(set(arrival_counts.values())) > 1:
+            report.failures.append(
+                f"{scenario.name} ({scenario.content_hash[:10]}): arrival counts "
+                f"differ across policies: {arrival_counts} -- the workload is "
+                f"policy-dependent; repro: {scenario.repro_command()}"
+            )
+        for policy, result in by_policy.items():
+            try:
+                checker.check_result(result)
+            except AssertionError as error:
+                report.failures.append(
+                    f"{scenario.name} x {policy}: {error}; "
+                    f"repro: {scenario.repro_command(policy)}"
+                )
+    if "minmax" in report.policies and "max" in report.policies:
+        minmax_mean = report.mean_miss_ratio("minmax")
+        max_mean = report.mean_miss_ratio("max")
+        if minmax_mean > max_mean + ORDERING_TOLERANCE:
+            report.failures.append(
+                f"aggregate ordering violated: MinMax mean miss ratio "
+                f"{minmax_mean:.3f} exceeds Max's {max_mean:.3f} by more than "
+                f"{ORDERING_TOLERANCE} -- the paper's Section 5.1 ordering "
+                f"inverted across the matrix"
+            )

@@ -114,6 +114,9 @@ class BufferManager:
         self.cache = LRUDataCache(total_pages)
         #: Time-weighted total reserved pages (memory pressure signal).
         self.reserved_monitor = TimeWeighted(sim, initial=0.0)
+        #: Optional :class:`repro.rtdbs.invariants.InvariantChecker`;
+        #: ``None`` (the default) keeps ledger updates hook-free.
+        self.invariants = None
 
     # ------------------------------------------------------------------
     @property
@@ -146,12 +149,16 @@ class BufferManager:
         self._reserved = {qid: pages for qid, pages in allocation.items() if pages > 0}
         self.reserved_monitor.record(self.reserved_pages)
         self.cache.capacity = self.free_pages
+        if self.invariants is not None:
+            self.invariants.check_buffers(self)
 
     def release(self, qid: int) -> None:
         """Drop one query's reservation (departure or abort)."""
         if self._reserved.pop(qid, None) is not None:
             self.reserved_monitor.record(self.reserved_pages)
             self.cache.capacity = self.free_pages
+            if self.invariants is not None:
+                self.invariants.check_buffers(self)
 
     # ------------------------------------------------------------------
     def read_hit(self, disk: int, start_page: int, npages: int) -> bool:

@@ -106,6 +106,52 @@ EXTERNAL_SORT = "external_sort"
 
 
 @dataclass(frozen=True)
+class ArrivalModulation:
+    """Piecewise-constant modulation of a class's Poisson arrival rate.
+
+    The class cycles through *states* ``0, 1, 2, ...``; in state ``i``
+    the instantaneous arrival rate is ``arrival_rate * factors[i %
+    len(factors)]`` and the state lasts ``dwell_seconds[i %
+    len(dwell_seconds)]`` seconds -- exactly that long when
+    ``stochastic`` is False (deterministic phase shifts), or an
+    exponential dwell with that mean when True (an on/off MMPP when
+    ``factors`` alternates a high and a low value).
+
+    The Source realises the modulated process by *thinning* a Poisson
+    process running at the peak rate, which is exact for
+    piecewise-constant rates.  ``factors == (1.0,) * n`` degenerates to
+    the plain homogeneous process, arrival times bit-identical to an
+    unmodulated class.
+    """
+
+    #: Multiplicative rate factors, cycled over states (``0.0`` = off).
+    factors: Tuple[float, ...]
+    #: Dwell time per state, cycled independently of ``factors``
+    #: (seconds; the mean dwell when ``stochastic``).
+    dwell_seconds: Tuple[float, ...]
+    #: Exponential dwells (MMPP bursts) instead of fixed phases.
+    stochastic: bool = False
+
+    @property
+    def peak_factor(self) -> float:
+        """The largest rate factor (the thinning envelope)."""
+        return max(self.factors)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if len(self.factors) < 2:
+            raise ValueError("modulation needs at least two rate factors")
+        if any(factor < 0.0 for factor in self.factors):
+            raise ValueError(f"negative rate factor in {self.factors}")
+        if self.peak_factor <= 0.0:
+            raise ValueError("at least one rate factor must be positive")
+        if not self.dwell_seconds:
+            raise ValueError("modulation needs at least one dwell time")
+        if any(dwell <= 0.0 for dwell in self.dwell_seconds):
+            raise ValueError(f"dwell times must be positive, got {self.dwell_seconds}")
+
+
+@dataclass(frozen=True)
 class QueryClass:
     """One workload class (a row of the lower half of Table 2)."""
 
@@ -120,6 +166,10 @@ class QueryClass:
     arrival_rate: float
     #: ``SRInterval``: slack ratios drawn uniformly from this range.
     slack_range: Tuple[float, float] = (2.5, 7.5)
+    #: Optional bursty / phase-shifting arrival-rate modulation layered
+    #: over the Poisson process (the paper's workloads are all
+    #: homogeneous; generated scenarios are not).
+    modulation: Optional[ArrivalModulation] = None
 
     def validate(self, num_groups: int) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -139,6 +189,8 @@ class QueryClass:
         low, high = self.slack_range
         if not 0 < low <= high:
             raise ValueError(f"bad slack range {self.slack_range}")
+        if self.modulation is not None:
+            self.modulation.validate()
 
 
 @dataclass(frozen=True)

@@ -149,6 +149,13 @@ class Disk:
         self.busy = TimeWeighted(sim, initial=0.0)
         self.service_times = Tally()
         self.accesses = 0
+        #: Conservation counters (see :mod:`repro.rtdbs.invariants`):
+        #: every submitted access is either a prefetch-cache hit, served
+        #: by the arm (``accesses``), cancelled while queued, or still
+        #: queued -- these let the invariant checker prove no request is
+        #: ever lost or double-served.
+        self.submitted = 0
+        self.cancelled_queued = 0
         self._complete_cb = self._complete  # pre-bound: one per serve
         # Physical constants hoisted off the per-access path.
         self._cylinder_size = resources.cylinder_size
@@ -177,6 +184,7 @@ class Disk:
             raise ValueError(
                 f"disk {self.disk_id}: access [{start_page}, {last_page}] out of range"
             )
+        self.submitted += 1
         self._sequence += 1
         cylinder = start_page // self._cylinder_size
         request = DiskRequest(
@@ -213,6 +221,7 @@ class Disk:
                 f"disk {self.disk_id}: access [{start_page}, "
                 f"{start_page + npages - 1}] out of range"
             )
+        self.submitted += 1
         if op.kind == READ and self.cache.contains_all(start_page, npages):
             self.cache.touch(start_page, npages)
             return True
@@ -253,6 +262,7 @@ class Disk:
                 queue[index] = queue[-1]
                 queue.pop()
                 heapq.heapify(queue)
+                self.cancelled_queued += 1
                 break
 
     @property

@@ -181,6 +181,9 @@ class QueryManager:
         self._batch_snapshots = self._take_snapshots()
         self.batches_delivered = 0
         self._reallocating = False
+        #: Optional :class:`repro.rtdbs.invariants.InvariantChecker`;
+        #: ``None`` (the default) keeps the hot paths hook-free.
+        self.invariants = None
 
     # ------------------------------------------------------------------
     # population management
@@ -235,6 +238,8 @@ class QueryManager:
             allocation = self.policy.allocate(
                 demands, self.buffers.total_pages, now=self.sim.now
             )
+            if self.invariants is not None:
+                self.invariants.check_allocation(self, demands, allocation)
             self.buffers.apply_allocation(allocation)
             for job in jobs:
                 pages = allocation.get(job.qid, 0)
@@ -383,6 +388,8 @@ class QueryManager:
         for listener in self.departure_listeners:
             listener(record)
         self.policy.on_departure(record)
+        if self.invariants is not None:
+            self.invariants.check_population(self)
 
         if self.departures - self._batch_start_departures >= self.config.pmm.sample_size:
             self._close_batch()

@@ -139,6 +139,9 @@ class Source:
 
     # ------------------------------------------------------------------
     def _arrival_process(self, query_class: QueryClass):
+        if query_class.modulation is not None:
+            yield from self._modulated_arrivals(query_class)
+            return
         arrivals = self.streams.stream(f"arrivals.{query_class.name}")
         poll = max(1.0, 10.0 / max(query_class.arrival_rate, 1e-9))
         while True:
@@ -149,6 +152,48 @@ class Source:
                 continue
             yield self.sim.timeout(arrivals.exponential(1.0 / rate))
             self._submit_query(query_class)
+
+    def _modulated_arrivals(self, query_class: QueryClass):
+        """Bursty / phase-shifting arrivals by thinning a peak-rate process.
+
+        Candidate arrivals are drawn at ``base_rate * peak_factor`` and
+        each is accepted with probability ``factor(now) / peak_factor``
+        -- exact for the piecewise-constant rates an
+        :class:`~repro.rtdbs.config.ArrivalModulation` describes.  The
+        state path (phase boundaries, or MMPP dwell draws) comes from
+        its own ``modulation.<class>`` stream, so it is independent of
+        the candidate process and of every policy decision: for a given
+        config the arrival sequence is identical under every policy.
+        """
+        modulation = query_class.modulation
+        arrivals = self.streams.stream(f"arrivals.{query_class.name}")
+        state_stream = self.streams.stream(f"modulation.{query_class.name}")
+        factors = modulation.factors
+        dwells = modulation.dwell_seconds
+        peak = modulation.peak_factor
+        stochastic = modulation.stochastic
+
+        def dwell(state: int) -> float:
+            mean = dwells[state % len(dwells)]
+            return state_stream.exponential(mean) if stochastic else mean
+
+        state = 0
+        next_toggle = dwell(0)
+        poll = max(1.0, 10.0 / max(query_class.arrival_rate * peak, 1e-9))
+        while True:
+            base = self.rate_overrides.get(query_class.name, query_class.arrival_rate)
+            peak_rate = base * peak
+            if peak_rate <= 0.0:
+                yield self.sim.timeout(poll)
+                continue
+            yield self.sim.timeout(arrivals.exponential(1.0 / peak_rate))
+            now = self.sim.now
+            while now >= next_toggle:
+                state += 1
+                next_toggle += dwell(state)
+            factor = factors[state % len(factors)]
+            if factor >= peak or state_stream.uniform(0.0, 1.0) * peak < factor:
+                self._submit_query(query_class)
 
     def _submit_query(self, query_class: QueryClass) -> None:
         qid = self._next_qid

@@ -122,9 +122,22 @@ class SimulationResult:
 
 
 class RTDBSystem:
-    """Builds and runs one simulated RTDBS experiment."""
+    """Builds and runs one simulated RTDBS experiment.
 
-    def __init__(self, config: SimulationConfig, policy: Union[str, MemoryPolicy]):
+    ``invariants`` enables the runtime conservation-law checks of
+    :mod:`repro.rtdbs.invariants`: pass ``True`` (or a prepared
+    :class:`~repro.rtdbs.invariants.InvariantChecker`) to have every
+    allocation, ledger update, departure, and the final result asserted
+    against the system's accounting laws.  Off by default -- the checks
+    exist for tests and the scenario fuzz harness.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: Union[str, MemoryPolicy],
+        invariants=None,
+    ):
         config.validate()
         self.config = config
         self.policy: MemoryPolicy = (
@@ -167,6 +180,17 @@ class RTDBSystem:
             self.streams,
         )
         self._warmup_snapshots: Optional[Dict[str, object]] = None
+        #: Runtime conservation-law checker (None = checks disabled).
+        self.invariants = None
+        if invariants:
+            from repro.rtdbs.invariants import InvariantChecker
+
+            checker = (
+                invariants
+                if isinstance(invariants, InvariantChecker)
+                else InvariantChecker()
+            )
+            checker.attach(self)
 
     # ------------------------------------------------------------------
     def schedule(self, time: float, action: Callable[[], None]) -> None:
@@ -208,7 +232,10 @@ class RTDBSystem:
 
         stop_event = self.query_manager.stop_event
         self.sim.run(until=horizon, stop=stop_event)
-        return self._build_result(warmup)
+        result = self._build_result(warmup)
+        if self.invariants is not None:
+            self.invariants.check_final(self, result)
+        return result
 
     # ------------------------------------------------------------------
     def _end_warmup(self) -> None:

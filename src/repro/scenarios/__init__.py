@@ -1,0 +1,20 @@
+"""Generated workload scenarios + the invariant fuzz surface.
+
+See ``README.md`` in this directory for the generator families, the
+invariants checked, and how to reproduce a failing scenario from its
+coordinates or content hash.
+"""
+
+from repro.scenarios.generator import (
+    FAMILIES,
+    Scenario,
+    ScenarioGenerator,
+    scenario_hash,
+)
+
+__all__ = [
+    "FAMILIES",
+    "Scenario",
+    "ScenarioGenerator",
+    "scenario_hash",
+]

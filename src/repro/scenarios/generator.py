@@ -1,0 +1,444 @@
+"""Seeded, reproducible scenario generation.
+
+The paper evaluates a handful of hand-built workloads; the ROADMAP
+demands "as many scenarios as you can imagine".  This module composes
+randomized-but-reproducible :class:`~repro.rtdbs.config.SimulationConfig`\\ s
+from a single generator seed, organised into **families** that each
+stress a different axis of the memory-management problem:
+
+``mix``
+    Arbitrary query-class mixes -- 1-4 classes of hash joins and
+    external sorts over heterogeneous relation groups, with per-class
+    rates, slack ranges, and memory sizes drawn at random.
+``bursty``
+    On/off MMPP-style arrivals: each class alternates exponential
+    high-rate bursts and quiet spells (``ArrivalModulation`` with
+    ``stochastic=True``), the workload shape Poisson-tuned policies
+    have never been plotted against.
+``phases``
+    Deterministic phase-shifting arrivals -- rates step through a
+    cycle of factors on a fixed period, the moving-target regime of
+    the paper's Section 5.3 generalised.
+``multitenant``
+    Several tenants, each with its own relation groups and query
+    class, sharing a small disk farm -- with temp space placed locally
+    or round-robin.
+``heavytail``
+    A mix of tiny and huge operands in one workload, so minimum and
+    maximum memory demands differ by orders of magnitude.
+
+Every scenario is deterministic in ``(generator_seed, family, index)``
+and is identified by a **content hash** over the walked config record
+(the same canonical projection the experiment engine's cache keys use),
+so a scenario plugs straight into the parallel runner's persistent
+cache and any failure reproduces from its coordinates alone:
+
+    PYTHONPATH=src python scripts/scenario_fuzz.py \\
+        --seed <S> --family <F> --index <I> --policy <P>
+
+Scenarios are sized for speed ("fast scale"): tens of pages of memory,
+relations of tens-to-hundreds of pages, horizons of about a simulated
+minute -- large enough to exercise admission, adaptation, spooling and
+aborts, small enough that a 200-scenario fuzz sweep stays in tier-1.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    RunSpec,
+    canonical_record,
+)
+from repro.rtdbs.config import (
+    EXTERNAL_SORT,
+    HASH_JOIN,
+    ArrivalModulation,
+    DatabaseParams,
+    QueryClass,
+    RelationGroup,
+    ResourceParams,
+    SimulationConfig,
+    WorkloadParams,
+)
+from repro.rtdbs.invariants import INVARIANTS_SIGNATURE, attach_invariants
+
+#: The generator families, in round-robin batch order.
+FAMILIES = ("mix", "bursty", "phases", "multitenant", "heavytail")
+
+
+def scenario_hash(config: SimulationConfig) -> str:
+    """Content hash of a scenario's full parameter record.
+
+    Stable across processes, platforms and ``PYTHONHASHSEED`` (the same
+    canonical walk the experiment engine keys its cache with).
+    """
+    return sha256(
+        repr(("repro-scenario", canonical_record(config))).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated workload, addressable by coordinates or hash."""
+
+    family: str
+    index: int
+    generator_seed: int
+    config: SimulationConfig
+
+    @property
+    def name(self) -> str:
+        """Human-readable coordinates: ``family/seed/index``."""
+        return f"{self.family}/{self.generator_seed}/{self.index}"
+
+    @property
+    def content_hash(self) -> str:
+        """Content hash of the scenario's config (see :func:`scenario_hash`)."""
+        return scenario_hash(self.config)
+
+    def settings(self) -> ExperimentSettings:
+        """Engine settings matching this scenario's own horizon/seed."""
+        return ExperimentSettings(
+            scale=1.0,
+            duration=self.config.duration,
+            seed=self.config.seed,
+        )
+
+    def run_spec(self, policy: str, invariants: bool = True) -> RunSpec:
+        """A cacheable grid point for the parallel experiment engine."""
+        return RunSpec(
+            config=self.config,
+            policy=policy,
+            settings=self.settings(),
+            setup=attach_invariants if invariants else None,
+            setup_signature=INVARIANTS_SIGNATURE if invariants else None,
+        )
+
+    def repro_command(self, policy: Optional[str] = None) -> str:
+        """A shell line that re-runs exactly this scenario."""
+        line = (
+            "PYTHONPATH=src python scripts/scenario_fuzz.py "
+            f"--seed {self.generator_seed} --family {self.family} "
+            f"--index {self.index}"
+        )
+        if policy is not None:
+            line += f" --policy {policy}"
+        return line
+
+
+class ScenarioGenerator:
+    """Deterministic scenario factory over ``(seed, family, index)``.
+
+    Every scenario gets its own ``numpy`` child generator derived from
+    ``SeedSequence(entropy=seed, spawn_key=(crc32(family), index))`` --
+    the same keyed-children discipline :class:`repro.sim.rng.Streams`
+    uses -- so scenarios are independent and individually addressable.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, family: str, index: int) -> Scenario:
+        """The scenario at ``(family, index)`` under this generator seed."""
+        try:
+            builder = getattr(self, f"_build_{family}")
+        except AttributeError:
+            raise ValueError(
+                f"unknown scenario family {family!r}; choose from {FAMILIES}"
+            ) from None
+        rng = self._rng(family, index)
+        config = builder(rng).validate()
+        return Scenario(family=family, index=int(index), generator_seed=self.seed, config=config)
+
+    def batch(
+        self, count: int, families: Optional[Sequence[str]] = None
+    ) -> List[Scenario]:
+        """``count`` scenarios, round-robin over ``families``."""
+        if count < 0:
+            raise ValueError(f"negative scenario count: {count}")
+        chosen = tuple(families) if families else FAMILIES
+        for family in chosen:
+            if family not in FAMILIES:
+                raise ValueError(
+                    f"unknown scenario family {family!r}; choose from {FAMILIES}"
+                )
+        return [
+            self.generate(chosen[i % len(chosen)], i // len(chosen))
+            for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    def _rng(self, family: str, index: int) -> np.random.Generator:
+        key = zlib.crc32(family.encode("utf-8"))
+        sequence = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(key, int(index))
+        )
+        return np.random.default_rng(sequence)
+
+    # -- shared draws ---------------------------------------------------
+    @staticmethod
+    def _size_range(rng: np.random.Generator, low: int, high: int) -> Tuple[int, int]:
+        """A random relation-size interval within ``[low, high]`` pages."""
+        start = int(rng.integers(low, max(low + 1, high // 2)))
+        end = int(rng.integers(start, high + 1))
+        return (start, max(start, end))
+
+    @staticmethod
+    def _slack_range(rng: np.random.Generator) -> Tuple[float, float]:
+        low = round(float(rng.uniform(1.1, 3.5)), 2)
+        high = round(low + float(rng.uniform(0.5, 4.5)), 2)
+        return (low, high)
+
+    @staticmethod
+    def _rate(rng: np.random.Generator, low_log10: float, high_log10: float) -> float:
+        """A rate drawn log-uniformly, rounded for stable float reprs."""
+        return round(float(10.0 ** rng.uniform(low_log10, high_log10)), 4)
+
+    @staticmethod
+    def _resources(
+        rng: np.random.Generator, num_disks: int, memory_low: int = 48,
+        memory_high: int = 256,
+    ) -> ResourceParams:
+        return ResourceParams(
+            num_disks=num_disks,
+            memory_pages=int(rng.integers(memory_low, memory_high + 1)),
+            num_cylinders=int(rng.integers(300, 1501)),
+        )
+
+    def _common(self, rng: np.random.Generator) -> Tuple[int, float, str]:
+        """(sim seed, duration, temp placement) shared by all families."""
+        sim_seed = int(rng.integers(0, 2**31 - 1))
+        duration = round(float(rng.uniform(30.0, 70.0)), 1)
+        placement = "round_robin" if rng.random() < 0.3 else "local"
+        return sim_seed, duration, placement
+
+    def _classes(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        num_groups: int,
+        rate_log10: Tuple[float, float],
+        modulation=None,
+    ) -> Tuple[QueryClass, ...]:
+        """``count`` random classes over ``num_groups`` relation groups."""
+        classes = []
+        for i in range(count):
+            query_type = HASH_JOIN if rng.random() < 0.6 else EXTERNAL_SORT
+            if query_type == HASH_JOIN:
+                if num_groups >= 2:
+                    first, second = (
+                        int(g) for g in rng.choice(num_groups, size=2, replace=False)
+                    )
+                else:
+                    first = second = 0
+                rel_groups: Tuple[int, ...] = (first, second)
+            else:
+                rel_groups = (int(rng.integers(0, num_groups)),)
+            classes.append(
+                QueryClass(
+                    name=f"C{i}",
+                    query_type=query_type,
+                    rel_groups=rel_groups,
+                    arrival_rate=self._rate(rng, *rate_log10),
+                    slack_range=self._slack_range(rng),
+                    modulation=modulation(rng) if modulation is not None else None,
+                )
+            )
+        return tuple(classes)
+
+    # -- families -------------------------------------------------------
+    def _build_mix(self, rng: np.random.Generator) -> SimulationConfig:
+        """Arbitrary query-class mixes over heterogeneous relations."""
+        num_groups = int(rng.integers(2, 5))
+        groups = tuple(
+            RelationGroup(
+                rel_per_disk=int(rng.integers(1, 4)),
+                size_range=self._size_range(rng, 8, 160),
+            )
+            for _ in range(num_groups)
+        )
+        classes = self._classes(
+            rng,
+            count=int(rng.integers(1, 4)),
+            num_groups=num_groups,
+            rate_log10=(-0.9, 0.35),
+        )
+        sim_seed, duration, placement = self._common(rng)
+        return SimulationConfig(
+            database=DatabaseParams(groups=groups),
+            workload=WorkloadParams(classes=classes),
+            resources=self._resources(rng, num_disks=int(rng.integers(1, 5))),
+            seed=sim_seed,
+            duration=duration,
+            temp_placement=placement,
+        )
+
+    def _build_bursty(self, rng: np.random.Generator) -> SimulationConfig:
+        """On/off MMPP bursts layered over the Poisson arrivals."""
+
+        def modulation(r: np.random.Generator) -> ArrivalModulation:
+            return ArrivalModulation(
+                factors=(
+                    round(float(r.uniform(1.5, 4.0)), 3),
+                    round(float(r.uniform(0.0, 0.3)), 3),
+                ),
+                dwell_seconds=(
+                    round(float(r.uniform(3.0, 12.0)), 2),
+                    round(float(r.uniform(3.0, 15.0)), 2),
+                ),
+                stochastic=True,
+            )
+
+        num_groups = int(rng.integers(1, 4))
+        groups = tuple(
+            RelationGroup(
+                rel_per_disk=int(rng.integers(1, 4)),
+                size_range=self._size_range(rng, 8, 120),
+            )
+            for _ in range(num_groups)
+        )
+        classes = self._classes(
+            rng,
+            count=int(rng.integers(1, 3)),
+            num_groups=num_groups,
+            rate_log10=(-1.1, 0.1),
+            modulation=modulation,
+        )
+        sim_seed, duration, placement = self._common(rng)
+        return SimulationConfig(
+            database=DatabaseParams(groups=groups),
+            workload=WorkloadParams(classes=classes),
+            resources=self._resources(rng, num_disks=int(rng.integers(1, 4))),
+            seed=sim_seed,
+            duration=duration,
+            temp_placement=placement,
+        )
+
+    def _build_phases(self, rng: np.random.Generator) -> SimulationConfig:
+        """Deterministic phase-shifting rates (Section 5.3 generalised)."""
+
+        def modulation(r: np.random.Generator) -> ArrivalModulation:
+            phases = int(r.integers(2, 5))
+            factors = tuple(
+                round(float(r.uniform(0.0, 2.5)), 3) for _ in range(phases)
+            )
+            if max(factors) < 0.5:  # keep at least one lively phase
+                factors = factors[:-1] + (1.0,)
+            return ArrivalModulation(
+                factors=factors,
+                dwell_seconds=(round(float(r.uniform(5.0, 20.0)), 2),),
+                stochastic=False,
+            )
+
+        num_groups = int(rng.integers(1, 4))
+        groups = tuple(
+            RelationGroup(
+                rel_per_disk=int(rng.integers(1, 4)),
+                size_range=self._size_range(rng, 8, 120),
+            )
+            for _ in range(num_groups)
+        )
+        classes = self._classes(
+            rng,
+            count=int(rng.integers(1, 3)),
+            num_groups=num_groups,
+            rate_log10=(-1.0, 0.2),
+            modulation=modulation,
+        )
+        sim_seed, duration, placement = self._common(rng)
+        return SimulationConfig(
+            database=DatabaseParams(groups=groups),
+            workload=WorkloadParams(classes=classes),
+            resources=self._resources(rng, num_disks=int(rng.integers(1, 4))),
+            seed=sim_seed,
+            duration=duration,
+            temp_placement=placement,
+        )
+
+    def _build_multitenant(self, rng: np.random.Generator) -> SimulationConfig:
+        """Per-tenant relation groups sharing a small disk farm."""
+        tenants = int(rng.integers(2, 5))
+        groups: List[RelationGroup] = []
+        classes: List[QueryClass] = []
+        for tenant in range(tenants):
+            base = len(groups)
+            join = rng.random() < 0.7
+            groups.append(
+                RelationGroup(
+                    rel_per_disk=int(rng.integers(1, 3)),
+                    size_range=self._size_range(rng, 6, 90),
+                )
+            )
+            if join:
+                groups.append(
+                    RelationGroup(
+                        rel_per_disk=int(rng.integers(1, 3)),
+                        size_range=self._size_range(rng, 20, 150),
+                    )
+                )
+            classes.append(
+                QueryClass(
+                    name=f"tenant{tenant}",
+                    query_type=HASH_JOIN if join else EXTERNAL_SORT,
+                    rel_groups=(base, base + 1) if join else (base,),
+                    arrival_rate=self._rate(rng, -1.1, -0.1),
+                    slack_range=self._slack_range(rng),
+                )
+            )
+        sim_seed, duration, placement = self._common(rng)
+        return SimulationConfig(
+            database=DatabaseParams(groups=tuple(groups)),
+            workload=WorkloadParams(classes=tuple(classes)),
+            resources=self._resources(rng, num_disks=int(rng.integers(2, 7))),
+            seed=sim_seed,
+            duration=duration,
+            temp_placement=placement,
+        )
+
+    def _build_heavytail(self, rng: np.random.Generator) -> SimulationConfig:
+        """Tiny and huge operands in one workload (demand skew)."""
+        groups = (
+            RelationGroup(
+                rel_per_disk=int(rng.integers(2, 5)),
+                size_range=self._size_range(rng, 4, 16),
+            ),
+            RelationGroup(
+                rel_per_disk=1,
+                size_range=self._size_range(rng, 200, 600),
+            ),
+        )
+        tiny_type = HASH_JOIN if rng.random() < 0.5 else EXTERNAL_SORT
+        tiny = QueryClass(
+            name="tiny",
+            query_type=tiny_type,
+            rel_groups=(0, 0) if tiny_type == HASH_JOIN else (0,),
+            arrival_rate=self._rate(rng, -0.5, 0.45),
+            slack_range=self._slack_range(rng),
+        )
+        huge_type = HASH_JOIN if rng.random() < 0.5 else EXTERNAL_SORT
+        huge = QueryClass(
+            name="huge",
+            query_type=huge_type,
+            rel_groups=(0, 1) if huge_type == HASH_JOIN else (1,),
+            arrival_rate=self._rate(rng, -1.5, -0.7),
+            slack_range=self._slack_range(rng),
+        )
+        sim_seed, duration, placement = self._common(rng)
+        return SimulationConfig(
+            database=DatabaseParams(groups=groups),
+            workload=WorkloadParams(classes=(tiny, huge)),
+            resources=self._resources(
+                rng, num_disks=int(rng.integers(1, 4)), memory_low=64, memory_high=384
+            ),
+            seed=sim_seed,
+            duration=duration,
+            temp_placement=placement,
+        )

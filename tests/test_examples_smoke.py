@@ -1,0 +1,94 @@
+"""Smoke tests: every script in examples/ runs end to end (reduced scale).
+
+Each example is imported as a module and its ``main()`` executed with
+its workload shrunk (shorter horizons, fewer grid points) by patching
+the module's own references -- the examples themselves stay exactly
+what a reader would run.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_is_fully_covered():
+    scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        "quickstart",
+        "policy_shootout",
+        "adaptive_operators",
+        "fair_multiclass",
+    }
+    assert scripts == covered, (
+        f"examples changed ({scripts ^ covered}); add or remove a smoke test"
+    )
+
+
+def _shrunk(preset, **overrides):
+    def wrapper(**kwargs):
+        kwargs.update(overrides)
+        return preset(**kwargs)
+
+    return wrapper
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart")
+    module.baseline = _shrunk(repro.baseline, duration=400.0)
+    module.main()
+    output = capsys.readouterr().out
+    assert "miss ratio" in output
+    assert "PMM adaptation" in output
+
+
+def test_policy_shootout_runs(capsys, monkeypatch):
+    module = load_example("policy_shootout")
+    monkeypatch.setattr(sys, "argv", ["policy_shootout"])
+    module.baseline = _shrunk(repro.baseline, duration=400.0)
+    module.RATES = (0.045,)
+    module.POLICIES = ("max", "minmax", "pmm")
+    module.main()
+    output = capsys.readouterr().out
+    assert "miss_ratio" in output
+    for policy in ("Max", "MinMax", "PMM"):
+        assert policy in output
+
+
+def test_adaptive_operators_runs(capsys):
+    module = load_example("adaptive_operators")
+    module.main()  # drives the operators outside the simulator: fast as-is
+    output = capsys.readouterr().out
+    assert "demand envelope" in output
+    assert "merge steps" in output
+
+
+def test_fair_multiclass_runs(capsys):
+    module = load_example("fair_multiclass")
+    module.multiclass = _shrunk(repro.multiclass, duration=400.0)
+    module.main()
+    output = capsys.readouterr().out
+    assert "FairPMM" in output
+    assert "miss-ratio gap" in output
+
+
+@pytest.mark.parametrize(
+    "name", ["quickstart", "policy_shootout", "adaptive_operators", "fair_multiclass"]
+)
+def test_examples_have_docstring_run_line(name):
+    module = load_example(name)
+    assert module.__doc__ and "Run:" in module.__doc__

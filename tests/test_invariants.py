@@ -1,0 +1,154 @@
+"""The InvariantChecker: hooks fire, honest runs pass, broken policies fail."""
+
+import pytest
+
+from repro import RTDBSystem, baseline
+from repro.core.allocation import QueryDemand
+from repro.policies.base import MemoryPolicy
+from repro.rtdbs.invariants import (
+    INVARIANTS_SIGNATURE,
+    InvariantChecker,
+    InvariantViolation,
+    attach_invariants,
+)
+
+
+def tiny_config(**overrides):
+    defaults = dict(arrival_rate=0.3, scale=0.05, seed=3, duration=80.0)
+    defaults.update(overrides)
+    return baseline(**defaults)
+
+
+# ----------------------------------------------------------------------
+# honest runs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["max", "minmax", "minmax-2", "proportional", "pmm"])
+def test_every_policy_passes_on_the_baseline(policy):
+    system = RTDBSystem(tiny_config(), policy, invariants=True)
+    result = system.run()
+    checker = system.invariants
+    assert isinstance(checker, InvariantChecker)
+    # The hooks actually fired, at every seam, many times.
+    assert checker.checks["allocation"] > 10
+    assert checker.checks["buffers"] > 10
+    assert checker.checks["population"] == result.served
+    assert checker.checks["final"] == 1
+
+
+def test_checker_is_off_by_default():
+    system = RTDBSystem(tiny_config(), "minmax")
+    assert system.invariants is None
+    assert system.query_manager.invariants is None
+    assert system.buffers.invariants is None
+
+
+def test_attach_invariants_hook_and_signature():
+    system = RTDBSystem(tiny_config(), "minmax")
+    checker = attach_invariants(system)
+    assert system.invariants is checker
+    assert INVARIANTS_SIGNATURE == ("invariants", 1)
+    system.run()
+    assert checker.checks["final"] == 1
+
+
+def test_checker_attaches_to_one_system_only():
+    system = RTDBSystem(tiny_config(), "minmax", invariants=True)
+    with pytest.raises(ValueError):
+        system.invariants.attach(RTDBSystem(tiny_config(), "minmax"))
+
+
+def test_disk_conservation_counters():
+    system = RTDBSystem(tiny_config(), "minmax", invariants=True)
+    system.run()
+    total_submitted = sum(disk.submitted for disk in system.disks)
+    assert total_submitted > 0
+    for disk in system.disks:
+        live = sum(1 for entry in disk._queue if not entry[2].cancelled)
+        assert disk.submitted == (
+            disk.cache.hits + disk.accesses + disk.cancelled_queued + live
+        )
+
+
+# ----------------------------------------------------------------------
+# broken policies are caught
+# ----------------------------------------------------------------------
+class _BrokenPolicy(MemoryPolicy):
+    """Delegates to MinMax, then corrupts the vector in a chosen way."""
+
+    name = "Broken"
+
+    def __init__(self, corruption: str):
+        self.corruption = corruption
+
+    def allocate(self, demands, memory, now=0.0):
+        from repro.core.allocation import allocate_minmax
+
+        allocation = allocate_minmax(demands, memory)
+        granted = [qid for qid, pages in allocation.items() if pages > 0]
+        if not granted:
+            return allocation
+        victim = granted[0]
+        envelope = {demand.qid: demand for demand in demands}[victim]
+        if self.corruption == "below_min" and envelope.min_pages > 1:
+            allocation[victim] = envelope.min_pages - 1
+        elif self.corruption == "negative":
+            allocation[victim] = -1
+        elif self.corruption == "oversubscribe":
+            allocation[victim] = memory + envelope.max_pages
+        elif self.corruption == "phantom":
+            allocation[max(allocation) + 1000] = 1
+        return allocation
+
+
+@pytest.mark.parametrize(
+    "corruption", ["below_min", "negative", "oversubscribe", "phantom"]
+)
+def test_corrupted_allocations_raise(corruption):
+    system = RTDBSystem(tiny_config(), _BrokenPolicy(corruption), invariants=True)
+    with pytest.raises(InvariantViolation):
+        system.run()
+
+
+class _OverMPLPolicy(MemoryPolicy):
+    """Claims an MPL limit of 1 but admits without one."""
+
+    name = "OverMPL"
+    target_mpl = 1
+
+    def allocate(self, demands, memory, now=0.0):
+        from repro.core.allocation import allocate_minmax
+
+        return allocate_minmax(demands, memory)
+
+
+def test_mpl_limit_violation_raises():
+    # High enough load that >1 query is eventually admitted.
+    system = RTDBSystem(
+        tiny_config(arrival_rate=0.6, duration=200.0), _OverMPLPolicy(), invariants=True
+    )
+    with pytest.raises(InvariantViolation):
+        system.run()
+
+
+def test_violation_message_carries_context():
+    system = RTDBSystem(tiny_config(), _BrokenPolicy("negative"), invariants=True)
+    with pytest.raises(InvariantViolation) as excinfo:
+        system.run()
+    message = str(excinfo.value)
+    assert "allocation" in message
+    assert "policy=Broken" in message
+    assert "t=" in message
+
+
+# ----------------------------------------------------------------------
+# the result law used by the shootout cross-checks
+# ----------------------------------------------------------------------
+def test_check_result_flags_inconsistent_counts():
+    result = RTDBSystem(tiny_config(), "minmax").run()
+    checker = InvariantChecker()
+    checker.check_result(result)  # a real result passes
+    import dataclasses
+
+    broken = dataclasses.replace(result, missed=result.missed + 1)
+    with pytest.raises(InvariantViolation):
+        checker.check_result(broken)

@@ -1,0 +1,157 @@
+"""ScenarioGenerator: determinism, hashing, family coverage, modulation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import RTDBSystem, baseline
+from repro.experiments.runner import spec_key
+from repro.rtdbs.config import ArrivalModulation
+from repro.scenarios import FAMILIES, ScenarioGenerator, scenario_hash
+
+
+# ----------------------------------------------------------------------
+# determinism and identity
+# ----------------------------------------------------------------------
+def test_same_coordinates_same_scenario():
+    first = ScenarioGenerator(seed=7).generate("mix", 3)
+    second = ScenarioGenerator(seed=7).generate("mix", 3)
+    assert first.config == second.config
+    assert first.content_hash == second.content_hash
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_distinct_indices_and_seeds_differ(family):
+    generator = ScenarioGenerator(seed=7)
+    base = generator.generate(family, 0)
+    assert base.content_hash != generator.generate(family, 1).content_hash
+    assert base.content_hash != ScenarioGenerator(seed=8).generate(family, 0).content_hash
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_every_family_yields_valid_cacheable_configs(family):
+    generator = ScenarioGenerator(seed=1)
+    for index in range(3):
+        scenario = generator.generate(family, index)
+        scenario.config.validate()
+        # Plugs into the experiment engine: a stable content-hash key
+        # both with and without the invariants setup hook.
+        assert len(spec_key(scenario.run_spec("minmax"))) == 64
+        assert spec_key(scenario.run_spec("minmax")) != spec_key(
+            scenario.run_spec("minmax", invariants=False)
+        )
+        assert len(scenario.content_hash) == 64
+
+
+def test_hash_is_config_content_only():
+    scenario = ScenarioGenerator(seed=5).generate("bursty", 2)
+    assert scenario.content_hash == scenario_hash(scenario.config)
+    bumped = scenario.config.with_overrides(seed=scenario.config.seed + 1)
+    assert scenario_hash(bumped) != scenario.content_hash
+
+
+def test_batch_round_robins_families():
+    scenarios = ScenarioGenerator(seed=0).batch(len(FAMILIES) * 2)
+    assert [s.family for s in scenarios] == list(FAMILIES) * 2
+    assert [s.index for s in scenarios] == [0] * len(FAMILIES) + [1] * len(FAMILIES)
+
+
+def test_unknown_family_rejected():
+    generator = ScenarioGenerator(seed=0)
+    with pytest.raises(ValueError):
+        generator.generate("nosuch", 0)
+    with pytest.raises(ValueError):
+        generator.batch(3, families=("nosuch",))
+
+
+def test_family_signatures():
+    generator = ScenarioGenerator(seed=3)
+    bursty = generator.generate("bursty", 0).config
+    assert all(
+        cls.modulation is not None and cls.modulation.stochastic
+        for cls in bursty.workload.classes
+    )
+    phases = generator.generate("phases", 0).config
+    assert all(
+        cls.modulation is not None and not cls.modulation.stochastic
+        for cls in phases.workload.classes
+    )
+    tenants = generator.generate("multitenant", 0).config
+    assert len(tenants.workload.classes) >= 2
+    # Tenants own disjoint relation groups.
+    owned = [set(cls.rel_groups) for cls in tenants.workload.classes]
+    for i, groups in enumerate(owned):
+        for other in owned[i + 1:]:
+            assert not groups & other
+    heavy = generator.generate("heavytail", 0).config
+    sizes = [group.size_range for group in heavy.database.groups]
+    assert max(high for _low, high in sizes) >= 10 * min(low for low, _high in sizes)
+
+
+# ----------------------------------------------------------------------
+# arrival modulation semantics
+# ----------------------------------------------------------------------
+def test_modulation_validation():
+    with pytest.raises(ValueError):
+        ArrivalModulation(factors=(1.0,), dwell_seconds=(5.0,)).validate()
+    with pytest.raises(ValueError):
+        ArrivalModulation(factors=(1.0, -0.1), dwell_seconds=(5.0,)).validate()
+    with pytest.raises(ValueError):
+        ArrivalModulation(factors=(0.0, 0.0), dwell_seconds=(5.0,)).validate()
+    with pytest.raises(ValueError):
+        ArrivalModulation(factors=(1.0, 0.5), dwell_seconds=()).validate()
+    with pytest.raises(ValueError):
+        ArrivalModulation(factors=(1.0, 0.5), dwell_seconds=(0.0,)).validate()
+    ArrivalModulation(factors=(2.0, 0.0), dwell_seconds=(5.0, 10.0)).validate()
+
+
+def _with_modulation(config, modulation):
+    cls = replace(config.workload.classes[0], modulation=modulation)
+    return config.with_overrides(workload=replace(config.workload, classes=(cls,)))
+
+
+def test_degenerate_modulation_is_bit_identical():
+    """factors == (1, 1) must reproduce the unmodulated arrival stream."""
+    base = baseline(arrival_rate=0.3, scale=0.05, seed=3, duration=150.0)
+    plain = RTDBSystem(base, "minmax").run()
+    modulated = RTDBSystem(
+        _with_modulation(
+            base,
+            ArrivalModulation(
+                factors=(1.0, 1.0), dwell_seconds=(7.0,), stochastic=True
+            ),
+        ),
+        "minmax",
+    ).run()
+    assert modulated.arrivals == plain.arrivals
+    assert modulated.served == plain.served
+    assert modulated.missed == plain.missed
+
+
+def test_phase_modulation_gates_arrivals_to_on_windows():
+    """factors (1, 0) on a 10 s period: no arrivals inside off windows."""
+    base = baseline(arrival_rate=0.5, scale=0.05, seed=9, duration=200.0)
+    config = _with_modulation(
+        base,
+        ArrivalModulation(factors=(1.0, 0.0), dwell_seconds=(10.0,), stochastic=False),
+    )
+    system = RTDBSystem(config, "minmax")
+    arrivals = []
+    system.query_manager.departure_listeners.append(
+        lambda record: arrivals.append(record.arrival)
+    )
+    system.run()
+    assert arrivals, "the on-phases should produce queries"
+    for time in arrivals:
+        phase = int(time // 10.0)
+        assert phase % 2 == 0, f"arrival at t={time} falls in an off window"
+
+
+def test_modulated_arrivals_policy_independent():
+    """The thinning process must not depend on policy decisions."""
+    scenario = ScenarioGenerator(seed=4).generate("bursty", 1)
+    counts = {
+        policy: RTDBSystem(scenario.config, policy).run().arrivals
+        for policy in ("max", "minmax", "pmm")
+    }
+    assert len(set(counts.values())) == 1, counts

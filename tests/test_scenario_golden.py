@@ -1,0 +1,110 @@
+"""Golden-trace regression: fixed-seed counts for one scenario per family.
+
+These pins guard *two* surfaces at once:
+
+* the **scenario generator** -- if a draw is added, removed, or
+  reordered, the scenario's content hash changes and the pinned hash
+  fails first, pointing at the generator rather than the kernel;
+* the **simulation kernel** -- if event ordering, the cost model, or a
+  policy changes behaviour, the arrival/served/missed counts drift
+  while the hash stays put.
+
+The chosen indices are deliberately *discriminating*: each family's
+pinned scenario produces deadline misses and (except heavytail, where
+PMM's adaptation happens to cost it one query) distinguishes MinMax
+from PMM, so a behaviour change in either policy shows up here.
+
+When a change to simulation semantics is intentional, re-pin by
+running the module printout::
+
+    PYTHONPATH=src python tests/test_scenario_golden.py
+
+and bump ``repro.experiments.runner.CACHE_VERSION``.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.rtdbs.system import RTDBSystem
+from repro.scenarios import ScenarioGenerator
+
+GOLDEN_SEED = 2026
+
+
+@dataclass(frozen=True)
+class GoldenTrace:
+    index: int
+    content_hash: str
+    #: (arrivals, served, missed) under each pinned policy.
+    minmax: Tuple[int, int, int]
+    pmm: Tuple[int, int, int]
+
+
+GOLDEN: Dict[str, GoldenTrace] = {
+    "mix": GoldenTrace(
+        index=4,
+        content_hash="ce73986e483b715e1e585af07e988f0e21578e95a5eec8b9a4471c857412dcd8",
+        minmax=(44, 44, 18),
+        pmm=(44, 44, 14),
+    ),
+    "bursty": GoldenTrace(
+        index=4,
+        content_hash="3159f0daa39d62e3053c231e128121ca445926fd7d560edfdab9416b168ba3b5",
+        minmax=(134, 131, 23),
+        pmm=(134, 131, 20),
+    ),
+    "phases": GoldenTrace(
+        index=2,
+        content_hash="256aadec6621b555e47a1f30d8209b1e3e61cd39397277ba773d0b285ed912af",
+        minmax=(66, 66, 3),
+        pmm=(66, 66, 0),
+    ),
+    "multitenant": GoldenTrace(
+        index=5,
+        content_hash="4a6dabb38d662473f1ce1ae0cc50d5d7d1eee0542fcb8a37a31b05f2fc972d22",
+        minmax=(79, 79, 20),
+        pmm=(79, 79, 15),
+    ),
+    "heavytail": GoldenTrace(
+        index=2,
+        content_hash="6fb6970a8ab801b65feb5a34cc90b6383e66d45b419e9f759bd6eb2172c5cde1",
+        minmax=(63, 63, 5),
+        pmm=(63, 63, 6),
+    ),
+}
+
+
+def _counts(scenario, policy):
+    result = RTDBSystem(scenario.config, policy, invariants=True).run()
+    return (result.arrivals, result.served, result.missed)
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN))
+def test_generator_content_hash_pinned(family):
+    golden = GOLDEN[family]
+    scenario = ScenarioGenerator(seed=GOLDEN_SEED).generate(family, golden.index)
+    assert scenario.content_hash == golden.content_hash, (
+        f"the {family} generator's draw sequence changed; if intentional, "
+        f"re-pin (see module docstring)"
+    )
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN))
+def test_fixed_seed_counts_pinned(family):
+    golden = GOLDEN[family]
+    scenario = ScenarioGenerator(seed=GOLDEN_SEED).generate(family, golden.index)
+    assert _counts(scenario, "minmax") == golden.minmax
+    assert _counts(scenario, "pmm") == golden.pmm
+
+
+if __name__ == "__main__":  # re-pin helper
+    for family, golden in GOLDEN.items():
+        scenario = ScenarioGenerator(seed=GOLDEN_SEED).generate(family, golden.index)
+        print(f'    "{family}": GoldenTrace(')
+        print(f"        index={golden.index},")
+        print(f'        content_hash="{scenario.content_hash}",')
+        print(f'        minmax={_counts(scenario, "minmax")},')
+        print(f'        pmm={_counts(scenario, "pmm")},')
+        print("    ),")
