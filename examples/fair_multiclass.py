@@ -16,7 +16,7 @@ relative class miss ratios -- showing the Medium/Small gap narrowing.
 Run:  python examples/fair_multiclass.py
 """
 
-from repro import FairPMM, PMMParams, RTDBSystem, multiclass
+from repro import RTDBSystem, make_policy, multiclass
 
 
 def report(label, result):
@@ -40,10 +40,10 @@ def main() -> None:
     print("Multiclass workload, Small class dominant (Figure 18 regime)\n")
     plain_gap = report("PMM (paper)", RTDBSystem(config, "pmm").run())
 
-    fair_policy = FairPMM(PMMParams(), goals={"Medium": 1.0, "Small": 1.0})
+    fair_policy = make_policy("fairpmm", goals={"Medium": 1.0, "Small": 1.0})
     fair_gap = report("FairPMM (equal goals)", RTDBSystem(config, fair_policy).run())
 
-    strict_policy = FairPMM(PMMParams(), goals={"Medium": 0.5, "Small": 1.0})
+    strict_policy = make_policy("fairpmm", goals={"Medium": 0.5, "Small": 1.0})
     report("FairPMM (protect Medium)", RTDBSystem(config, strict_policy).run())
 
     print(f"\nMedium-vs-Small miss-ratio gap: PMM {plain_gap:+.3f} "

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Serve a generated scenario live -- and check the simulator's call.
+
+The simulator *predicts* how each memory policy behaves; the live
+serving layer (`repro.serve`) actually runs them: the same
+`MemoryBroker` + policy objects admit real concurrent queries, the
+real adaptive operators (PPHJ hash join, adaptive external sort)
+execute over in-memory relations in an ED-scheduled worker pool, and
+firm deadlines abort queries that run late.
+
+This example replays one generated scenario open-loop -- the identical
+workload the simulator sees, down to each arrival instant and deadline
+-- under two policies, live, and prints the measured miss ratios next
+to the simulator's prediction for the same scenario.
+
+Run:  python examples/live_serving.py
+"""
+
+import asyncio
+
+from repro.experiments import runner
+from repro.scenarios import ScenarioGenerator
+from repro.serve import run_live
+
+#: Policies to race (module-level so the smoke test can shrink them).
+POLICIES = ("max", "minmax")
+#: Wall seconds per simulated second (0.02 = 50x faster than real time).
+TIME_SCALE = 0.02
+#: Cap on submitted queries (None = the scenario's full horizon).
+MAX_ARRIVALS = None
+
+
+def main() -> None:
+    scenario = ScenarioGenerator(0).generate("mix", 0)
+    print(f"scenario {scenario.name} ({scenario.content_hash[:10]}): "
+          f"{len(scenario.config.workload.classes)} classes, "
+          f"{scenario.config.resources.memory_pages} buffer pages, "
+          f"{scenario.config.duration:.0f} simulated seconds\n")
+
+    print(f"{'policy':14s} {'live miss':>9s} {'sim miss':>9s} "
+          f"{'served':>6s} {'mpl':>5s} {'decisions/s':>11s}")
+    for policy in POLICIES:
+        live = asyncio.run(
+            run_live(
+                scenario.config,
+                policy,
+                time_scale=TIME_SCALE,
+                max_arrivals=MAX_ARRIVALS,
+            )
+        )
+        predicted = runner.run_many([scenario.run_spec(policy)])[0]
+        print(f"{live.policy:14s} {live.miss_ratio:9.3f} "
+              f"{predicted.miss_ratio:9.3f} {live.served:6d} "
+              f"{live.observed_mpl:5.2f} {live.decisions_per_sec:11.0f}")
+
+    print("\nSame workload, two substrates: the live layer executes real "
+          "operator request\nstreams under wall-clock deadlines; the "
+          "simulator predicts the same admission\ndecisions (the broker "
+          "replay test pins them equal, decision for decision).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Benchmark the live serving layer and write ``BENCH_serve.json``.
+
+Two probes:
+
+* **admission** -- the broker decision path exactly as the gateway
+  drives it (register -> reallocate -> enforce through the tracked
+  allocator -> depart -> reallocate), measured per policy over a
+  churning population: sustained admission decisions/second plus
+  per-decision latency percentiles.  The serve-smoke CI job asserts
+  the sustained rate stays above ``MIN_DECISIONS_PER_SEC``.
+* **live replay** -- one scenario replayed open-loop through the full
+  asyncio gateway (workers, pacing, real byte traffic): sustained
+  queries/second and end-to-end decision rate under load.
+
+Run locally with::
+
+    PYTHONPATH=src python scripts/bench_serve.py [--output BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: The serve acceptance floor: the admission path must sustain at
+#: least this many decisions per second (it typically does 10-100x).
+MIN_DECISIONS_PER_SEC = 1000
+
+
+def bench_admission(policy_spec: str, decisions: int, population: int) -> dict:
+    """Time the gateway's decision path over a churning population."""
+    from repro.core.broker import MemoryBroker
+    from repro.policies import make_policy
+    from repro.serve.dataplane import TrackedAllocator
+
+    policy = make_policy(policy_spec)
+    broker = MemoryBroker(policy, total_pages=256, sample_size=30)
+    allocator = TrackedAllocator(256)
+    latencies = []
+    qid = 0
+    # Seed a standing population of mixed-demand queries.
+    for qid in range(population):
+        broker.register(qid, f"C{qid % 3}", 100.0 + qid, 4 + qid % 13, 20 + qid % 90)
+    started = time.perf_counter()
+    for step in range(decisions):
+        tick = time.perf_counter()
+        decision = broker.reallocate(now=float(step))
+        allocator.apply(decision.allocation)
+        latencies.append(time.perf_counter() - tick)
+        # Churn: the oldest query departs, a fresh one arrives.
+        victim = qid - population + 1
+        broker.release(victim)
+        allocator.release(victim)
+        qid += 1
+        broker.register(
+            qid, f"C{qid % 3}", 100.0 + qid, 4 + qid % 13, 20 + qid % 90
+        )
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "decisions": decisions,
+        "population": population,
+        "decisions_per_sec": round(decisions / elapsed),
+        "latency_us": {
+            "p50": round(latencies[len(latencies) // 2] * 1e6, 1),
+            "p99": round(latencies[int(len(latencies) * 0.99)] * 1e6, 1),
+            "max": round(latencies[-1] * 1e6, 1),
+        },
+    }
+
+
+def bench_live(time_scale: float) -> dict:
+    """Replay one scenario through the full gateway."""
+    from repro.scenarios import ScenarioGenerator
+    from repro.serve.gateway import run_live
+
+    scenario = ScenarioGenerator(0).generate("mix", 0)
+    started = time.perf_counter()
+    report = asyncio.run(
+        run_live(scenario.config, "minmax", time_scale=time_scale)
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "scenario": scenario.name,
+        "time_scale": time_scale,
+        "wall_s": round(elapsed, 3),
+        "served": report.served,
+        "miss_ratio": round(report.miss_ratio, 4),
+        "queries_per_sec": round(report.queries_per_sec, 1),
+        "decisions_per_sec": round(report.decisions_per_sec, 1),
+        "decision_latency_mean_us": round(report.decision_latency_mean_us, 1),
+        "bytes_moved": report.bytes_moved,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_serve.json")
+    parser.add_argument("--decisions", type=int, default=3000)
+    parser.add_argument("--population", type=int, default=24)
+    parser.add_argument("--time-scale", type=float, default=0.01)
+    parser.add_argument(
+        "--skip-live", action="store_true", help="admission probe only"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.policies import DEFAULT_POLICIES
+
+    admission = {
+        spec: bench_admission(spec, args.decisions, args.population)
+        for spec in DEFAULT_POLICIES
+    }
+    payload = {
+        "probe": "repro.serve admission + live replay",
+        "admission": admission,
+        "python": platform.python_version(),
+    }
+    if not args.skip_live:
+        payload["live"] = bench_live(args.time_scale)
+
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    slowest = min(entry["decisions_per_sec"] for entry in admission.values())
+    print(json.dumps(payload, indent=2))
+    print(f"\nslowest admission path: {slowest} decisions/s "
+          f"(floor {MIN_DECISIONS_PER_SEC})")
+    if slowest < MIN_DECISIONS_PER_SEC:
+        print("FAIL: admission decision rate below the floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

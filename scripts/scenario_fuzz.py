@@ -31,10 +31,12 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.policies import DEFAULT_POLICIES  # noqa: E402
 from repro.rtdbs.system import RTDBSystem  # noqa: E402
 from repro.scenarios import FAMILIES, ScenarioGenerator  # noqa: E402
 
-POLICIES = ("max", "minmax", "minmax-2", "minmax-6", "proportional", "pmm", "fairpmm")
+#: The registry's canonical set plus two extra MPL limits for variety.
+POLICIES = DEFAULT_POLICIES + ("minmax-2", "minmax-6")
 
 
 def resolve_seed(explicit) -> int:

@@ -28,7 +28,14 @@ True
 
 from repro.core.fairness import FairPMM
 from repro.core.pmm import PMM
-from repro.policies.static import MaxPolicy, MinMaxPolicy, ProportionalPolicy, make_policy
+from repro.policies import (
+    MaxPolicy,
+    MinMaxPolicy,
+    ProportionalPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
 from repro.rtdbs.config import (
     ArrivalModulation,
     CPUCosts,
@@ -75,11 +82,13 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "WorkloadParams",
+    "available_policies",
     "baseline",
     "disk_contention",
     "external_sort_workload",
     "make_policy",
     "multiclass",
+    "register_policy",
     "scaled_contention",
     "workload_changes",
     "__version__",

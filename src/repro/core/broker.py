@@ -1,0 +1,358 @@
+"""The memory broker: admission control decoupled from the simulator.
+
+The paper's mechanism -- admission decisions, min/max memory grants,
+wait queues, and departure-driven re-allocation, all delegated to a
+pluggable :class:`~repro.policies.base.MemoryPolicy` -- is useful far
+beyond a discrete-event simulation: it is exactly what a live server
+needs to decide *which* concurrent queries may run and *how much*
+workspace each gets.  :class:`MemoryBroker` is that mechanism with the
+simulator factored out.
+
+The broker sees the world as a stream of four operations:
+
+* :meth:`register`   -- a query arrives (enters the wait queue);
+* :meth:`reallocate` -- compute a fresh allocation vector (invoked by
+  the host after every arrival and departure, and whenever the policy
+  requests one);
+* :meth:`release`    -- a query leaves the population (done or aborted);
+* :meth:`note_departure` / :meth:`departure_feedback` /
+  :meth:`deliver_batch` -- the policy's feedback channel: per-departure
+  facts, and a :class:`~repro.policies.base.BatchStats` summary after
+  every ``SampleSize`` departures (the broker counts the window; the
+  host supplies the utilisation telemetry only it can measure).
+
+Both hosts drive the identical policy objects through this interface:
+
+* the DES :class:`~repro.rtdbs.query_manager.QueryManager` (simulated
+  time, simulated resources) -- the refactor is bit-identical to the
+  pre-broker code path;
+* the live asyncio gateway of :mod:`repro.serve` (wall-clock time,
+  real operators over in-memory relations).
+
+Every operation can be recorded by a :class:`BrokerTrace`; replaying a
+trace through a fresh broker + policy must reproduce the decision
+sequence exactly (``tests/test_memory_broker.py`` pins this for all
+policies), which proves the broker is deterministic and depends on
+nothing outside its own operation stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocation import QueryDemand
+from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
+
+#: Population states (a query is *admitted* once it holds pages).
+WAITING = "waiting"
+RUNNING = "running"
+
+
+@dataclass
+class BrokerEntry:
+    """The broker's view of one present query."""
+
+    qid: int
+    class_name: str
+    #: ED priority: the absolute deadline (smaller = more urgent).
+    priority: float
+    min_pages: int
+    max_pages: int
+    state: str = WAITING
+    #: Current grant, pages (0 while waiting or suspended).
+    pages: int = 0
+
+
+@dataclass(frozen=True)
+class AllocationDecision:
+    """One reallocation outcome, ready for the host to enact."""
+
+    #: Pages per query id (queries absent from the vector hold 0).
+    allocation: Dict[int, int]
+    #: Present queries in ED order (the order grants must be enacted
+    #: in, so simulator event sequences stay reproducible).
+    order: Tuple[int, ...]
+    #: Queries admitted by this decision (were waiting, now granted).
+    admitted: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BatchWindow:
+    """A closing feedback window: departures since the last batch."""
+
+    served: int
+    missed: int
+
+
+@dataclass
+class BrokerTrace:
+    """Recorder for the broker's operation + decision stream.
+
+    ``ops`` holds plain tuples (no object references), so a trace can
+    be replayed against a freshly built broker and policy; decisions
+    are recorded as sorted ``(qid, pages)`` tuples for stable
+    comparison.
+    """
+
+    ops: List[tuple] = field(default_factory=list)
+
+    def record(self, op: tuple) -> None:
+        self.ops.append(op)
+
+    @property
+    def decisions(self) -> List[Tuple[Tuple[int, int], ...]]:
+        """Every recorded allocation vector, in decision order."""
+        return [op[1] for op in self.ops if op[0] == "decision"]
+
+
+class MemoryBroker:
+    """Admission control + memory allocation over one buffer pool.
+
+    The broker owns the admission-facing population (the wait queue and
+    the granted set), the departure counters, and the policy feedback
+    cadence; the host owns actual execution, timing, and telemetry.
+    """
+
+    def __init__(
+        self,
+        policy: MemoryPolicy,
+        total_pages: int,
+        sample_size: int,
+        recorder: Optional[BrokerTrace] = None,
+    ):
+        if total_pages <= 0:
+            raise ValueError(f"buffer pool must be positive, got {total_pages}")
+        if sample_size < 1:
+            raise ValueError(f"sample size must be >= 1, got {sample_size}")
+        self.policy = policy
+        self.total_pages = total_pages
+        self.sample_size = sample_size
+        self.recorder = recorder
+        #: Optional :class:`repro.rtdbs.invariants.InvariantChecker`;
+        #: ``None`` (the default) keeps the decision path hook-free.
+        self.invariants = None
+
+        self._entries: Dict[int, BrokerEntry] = {}
+        # -- departure counters (the host's statistics read these) -----
+        self.departures = 0
+        self.completions = 0
+        self.misses = 0
+        # -- batch bookkeeping for policy feedback ----------------------
+        self._batch_start_departures = 0
+        self._batch_misses = 0
+        self.batches_delivered = 0
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        qid: int,
+        class_name: str,
+        priority: float,
+        min_pages: int,
+        max_pages: int,
+    ) -> BrokerEntry:
+        """A query arrives: enter the wait queue (no memory yet)."""
+        if qid in self._entries:
+            raise ValueError(f"duplicate query id {qid}")
+        entry = BrokerEntry(qid, class_name, priority, min_pages, max_pages)
+        self._entries[qid] = entry
+        if self.recorder is not None:
+            self.recorder.record(
+                ("register", qid, class_name, priority, min_pages, max_pages)
+            )
+        return entry
+
+    def release(self, qid: int) -> None:
+        """A query leaves the population (completion or abort)."""
+        self._entries.pop(qid, None)
+        if self.recorder is not None:
+            self.recorder.record(("release", qid))
+
+    def entry(self, qid: int) -> BrokerEntry:
+        """The broker's entry for one present query."""
+        return self._entries[qid]
+
+    @property
+    def present(self) -> List[BrokerEntry]:
+        """All present queries in ED order."""
+        return sorted(self._entries.values(), key=lambda e: (e.priority, e.qid))
+
+    @property
+    def present_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def admitted_count(self) -> int:
+        """Queries currently holding memory."""
+        return sum(1 for entry in self._entries.values() if entry.pages > 0)
+
+    @property
+    def waiting_count(self) -> int:
+        """Queries waiting for their first grant."""
+        return sum(1 for entry in self._entries.values() if entry.state == WAITING)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def reallocate(self, now: float = 0.0) -> AllocationDecision:
+        """Ask the policy for a fresh allocation vector.
+
+        Updates the broker's own grant/state bookkeeping and returns
+        the decision for the host to enact (install reservations, wake
+        or start queries, shrink running grants) *in ED order*.
+        """
+        entries = self.present
+        demands = [
+            QueryDemand(
+                entry.qid,
+                entry.priority,
+                entry.min_pages,
+                entry.max_pages,
+                class_name=entry.class_name,
+            )
+            for entry in entries
+        ]
+        allocation = self.policy.allocate(demands, self.total_pages, now=now)
+        if self.invariants is not None:
+            self.invariants.check_allocation(self, demands, allocation)
+        admitted: List[int] = []
+        for entry in entries:
+            pages = allocation.get(entry.qid, 0)
+            if entry.state == WAITING and pages > 0:
+                entry.state = RUNNING
+                admitted.append(entry.qid)
+            entry.pages = pages
+        decision = AllocationDecision(
+            allocation=allocation,
+            order=tuple(entry.qid for entry in entries),
+            admitted=tuple(admitted),
+        )
+        if self.recorder is not None:
+            self.recorder.record(("reallocate", now))
+            self.recorder.record(
+                ("decision", tuple(sorted(allocation.items())))
+            )
+        return decision
+
+    # ------------------------------------------------------------------
+    # departures and policy feedback
+    # ------------------------------------------------------------------
+    def note_departure(self, missed: bool) -> None:
+        """Count one departure (before the host's own listeners run)."""
+        self.departures += 1
+        if missed:
+            self.misses += 1
+            self._batch_misses += 1
+        else:
+            self.completions += 1
+
+    def departure_feedback(self, record: DepartureRecord) -> Optional[BatchWindow]:
+        """Stream one departure's facts to the policy.
+
+        Returns the closing :class:`BatchWindow` when this departure
+        completes a ``SampleSize`` window -- the host must then build a
+        :class:`BatchStats` (it alone can measure utilisations) and
+        call :meth:`deliver_batch`.
+        """
+        if self.recorder is not None:
+            self.recorder.record(("departure", _record_tuple(record)))
+        self.policy.on_departure(record)
+        if self.departures - self._batch_start_departures >= self.sample_size:
+            return BatchWindow(
+                served=self.departures - self._batch_start_departures,
+                missed=self._batch_misses,
+            )
+        return None
+
+    def deliver_batch(self, stats: BatchStats) -> bool:
+        """Close the feedback window: hand the batch summary over.
+
+        Returns the policy's "force reallocation" flag (hosts that
+        already reallocate after every departure may ignore it).
+        """
+        self._batch_start_departures = self.departures
+        self._batch_misses = 0
+        self.batches_delivered += 1
+        if self.recorder is not None:
+            self.recorder.record(("batch", _stats_tuple(stats)))
+        return bool(self.policy.on_batch(stats))
+
+
+# ----------------------------------------------------------------------
+# trace replay
+# ----------------------------------------------------------------------
+def _record_tuple(record: DepartureRecord) -> tuple:
+    return (
+        record.qid,
+        record.class_name,
+        record.missed,
+        record.arrival,
+        record.departure,
+        record.waiting_time,
+        record.execution_time,
+        record.time_constraint,
+        record.max_demand,
+        record.min_demand,
+        record.operand_io_count,
+        record.memory_fluctuations,
+    )
+
+
+def _stats_tuple(stats: BatchStats) -> tuple:
+    return (
+        stats.time,
+        stats.served,
+        stats.missed,
+        stats.realized_mpl,
+        stats.cpu_utilization,
+        stats.disk_utilizations,
+    )
+
+
+def replay_trace(
+    ops: List[tuple],
+    policy: MemoryPolicy,
+    total_pages: int,
+    sample_size: int,
+) -> List[Tuple[Tuple[int, int], ...]]:
+    """Feed a recorded operation stream through a fresh broker.
+
+    Returns the decision sequence (sorted allocation vectors, one per
+    ``reallocate`` op).  Replaying the trace of a simulation run with
+    an identically parameterised policy must reproduce the recorded
+    decisions exactly -- the broker/simulator parity contract.
+    """
+    broker = MemoryBroker(policy, total_pages, sample_size)
+    decisions: List[Tuple[Tuple[int, int], ...]] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "register":
+            broker.register(*op[1:])
+        elif kind == "release":
+            broker.release(op[1])
+        elif kind == "reallocate":
+            decision = broker.reallocate(now=op[1])
+            decisions.append(tuple(sorted(decision.allocation.items())))
+        elif kind == "departure":
+            broker.note_departure(missed=op[1][2])
+            broker.departure_feedback(DepartureRecord(*op[1]))
+        elif kind == "batch":
+            time, served, missed, mpl, cpu, disks = op[1]
+            broker.deliver_batch(
+                BatchStats(
+                    time=time,
+                    served=served,
+                    missed=missed,
+                    realized_mpl=mpl,
+                    cpu_utilization=cpu,
+                    disk_utilizations=disks,
+                )
+            )
+        elif kind == "decision":
+            pass  # recorded output, not an input operation
+        else:
+            raise ValueError(f"unknown trace op {kind!r}")
+    return decisions

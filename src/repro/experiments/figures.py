@@ -25,6 +25,7 @@ from repro.experiments.runner import (
     run_many,
     sweep,
 )
+from repro.policies import make_policy
 from repro.rtdbs.system import SimulationResult
 from repro.sim.rng import Streams
 from repro.workloads.presets import (
@@ -52,6 +53,12 @@ BASELINE_POLICIES = ("max", "minmax", "proportional", "pmm")
 CONTENTION_RATES = (0.05, 0.06, 0.07)
 CONTENTION_LIMITED = "minmax-2"
 CONTENTION_POLICIES = ("max", "minmax", "pmm", CONTENTION_LIMITED)
+
+# Every figure's policy specs resolve through the single registry; a
+# typo fails at import, not three sweeps into a grid.
+for _spec in {*BASELINE_POLICIES, *CONTENTION_POLICIES}:
+    make_policy(_spec)
+del _spec
 
 
 @dataclass

@@ -43,6 +43,7 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.policies.registry import make_policy
 from repro.rtdbs.config import SimulationConfig
 from repro.rtdbs.system import RTDBSystem, SimulationResult
 
@@ -363,6 +364,10 @@ def run_many(
     un-signed ``setup`` hooks).
     """
     spec_list = list(specs)
+    # Resolve every distinct policy spec through the registry up front,
+    # so a typo fails here instead of deep inside a worker process.
+    for policy_spec in {spec.policy for spec in spec_list}:
+        make_policy(policy_spec)
     results: List[Optional[SimulationResult]] = [None] * len(spec_list)
     keys: List[Optional[str]] = [None] * len(spec_list)
     disk = _active_cache() if cache else None

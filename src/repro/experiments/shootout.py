@@ -29,12 +29,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.experiments import runner
+from repro.policies import DEFAULT_POLICIES
 from repro.rtdbs.invariants import InvariantChecker
 from repro.rtdbs.system import SimulationResult
 from repro.scenarios import Scenario, ScenarioGenerator
-
-#: Policies in every shootout (all of Table 5 plus PMM and FairPMM).
-DEFAULT_POLICIES = ("max", "minmax", "minmax-4", "proportional", "pmm", "fairpmm")
 
 #: Aggregate-ordering tolerance: MinMax's mean miss ratio may exceed
 #: Max's by at most this much before the shootout fails.

@@ -9,19 +9,23 @@ buffer manager.
 """
 
 from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
-from repro.policies.static import (
-    MaxPolicy,
-    MinMaxPolicy,
-    ProportionalPolicy,
+from repro.policies.registry import (
+    DEFAULT_POLICIES,
+    available_policies,
     make_policy,
+    register_policy,
 )
+from repro.policies.static import MaxPolicy, MinMaxPolicy, ProportionalPolicy
 
 __all__ = [
     "BatchStats",
+    "DEFAULT_POLICIES",
     "DepartureRecord",
     "MaxPolicy",
     "MemoryPolicy",
     "MinMaxPolicy",
     "ProportionalPolicy",
+    "available_policies",
     "make_policy",
+    "register_policy",
 ]

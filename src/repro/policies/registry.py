@@ -1,0 +1,124 @@
+"""The single policy registry: spec string -> policy factory.
+
+Every component that names a policy -- the simulator
+(:class:`~repro.rtdbs.system.RTDBSystem`), the experiment engine's
+:class:`~repro.experiments.runner.RunSpec`, the scenario shootout, the
+fuzz scripts, the live serving layer, and the examples -- resolves it
+here.  A spec is a compact case-insensitive string:
+
+=================  ===================================================
+``max``            Max allocation or nothing, in ED order
+``minmax``         MinMax with no MPL limit
+``minmax-N``       MinMax admitting at most N queries (e.g. ``minmax-10``)
+``proportional``   Proportional division, no MPL limit
+``proportional-N`` Proportional with an MPL limit of N
+``pmm``            the paper's adaptive PMM (needs/accepts ``pmm_params``)
+``fairpmm``        PMM with per-class fairness goals (``goals=...``)
+=================  ===================================================
+
+``register_policy`` adds project-local policies to the same namespace,
+so experiment CLIs and the live server pick them up with no further
+wiring.  Parametric families (the ``name-N`` forms) register a prefix
+handler via ``register_policy("name-", factory)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.policies.base import MemoryPolicy
+from repro.policies.static import MaxPolicy, MinMaxPolicy, ProportionalPolicy
+
+#: Factories for exact specs: ``name -> factory(pmm_params, **kwargs)``.
+_EXACT: Dict[str, Callable[..., MemoryPolicy]] = {}
+#: Factories for parametric specs: ``prefix -> factory(N, pmm_params, **kwargs)``.
+_PARAMETRIC: Dict[str, Callable[..., MemoryPolicy]] = {}
+
+#: The canonical policy set of every shootout: all of Table 5 plus the
+#: adaptive PMM and its fairness extension.
+DEFAULT_POLICIES: Tuple[str, ...] = (
+    "max",
+    "minmax",
+    "minmax-4",
+    "proportional",
+    "pmm",
+    "fairpmm",
+)
+
+
+def register_policy(spec: str, factory: Callable[..., MemoryPolicy]) -> None:
+    """Register a factory under an exact spec or a ``name-`` prefix.
+
+    Exact factories are called ``factory(pmm_params=..., **kwargs)``;
+    prefix factories (spec ends with ``-``) are called
+    ``factory(n, pmm_params=..., **kwargs)`` with the integer suffix.
+    """
+    token = spec.strip().lower()
+    if not token:
+        raise ValueError("policy spec must be non-empty")
+    if token.endswith("-"):
+        _PARAMETRIC[token] = factory
+    else:
+        _EXACT[token] = factory
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Every registered exact spec plus the parametric prefixes."""
+    return tuple(sorted(_EXACT)) + tuple(f"{p}N" for p in sorted(_PARAMETRIC))
+
+
+def make_policy(spec: str, pmm_params=None, **kwargs) -> MemoryPolicy:
+    """Build a policy from its spec string (the single construction path).
+
+    ``pmm_params`` (a :class:`repro.rtdbs.config.PMMParams`) seeds the
+    adaptive policies and defaults when omitted; extra keyword
+    arguments are forwarded to the factory (e.g. ``goals`` for
+    ``fairpmm``).
+    """
+    token = spec.strip().lower()
+    factory = _EXACT.get(token)
+    if factory is not None:
+        return factory(pmm_params=pmm_params, **kwargs)
+    head, _sep, tail = token.partition("-")
+    if tail:
+        parametric = _PARAMETRIC.get(f"{head}-")
+        if parametric is not None:
+            try:
+                n = int(tail)
+            except ValueError:
+                raise ValueError(
+                    f"policy spec {spec!r}: expected an integer after "
+                    f"{head!r}-, got {tail!r}"
+                ) from None
+            return parametric(n, pmm_params=pmm_params, **kwargs)
+    raise ValueError(
+        f"unknown policy spec {spec!r}; available: {', '.join(available_policies())}"
+    )
+
+
+# ----------------------------------------------------------------------
+# built-in registrations (Table 5 + PMM variants)
+# ----------------------------------------------------------------------
+def _make_pmm(pmm_params=None, **kwargs):
+    from repro.core.pmm import PMM
+    from repro.rtdbs.config import PMMParams
+
+    return PMM(pmm_params if pmm_params is not None else PMMParams(), **kwargs)
+
+
+def _make_fairpmm(pmm_params=None, **kwargs):
+    from repro.core.fairness import FairPMM
+    from repro.rtdbs.config import PMMParams
+
+    return FairPMM(pmm_params if pmm_params is not None else PMMParams(), **kwargs)
+
+
+register_policy("max", lambda pmm_params=None, **kw: MaxPolicy(**kw))
+register_policy("minmax", lambda pmm_params=None, **kw: MinMaxPolicy(**kw))
+register_policy("minmax-", lambda n, pmm_params=None, **kw: MinMaxPolicy(n, **kw))
+register_policy("proportional", lambda pmm_params=None, **kw: ProportionalPolicy(**kw))
+register_policy(
+    "proportional-", lambda n, pmm_params=None, **kw: ProportionalPolicy(n, **kw)
+)
+register_policy("pmm", _make_pmm)
+register_policy("fairpmm", _make_fairpmm)

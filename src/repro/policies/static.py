@@ -70,33 +70,13 @@ class ProportionalPolicy(MemoryPolicy):
         return self.mpl_limit
 
 
-def make_policy(spec: str, pmm_params=None) -> MemoryPolicy:
+def make_policy(spec: str, pmm_params=None, **kwargs) -> MemoryPolicy:
     """Build a policy from a compact spec string.
 
-    Accepted specs (case-insensitive): ``"max"``, ``"minmax"``,
-    ``"minmax-10"``, ``"proportional"``, ``"proportional-4"``,
-    ``"pmm"``, ``"fairpmm"``.  The PMM spec requires ``pmm_params`` (a
-    :class:`repro.rtdbs.config.PMMParams`).
+    Back-compat shim: the construction logic lives in the single
+    registry of :mod:`repro.policies.registry` (import site of record:
+    ``repro.policies.make_policy``).
     """
-    token = spec.strip().lower()
-    if token == "max":
-        return MaxPolicy()
-    if token == "minmax":
-        return MinMaxPolicy()
-    if token.startswith("minmax-"):
-        return MinMaxPolicy(int(token.split("-", 1)[1]))
-    if token == "proportional":
-        return ProportionalPolicy()
-    if token.startswith("proportional-"):
-        return ProportionalPolicy(int(token.split("-", 1)[1]))
-    if token == "pmm":
-        from repro.core.pmm import PMM
-        from repro.rtdbs.config import PMMParams
+    from repro.policies.registry import make_policy as _make
 
-        return PMM(pmm_params if pmm_params is not None else PMMParams())
-    if token == "fairpmm":
-        from repro.core.fairness import FairPMM
-        from repro.rtdbs.config import PMMParams
-
-        return FairPMM(pmm_params if pmm_params is not None else PMMParams())
-    raise ValueError(f"unknown policy spec {spec!r}")
+    return _make(spec, pmm_params=pmm_params, **kwargs)

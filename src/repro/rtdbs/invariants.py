@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.allocation import QueryDemand
+    from repro.core.broker import MemoryBroker
     from repro.rtdbs.system import RTDBSystem, SimulationResult
 
 #: Slack for floating-point utilisation/ratio comparisons.
@@ -51,56 +52,104 @@ class InvariantViolation(AssertionError):
 class InvariantChecker:
     """Runtime assertion harness over one :class:`RTDBSystem`.
 
-    One checker instance attaches to exactly one system; ``checks``
-    counts assertions by category so tests can prove the hooks actually
-    fired.
+    One checker instance watches one system (or one standalone broker)
+    at a time; attaching it to a *new* target first resets all counters
+    and recorded failures, so a checker can be reused across runs
+    without carrying stale state.  ``checks`` counts assertions by
+    category so tests can prove the hooks actually fired.
     """
 
     def __init__(self) -> None:
         self.system: Optional["RTDBSystem"] = None
-        self.checks: Dict[str, int] = {
-            "allocation": 0,
-            "buffers": 0,
-            "population": 0,
-            "final": 0,
-        }
+        self.broker: Optional["MemoryBroker"] = None
+        self.checks: Dict[str, int] = {}
         #: Every violation message, in detection order.  A violation
         #: raised inside a simulation *process* is captured by the
         #: process machinery (``Process.fail``) and may have no waiter;
         #: recording it here lets :meth:`check_final` re-raise it at
         #: the end of the run, so no violation can be swallowed.
         self.failures: list = []
+        self.reset()
 
     # ------------------------------------------------------------------
-    def attach(self, system: "RTDBSystem") -> "InvariantChecker":
-        """Install the checker on a built (not yet run) system."""
+    def reset(self) -> None:
+        """Zero the counters and forget recorded failures."""
+        self.checks = {
+            "allocation": 0,
+            "buffers": 0,
+            "population": 0,
+            "final": 0,
+        }
+        self.failures = []
+
+    def detach(self) -> None:
+        """Unhook from the current system/broker (counters survive)."""
         if self.system is not None:
-            raise ValueError("checker is already attached to a system")
+            self.system.invariants = None
+            self.system.query_manager.invariants = None
+            self.system.query_manager.broker.invariants = None
+            self.system.buffers.invariants = None
+            self.system = None
+        if self.broker is not None:
+            self.broker.invariants = None
+            self.broker = None
+
+    def attach(self, system: "RTDBSystem") -> "InvariantChecker":
+        """Install the checker on a built (not yet run) system.
+
+        Re-attaching to a different system detaches from the previous
+        one and resets the counters -- each attachment starts a fresh
+        accounting epoch.
+        """
+        if self.system is not None or self.broker is not None:
+            self.detach()
+            self.reset()
         self.system = system
         system.invariants = self
         system.query_manager.invariants = self
+        system.query_manager.broker.invariants = self
         system.buffers.invariants = self
         return self
 
+    def attach_broker(self, broker: "MemoryBroker") -> "InvariantChecker":
+        """Install the checker on a standalone broker (no simulator).
+
+        The live serving layer uses this: only the allocation-contract
+        laws apply, checked on every decision the broker makes.
+        """
+        if self.system is not None or self.broker is not None:
+            self.detach()
+            self.reset()
+        self.broker = broker
+        broker.invariants = self
+        return self
+
     def _fail(self, law: str, detail: str) -> None:
-        now = self.system.sim.now if self.system is not None else float("nan")
-        policy = self.system.policy.name if self.system is not None else "?"
+        if self.system is not None:
+            now = self.system.sim.now
+            policy = self.system.policy.name
+        elif self.broker is not None:
+            now = float("nan")
+            policy = self.broker.policy.name
+        else:
+            now = float("nan")
+            policy = "?"
         message = f"[{law}] t={now:.6f} policy={policy}: {detail}"
         self.failures.append(message)
         raise InvariantViolation(message)
 
     # ------------------------------------------------------------------
-    # hook: QueryManager.reallocate, on every fresh allocation vector
+    # hook: MemoryBroker.reallocate, on every fresh allocation vector
     # ------------------------------------------------------------------
     def check_allocation(
         self,
-        query_manager,
+        broker,
         demands: Sequence["QueryDemand"],
         allocation: Dict[int, int],
     ) -> None:
         """Policy-contract laws, checked before the vector is enacted."""
         self.checks["allocation"] += 1
-        memory = query_manager.buffers.total_pages
+        memory = broker.total_pages
         envelopes = {demand.qid: demand for demand in demands}
         total = 0
         granted = 0
@@ -126,7 +175,7 @@ class InvariantChecker:
                 "allocation",
                 f"vector allocates {total} pages of a {memory}-page pool",
             )
-        limit = getattr(query_manager.policy, "target_mpl", None)
+        limit = getattr(broker.policy, "target_mpl", None)
         if limit is not None and granted > limit:
             self._fail(
                 "allocation",

@@ -4,10 +4,11 @@ Responsibilities (Section 4, plus firm-RTDBS semantics [Hari90]):
 
 * keep the population of present queries (waiting for admission or
   executing) ordered by Earliest Deadline;
-* invoke the memory policy on every arrival / departure / policy
-  request, then enact its allocation vector: admit waiting queries
-  granted memory, adjust running queries' grants (operators adapt),
-  and suspend those whose grant dropped to zero;
+* drive the simulator-agnostic :class:`~repro.core.broker.MemoryBroker`
+  on every arrival / departure / policy request, then enact its
+  allocation decision: admit waiting queries granted memory, adjust
+  running queries' grants (operators adapt), and suspend those whose
+  grant dropped to zero;
 * translate operator requests (CPU bursts, disk accesses, allocation
   waits) into simulated resource usage, charging the Table 4 "start an
   I/O" CPU cost before every disk access and consulting the buffer
@@ -24,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.allocation import QueryDemand
+from repro.core.broker import MemoryBroker
 from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
 from repro.queries.base import MemoryGrant, Operator
 from repro.queries.requests import AllocationWait, CPUBurst, DiskAccess, READ
@@ -160,9 +161,13 @@ class QueryManager:
         self.buffers = buffers
 
         self._jobs: Dict[int, QueryJob] = {}
-        self.departures = 0
-        self.completions = 0
-        self.misses = 0
+        #: The simulator-agnostic admission/allocation core.  It owns
+        #: the policy-facing population, the departure counters, and
+        #: the batch feedback cadence; this manager enacts its
+        #: decisions against the simulated resources.
+        self.broker = MemoryBroker(
+            policy, buffers.total_pages, config.pmm.sample_size
+        )
         #: Time-weighted number of admitted queries (the observed MPL).
         self.mpl_monitor = TimeWeighted(sim, initial=0.0)
         #: Time-weighted number of present queries (admitted + waiting).
@@ -175,15 +180,29 @@ class QueryManager:
         self.stop_event: Optional[Event] = None
         self.max_departures: Optional[int] = None
 
-        # Batch bookkeeping for policy feedback.
-        self._batch_start_departures = 0
-        self._batch_misses = 0
+        # Utilisation snapshots for the policy's batch feedback.
         self._batch_snapshots = self._take_snapshots()
-        self.batches_delivered = 0
         self._reallocating = False
         #: Optional :class:`repro.rtdbs.invariants.InvariantChecker`;
         #: ``None`` (the default) keeps the hot paths hook-free.
         self.invariants = None
+
+    # -- departure counters live on the broker --------------------------
+    @property
+    def departures(self) -> int:
+        return self.broker.departures
+
+    @property
+    def completions(self) -> int:
+        return self.broker.completions
+
+    @property
+    def misses(self) -> int:
+        return self.broker.misses
+
+    @property
+    def batches_delivered(self) -> int:
+        return self.broker.batches_delivered
 
     # ------------------------------------------------------------------
     # population management
@@ -197,6 +216,9 @@ class QueryManager:
         job.demand_max = min(job.operator.max_pages, self.buffers.total_pages)
         job.demand_min = min(job.operator.min_pages, job.demand_max)
         self._jobs[job.qid] = job
+        self.broker.register(
+            job.qid, job.class_name, job.priority, job.demand_min, job.demand_max
+        )
         self.present_monitor.add(1)
         if self.config.firm_deadlines:
             delay = max(0.0, job.deadline - self.sim.now)
@@ -219,30 +241,24 @@ class QueryManager:
     # allocation
     # ------------------------------------------------------------------
     def reallocate(self) -> None:
-        """Ask the policy for a fresh allocation vector and enact it."""
+        """Ask the broker for a fresh allocation decision and enact it.
+
+        Grants are enacted in the decision's ED order -- the order the
+        pre-broker code walked the population in -- so process creation
+        and wake-ups interleave identically and fixed-seed runs stay
+        bit-identical.
+        """
         if self._reallocating:  # defensive: no re-entrant allocation
             return
         self._reallocating = True
         try:
-            jobs = self.present_jobs
-            demands = [
-                QueryDemand(
-                    job.qid,
-                    job.priority,
-                    job.demand_min,
-                    job.demand_max,
-                    class_name=job.class_name,
-                )
-                for job in jobs
-            ]
-            allocation = self.policy.allocate(
-                demands, self.buffers.total_pages, now=self.sim.now
-            )
-            if self.invariants is not None:
-                self.invariants.check_allocation(self, demands, allocation)
+            decision = self.broker.reallocate(now=self.sim.now)
+            allocation = decision.allocation
             self.buffers.apply_allocation(allocation)
-            for job in jobs:
-                pages = allocation.get(job.qid, 0)
+            jobs = self._jobs
+            for qid in decision.order:
+                job = jobs[qid]
+                pages = allocation.get(qid, 0)
                 if job.state == WAITING and pages > 0:
                     self._admit(job, pages)
                 elif job.state == RUNNING:
@@ -354,6 +370,7 @@ class QueryManager:
         job.operator.release_resources()
         self.buffers.release(job.qid)
         del self._jobs[job.qid]
+        self.broker.release(job.qid)
         self.present_monitor.add(-1)
 
         now = self.sim.now
@@ -378,21 +395,16 @@ class QueryManager:
             memory_fluctuations=job.grant.fluctuations,
         )
 
-        self.departures += 1
-        if missed:
-            self.misses += 1
-            self._batch_misses += 1
-        else:
-            self.completions += 1
+        self.broker.note_departure(missed)
 
         for listener in self.departure_listeners:
             listener(record)
-        self.policy.on_departure(record)
+        window = self.broker.departure_feedback(record)
         if self.invariants is not None:
             self.invariants.check_population(self)
 
-        if self.departures - self._batch_start_departures >= self.config.pmm.sample_size:
-            self._close_batch()
+        if window is not None:
+            self._close_batch(window)
 
         self.reallocate()
 
@@ -414,13 +426,14 @@ class QueryManager:
             "mpl": self.mpl_monitor.snapshot(),
         }
 
-    def _close_batch(self) -> None:
-        served = self.departures - self._batch_start_departures
+    def _close_batch(self, window) -> None:
+        """Build the batch telemetry only this host can measure and
+        hand it to the broker (which forwards it to the policy)."""
         snapshots = self._batch_snapshots
         stats = BatchStats(
             time=self.sim.now,
-            served=served,
-            missed=self._batch_misses,
+            served=window.served,
+            missed=window.missed,
             realized_mpl=self.mpl_monitor.mean_since(snapshots["mpl"]),
             cpu_utilization=min(1.0, self.cpu.busy.mean_since(snapshots["cpu"])),
             disk_utilizations=tuple(
@@ -428,9 +441,6 @@ class QueryManager:
                 for disk, snapshot in zip(self.disks, snapshots["disks"])
             ),
         )
-        self._batch_start_departures = self.departures
-        self._batch_misses = 0
         self._batch_snapshots = self._take_snapshots()
-        self.batches_delivered += 1
-        self.policy.on_batch(stats)
+        self.broker.deliver_batch(stats)
         # reallocate() runs unconditionally right after in _depart().

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.policies.base import MemoryPolicy
-from repro.policies.static import make_policy
+from repro.policies.registry import make_policy
 from repro.queries.base import OperatorContext
 from repro.queries.cost_model import StandAloneCostModel
 from repro.rtdbs.buffer_manager import BufferManager

@@ -1,0 +1,52 @@
+"""repro.serve -- the live serving layer.
+
+The simulator answers "what *would* these policies do"; this package
+runs them for real: an asyncio admission gateway
+(:class:`~repro.serve.gateway.LiveGateway`) drives the same
+:class:`~repro.core.broker.MemoryBroker` and
+:class:`~repro.policies.base.MemoryPolicy` objects as the DES against
+real concurrent queries -- actual
+:class:`~repro.queries.sort.ExternalSortOperator` /
+:class:`~repro.queries.hash_join.HashJoinOperator` request streams
+executed over in-memory relations in a bounded worker pool, with firm
+deadlines and tracked grant enforcement.
+
+Entry points:
+
+* ``python -m repro.serve live-shootout`` -- every policy serves the
+  same generated scenario; live miss ratios beside the simulator's
+  prediction (see :func:`repro.serve.shootout.live_shootout`);
+* ``python -m repro.serve replay`` -- one policy, one scenario, full
+  metrics;
+* ``python -m repro.serve serve`` -- a JSON-lines TCP server accepting
+  ad-hoc query submissions with deadlines
+  (:class:`~repro.serve.server.LiveServer`).
+"""
+
+from repro.serve.dataplane import (
+    GrantOversubscribedError,
+    LiveDataPlane,
+    PageStore,
+    TrackedAllocator,
+)
+from repro.serve.gateway import LiveGateway, LiveReport, run_live
+from repro.serve.server import LiveServer
+from repro.serve.shootout import LiveShootoutReport, live_shootout
+from repro.serve.workload import LiveArrival, LiveSchedule, build_schedule, make_operator
+
+__all__ = [
+    "GrantOversubscribedError",
+    "LiveArrival",
+    "LiveDataPlane",
+    "LiveGateway",
+    "LiveReport",
+    "LiveSchedule",
+    "LiveServer",
+    "LiveShootoutReport",
+    "PageStore",
+    "TrackedAllocator",
+    "build_schedule",
+    "live_shootout",
+    "make_operator",
+    "run_live",
+]

@@ -1,0 +1,203 @@
+"""Command-line entry points of the live serving layer.
+
+::
+
+    python -m repro.serve live-shootout                # all six policies
+    python -m repro.serve live-shootout --policies max,minmax \\
+        --family bursty --index 2 --time-scale 0.02   # quick subset
+    python -m repro.serve replay --policy pmm          # one live run
+    python -m repro.serve serve --port 7070 --policy pmm  # TCP server
+
+``live-shootout`` replays one generated scenario through the live
+gateway once per policy and prints the measured miss ratios beside the
+simulator's prediction for the same workload; it exits non-zero if any
+live cross-check fails.  ``serve`` accepts JSON-lines submissions (see
+:mod:`repro.serve.server` for the protocol).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.policies import DEFAULT_POLICIES, make_policy
+
+
+def _split_tokens(text):
+    return tuple(token.strip() for token in text.split(",") if token.strip())
+
+
+def _add_scenario_flags(parser) -> None:
+    parser.add_argument("--family", default="mix", help="scenario family")
+    parser.add_argument("--index", type=int, default=0, help="scenario index")
+    parser.add_argument(
+        "--scenario-seed", type=int, default=0, help="scenario-generator seed"
+    )
+
+
+def _add_live_flags(parser) -> None:
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.05,
+        help="wall seconds per simulated second (smaller = faster replay)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool width (default: num_disks + 1)",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=None, help="clip the scenario horizon (sim s)"
+    )
+    parser.add_argument(
+        "--max-arrivals", type=int, default=None, help="cap the submitted queries"
+    )
+    parser.add_argument(
+        "--no-invariants", action="store_true", help="skip the runtime checkers"
+    )
+
+
+def _cmd_live_shootout(args) -> int:
+    from repro.serve.shootout import live_shootout
+
+    policies = _split_tokens(args.policies) if args.policies else DEFAULT_POLICIES
+    for spec in policies:
+        make_policy(spec)  # fail on typos before any live run
+    report = live_shootout(
+        policies=policies,
+        family=args.family,
+        index=args.index,
+        scenario_seed=args.scenario_seed,
+        time_scale=args.time_scale,
+        workers=args.workers,
+        horizon=args.horizon,
+        max_arrivals=args.max_arrivals,
+        invariants=not args.no_invariants,
+        predict=not args.no_predict,
+        jobs=args.jobs,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args) -> int:
+    from repro.scenarios import ScenarioGenerator
+    from repro.serve.gateway import run_live
+
+    scenario = ScenarioGenerator(args.scenario_seed).generate(args.family, args.index)
+    report = asyncio.run(
+        run_live(
+            scenario.config,
+            args.policy,
+            time_scale=args.time_scale,
+            workers=args.workers,
+            horizon=args.horizon,
+            max_arrivals=args.max_arrivals,
+            invariants=not args.no_invariants,
+        )
+    )
+    print(f"scenario        : {scenario.name} ({scenario.content_hash[:10]})")
+    print(f"policy          : {report.policy}")
+    print(f"served / missed : {report.served} / {report.missed} "
+          f"(miss ratio {report.miss_ratio:.3f})")
+    for name, stats in sorted(report.per_class.items()):
+        print(f"  class {name:12s}: served={stats.served} missed={stats.missed} "
+              f"miss_ratio={stats.miss_ratio:.3f}")
+    print(f"wall / sim      : {report.wall_seconds:.2f} s / "
+          f"{report.sim_seconds:.1f} s (scale {report.time_scale})")
+    print(f"throughput      : {report.queries_per_sec:.1f} queries/s")
+    print(f"observed MPL    : {report.observed_mpl:.2f}")
+    print(f"decisions       : {report.decisions} "
+          f"({report.decisions_per_sec:.0f}/s, "
+          f"mean {report.decision_latency_mean_us:.0f} us)")
+    print(f"data plane      : {report.pages_read} pages read, "
+          f"{report.pages_written} written, "
+          f"{report.bytes_moved / 1e6:.1f} MB moved")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.scenarios import ScenarioGenerator
+    from repro.serve.gateway import LiveGateway
+    from repro.serve.server import LiveServer
+
+    scenario = ScenarioGenerator(args.scenario_seed).generate(args.family, args.index)
+
+    async def main() -> None:
+        gateway = LiveGateway(
+            scenario.config,
+            args.policy,
+            time_scale=args.time_scale,
+            workers=args.workers,
+            invariants=not args.no_invariants,
+        )
+        server = LiveServer(gateway)
+        host, port = await server.start(args.host, args.port)
+        print(f"repro.serve: policy={gateway.policy.name} listening on "
+              f"{host}:{port} (JSON lines; see repro/serve/server.py)")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.serve", description=__doc__)
+    commands = parser.add_subparsers(dest="command")
+
+    shootout = commands.add_parser(
+        "live-shootout", help="all policies serve the same scenario live"
+    )
+    shootout.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy specs (default: the registry's six)",
+    )
+    _add_scenario_flags(shootout)
+    _add_live_flags(shootout)
+    shootout.add_argument(
+        "--no-predict",
+        action="store_true",
+        help="skip the simulator-prediction column",
+    )
+    shootout.add_argument(
+        "--jobs", type=int, default=None, help="worker processes for the predictions"
+    )
+
+    replay = commands.add_parser("replay", help="one policy, one scenario, live")
+    replay.add_argument("--policy", default="pmm", help="policy spec")
+    _add_scenario_flags(replay)
+    _add_live_flags(replay)
+
+    serve = commands.add_parser("serve", help="JSON-lines TCP submission server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7070)
+    serve.add_argument("--policy", default="pmm", help="policy spec")
+    _add_scenario_flags(serve)
+    _add_live_flags(serve)
+
+    tokens = list(sys.argv[1:] if argv is None else argv)
+    # Default subcommand: bare flags go to live-shootout.
+    if tokens and tokens[0] not in ("live-shootout", "replay", "serve", "-h", "--help"):
+        tokens = ["live-shootout"] + tokens
+    elif not tokens:
+        tokens = ["live-shootout"]
+    args = parser.parse_args(tokens)
+    if args.command == "live-shootout":
+        return _cmd_live_shootout(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    return _cmd_serve(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

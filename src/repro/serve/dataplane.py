@@ -1,0 +1,183 @@
+"""The live data plane: real pages, real grants, no simulator.
+
+Three pieces back the live serving layer's execution substrate:
+
+* :class:`PageStore` -- a sparse in-memory "disk": page-granular byte
+  storage with deterministic content for never-written (base relation)
+  pages.  Operator disk accesses move real bytes through it, so the
+  worker pool does genuine memory traffic rather than sleeping through
+  a model.
+* :class:`TrackedAllocator` -- the grant enforcement ledger.  Every
+  allocation decision the broker makes is installed here first; the
+  allocator re-checks the conservation law (sum of holdings never
+  exceeds the pool) independently of the policy and raises
+  :class:`GrantOversubscribedError` on any violation, so a broken
+  policy can never silently oversubscribe a live server.
+* :class:`LiveDataPlane` -- the bundle the gateway hands to operators:
+  the paper's :class:`~repro.rtdbs.database.Database` layout (same
+  placement rules, same seeded streams as the simulator), one
+  :class:`PageStore` per disk, and the
+  :class:`~repro.queries.base.OperatorContext` wired to the database's
+  temp-extent allocators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.queries.base import OperatorContext
+from repro.rtdbs.config import SimulationConfig
+from repro.rtdbs.database import Database
+from repro.sim.rng import Streams
+
+
+class GrantOversubscribedError(RuntimeError):
+    """An allocation vector violated the memory conservation law."""
+
+
+class TrackedAllocator:
+    """Independent ledger of live memory grants, pages per query.
+
+    The broker's policy *decides* grants; this class *enforces* them:
+    :meth:`apply` installs a full allocation vector and fails loudly if
+    it oversubscribes the pool or contains a negative grant.  The
+    ledger is deliberately redundant with the broker's own bookkeeping
+    -- it is the live system's equivalent of the simulator's
+    :class:`~repro.rtdbs.buffer_manager.BufferManager` oversubscription
+    guard plus the invariant checker's buffer laws.
+    """
+
+    def __init__(self, total_pages: int):
+        if total_pages <= 0:
+            raise ValueError(f"buffer pool must be positive, got {total_pages}")
+        self.total_pages = total_pages
+        self._holdings: Dict[int, int] = {}
+        #: Decisions installed so far (the admission-decision counter).
+        self.applied = 0
+
+    @property
+    def reserved_pages(self) -> int:
+        return sum(self._holdings.values())
+
+    @property
+    def free_pages(self) -> int:
+        return self.total_pages - self.reserved_pages
+
+    def holding(self, qid: int) -> int:
+        return self._holdings.get(qid, 0)
+
+    def apply(self, allocation: Dict[int, int]) -> None:
+        """Install a full allocation vector (absent queries hold 0)."""
+        total = 0
+        for qid, pages in allocation.items():
+            if pages < 0:
+                raise GrantOversubscribedError(
+                    f"query {qid} granted {pages} < 0 pages"
+                )
+            total += pages
+        if total > self.total_pages:
+            raise GrantOversubscribedError(
+                f"allocation of {total} pages exceeds the "
+                f"{self.total_pages}-page pool"
+            )
+        self._holdings = {q: p for q, p in allocation.items() if p > 0}
+        self.applied += 1
+
+    def release(self, qid: int) -> None:
+        self._holdings.pop(qid, None)
+
+
+class PageStore:
+    """Sparse page-granular byte storage for one live 'disk'.
+
+    Pages never written return deterministic seeded content (the page's
+    address hashed into a repeating pattern), standing in for base
+    relation data laid out at database build time; written pages
+    (operator spool output) are retained verbatim.  ``payload_bytes``
+    decouples the live page payload from the model's 8 KB ``PageSize``
+    so a laptop-scale server does real byte movement without gigabytes
+    of resident relations.
+    """
+
+    def __init__(self, disk: int, payload_bytes: int = 256):
+        if payload_bytes <= 0:
+            raise ValueError(f"payload must be positive, got {payload_bytes}")
+        self.disk = disk
+        self.payload_bytes = payload_bytes
+        self._pages: Dict[int, bytes] = {}
+        self.pages_read = 0
+        self.pages_written = 0
+
+    def _template(self, page: int) -> bytes:
+        # Cheap deterministic content: the page address smeared over
+        # the payload (distinct pages -> distinct bytes, reproducible).
+        seed = (self.disk * 1_000_003 + page * 2_654_435_761) & 0xFFFFFFFF
+        word = seed.to_bytes(4, "little")
+        repeats = -(-self.payload_bytes // 4)
+        return (word * repeats)[: self.payload_bytes]
+
+    def read(self, start_page: int, npages: int) -> bytes:
+        """Materialise ``npages`` of real bytes (a genuine copy)."""
+        pages = self._pages
+        chunks: List[bytes] = []
+        for page in range(start_page, start_page + npages):
+            data = pages.get(page)
+            chunks.append(data if data is not None else self._template(page))
+        self.pages_read += npages
+        return b"".join(chunks)
+
+    def write(self, start_page: int, payload: bytes) -> int:
+        """Store ``payload`` page by page; returns pages written."""
+        step = self.payload_bytes
+        npages = max(1, -(-len(payload) // step))
+        for index in range(npages):
+            chunk = payload[index * step : (index + 1) * step]
+            if len(chunk) < step:
+                chunk = chunk + b"\x00" * (step - len(chunk))
+            self._pages[start_page + index] = chunk
+        self.pages_written += npages
+        return npages
+
+    def write_blank(self, start_page: int, npages: int) -> None:
+        """Spool ``npages`` of operator output (content irrelevant)."""
+        blank = b"\x00" * self.payload_bytes
+        for page in range(start_page, start_page + npages):
+            self._pages[page] = blank
+        self.pages_written += npages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class LiveDataPlane:
+    """Everything a live operator touches: layout, pages, temp space.
+
+    Builds the same :class:`Database` the simulator would (identical
+    placement streams from the config seed), so live queries scan the
+    very relations the DES predicts for, then backs each disk with a
+    :class:`PageStore` for real byte movement.
+    """
+
+    def __init__(self, config: SimulationConfig, payload_bytes: int = 256):
+        self.config = config
+        self.streams = Streams(config.seed)
+        self.database = Database(config.database, config.resources, self.streams)
+        self.stores = [
+            PageStore(disk, payload_bytes)
+            for disk in range(config.resources.num_disks)
+        ]
+        self.context = OperatorContext(
+            tuples_per_page=config.tuples_per_page,
+            block_size=config.resources.block_size,
+            costs=config.cpu_costs,
+            allocate_temp=lambda disk, pages: self.database.temp_space(disk).allocate(pages),
+            release_temp=lambda temp: self.database.temp_space(temp.disk).release(temp),
+        )
+
+    def copy_pages(self, kind: str, disk: int, start_page: int, npages: int) -> int:
+        """Execute one operator disk access as real byte traffic."""
+        store = self.stores[disk]
+        if kind == "read":
+            return len(store.read(start_page, npages))
+        store.write_blank(start_page, npages)
+        return npages * store.payload_bytes

@@ -1,0 +1,680 @@
+"""The live admission gateway: the paper's policies against real queries.
+
+:class:`LiveGateway` is an asyncio service that does for wall-clock
+queries what the DES :class:`~repro.rtdbs.query_manager.QueryManager`
+does for simulated ones -- and drives the *identical*
+:class:`~repro.core.broker.MemoryBroker` /
+:class:`~repro.policies.base.MemoryPolicy` objects to do it:
+
+* submissions enter the broker's wait queue and every arrival and
+  departure triggers a re-allocation decision;
+* decisions are enforced through a
+  :class:`~repro.serve.dataplane.TrackedAllocator` (an independent
+  conservation-law ledger) before any grant reaches an operator;
+* admitted queries run the *real* adaptive operators of
+  :mod:`repro.queries` -- the PPHJ hash join and the adaptive external
+  sort -- against the in-memory relations of a
+  :class:`~repro.serve.dataplane.LiveDataPlane`.  Operator requests
+  are executed inside a bounded worker pool: every CPU burst and disk
+  access occupies a worker for its calibrated service time (scaled by
+  ``time_scale``) and disk accesses move real bytes, so concurrency
+  beyond the pool queues -- genuine resource contention, not a model;
+* deadlines are enforced firmly: an expiry timer aborts a query
+  wherever it is (waiting or mid-operator), releasing its memory and
+  temp extents, and it counts as a missed, served query;
+* per-class served/missed counts, throughput, admission-decision
+  latency, and the observed MPL are collected in a
+  :class:`LiveReport`.
+
+Simulated seconds map to wall seconds through ``time_scale`` (0.05 =
+20x faster than real time); deadlines scale identically, so policy
+behaviour is preserved while a 60-second scenario replays in ~3
+seconds of wall clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Union
+
+from repro.core.broker import BrokerTrace, MemoryBroker
+from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
+from repro.policies.registry import make_policy
+from repro.queries.base import MemoryGrant, Operator
+from repro.queries.cost_model import StandAloneCostModel
+from repro.queries.requests import AllocationWait, CPUBurst, DiskAccess, READ
+from repro.rtdbs.config import SimulationConfig
+from repro.serve.dataplane import LiveDataPlane, TrackedAllocator
+from repro.serve.workload import LiveArrival, LiveSchedule, make_operator
+
+WAITING = "waiting"
+RUNNING = "running"
+DONE = "done"
+ABORTED = "aborted"
+
+#: Never sleep for less than this (wall seconds): event-loop timers are
+#: only ~millisecond-accurate, so service debt is accumulated and paid
+#: in chunks at least this large.
+MIN_SLEEP = 0.001
+
+
+class PriorityWorkerGate:
+    """Earliest-Deadline admission to a fixed number of worker slots.
+
+    The simulated CPU and disks serve requests in ED order; a plain
+    FIFO thread pool would quietly replace that with arrival order and
+    distort every policy comparison.  This gate hands worker slots to
+    the most urgent waiter first: service chunks are small (a few
+    milliseconds), so an urgent query overtakes a backlog at chunk
+    granularity -- the live analogue of the simulator's priority
+    queues.
+    """
+
+    def __init__(self, slots: int):
+        if slots < 1:
+            raise ValueError(f"need at least one worker slot, got {slots}")
+        self._free = slots
+        self._waiters: List[tuple] = []  # heap of (priority, seq, future)
+        self._seq = 0
+
+    async def acquire(self, priority: float) -> None:
+        if self._free > 0:
+            self._free -= 1
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._seq += 1
+        heappush(self._waiters, (priority, self._seq, future))
+        try:
+            await future  # the releasing holder hands its slot over
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # The slot was handed over in the same loop pass the
+                # expiry cancelled us: give it back or it leaks.
+                self.release()
+            raise
+
+    def release(self) -> None:
+        while self._waiters:
+            _priority, _seq, future = heappop(self._waiters)
+            if not future.done():  # skip waiters cancelled by expiry
+                future.set_result(None)
+                return
+        self._free += 1
+
+
+@dataclass
+class LiveQuery:
+    """One in-flight query's runtime state."""
+
+    arrival: LiveArrival
+    operator: Operator
+    grant: MemoryGrant
+    state: str = WAITING
+    demand_min: int = 0
+    demand_max: int = 0
+    submitted_wall: float = 0.0
+    admitted_wall: Optional[float] = None
+    task: Optional[asyncio.Task] = None
+    expiry: Optional[asyncio.TimerHandle] = None
+
+
+@dataclass
+class LiveClassStats:
+    """Per-class live outcome counters."""
+
+    arrivals: int = 0
+    served: int = 0
+    missed: int = 0
+
+    @property
+    def completed(self) -> int:
+        return self.served - self.missed
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.missed / self.served if self.served else 0.0
+
+
+@dataclass
+class LiveReport:
+    """Everything one live run measured."""
+
+    policy: str
+    time_scale: float
+    workers: int
+    arrivals: int = 0
+    served: int = 0
+    missed: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    per_class: Dict[str, LiveClassStats] = field(default_factory=dict)
+    #: Admission decisions made (one per broker reallocation).
+    decisions: int = 0
+    decision_seconds: float = 0.0
+    decision_max_seconds: float = 0.0
+    #: Time-weighted number of admitted queries (wall-clock weighted).
+    observed_mpl: float = 0.0
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_moved: int = 0
+
+    @property
+    def completed(self) -> int:
+        return self.served - self.missed
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.missed / self.served if self.served else 0.0
+
+    @property
+    def queries_per_sec(self) -> float:
+        return self.served / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def decisions_per_sec(self) -> float:
+        return self.decisions / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def decision_latency_mean_us(self) -> float:
+        if not self.decisions:
+            return 0.0
+        return self.decision_seconds / self.decisions * 1e6
+
+
+class LiveGateway:
+    """Admission control + grant enforcement for real concurrent queries."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: Union[str, MemoryPolicy],
+        time_scale: float = 0.05,
+        workers: Optional[int] = None,
+        payload_bytes: int = 256,
+        invariants: bool = False,
+        recorder: Optional[BrokerTrace] = None,
+    ):
+        config.validate()
+        if time_scale <= 0:
+            raise ValueError(f"time scale must be positive, got {time_scale}")
+        self.config = config
+        self.policy: MemoryPolicy = (
+            make_policy(policy, config.pmm) if isinstance(policy, str) else policy
+        )
+        self.time_scale = time_scale
+        #: Worker-pool width defaults to the modelled parallelism: one
+        #: CPU plus the disk farm.
+        self.workers = (
+            workers if workers is not None else config.resources.num_disks + 1
+        )
+        self.broker = MemoryBroker(
+            self.policy,
+            config.resources.memory_pages,
+            config.pmm.sample_size,
+            recorder=recorder,
+        )
+        self.allocator = TrackedAllocator(config.resources.memory_pages)
+        self.dataplane = LiveDataPlane(config, payload_bytes=payload_bytes)
+        self.cost_model = StandAloneCostModel(
+            resources=config.resources,
+            costs=config.cpu_costs,
+            tuples_per_page=config.tuples_per_page,
+            fudge_factor=config.workload.fudge_factor,
+            join_selectivity=config.workload.join_selectivity,
+        )
+        if invariants:
+            from repro.rtdbs.invariants import InvariantChecker
+
+            InvariantChecker().attach_broker(self.broker)
+
+        self._jobs: Dict[int, LiveQuery] = {}
+        #: Callbacks invoked with each DepartureRecord (the TCP server
+        #: resolves per-client response futures here).
+        self.departure_listeners: List = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._gate: Optional[PriorityWorkerGate] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+        self._reallocating = False
+        self._drained: Optional[asyncio.Event] = None
+        #: First enforcement/operator failure seen on a callback or task
+        #: path (where asyncio would otherwise swallow it); re-raised by
+        #: :meth:`drain` so a broken policy fails the run loudly.
+        self._failure: Optional[BaseException] = None
+
+        self.report = LiveReport(
+            policy=self.policy.name, time_scale=time_scale, workers=self.workers
+        )
+        # Time-weighted MPL + batch-window accounting.
+        self._mpl_integral = 0.0
+        self._mpl_last_count = 0
+        self._mpl_last_wall = 0.0
+        self._busy_seconds = 0.0
+        self._batch_wall_start = 0.0
+        self._batch_mpl_start = 0.0
+        self._batch_busy_start = 0.0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def _wall(self) -> float:
+        return self._loop.time() - self._t0
+
+    def sim_now(self) -> float:
+        """Current time in simulated seconds."""
+        return self._wall() / self.time_scale
+
+    def _to_wall(self, sim_seconds: float) -> float:
+        return sim_seconds * self.time_scale
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._gate = PriorityWorkerGate(self.workers)
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._t0 = self._loop.time()
+
+    async def close(self) -> None:
+        for job in list(self._jobs.values()):
+            if job.expiry is not None:
+                job.expiry.cancel()
+            if job.task is not None:
+                job.task.cancel()
+        if self._jobs:
+            await asyncio.sleep(0)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def run_schedule(self, schedule: LiveSchedule) -> LiveReport:
+        """Replay a full open-loop schedule and wait for the last
+        departure (every query departs: completion or deadline abort)."""
+        await self.start()
+        try:
+            for arrival in schedule.arrivals:
+                delay = self._to_wall(arrival.arrival) - self._wall()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                self.submit(arrival)
+            await self.drain()
+        finally:
+            self._finish_report()
+            await self.close()
+        return self.report
+
+    async def drain(self) -> None:
+        """Wait until no query is in flight.
+
+        Re-raises the first failure captured on an expiry-callback or
+        query-task path (e.g. :class:`GrantOversubscribedError` from a
+        broken policy) -- those contexts have no awaiter of their own.
+        """
+        if self._jobs and self._failure is None:
+            self._drained.clear()
+            await self._drained.wait()
+        if self._failure is not None:
+            raise self._failure
+
+    def _fail(self, error: BaseException) -> None:
+        if self._failure is None:
+            self._failure = error
+        if self._drained is not None:
+            self._drained.set()  # unblock drain() so the error surfaces
+
+    def _finish_report(self) -> None:
+        report = self.report
+        report.wall_seconds = self._wall()
+        report.sim_seconds = report.wall_seconds / self.time_scale
+        self._note_mpl()
+        if report.wall_seconds > 0:
+            report.observed_mpl = self._mpl_integral / report.wall_seconds
+        report.pages_read = sum(s.pages_read for s in self.dataplane.stores)
+        report.pages_written = sum(s.pages_written for s in self.dataplane.stores)
+        report.bytes_moved = (
+            report.pages_read + report.pages_written
+        ) * self.dataplane.stores[0].payload_bytes
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, arrival: LiveArrival) -> LiveQuery:
+        """A query arrives: register with the broker, arm its deadline,
+        re-allocate.  Must be called on the event loop."""
+        if arrival.qid in self._jobs:
+            raise ValueError(f"duplicate query id {arrival.qid}")
+        grant = MemoryGrant(0)
+        operator = make_operator(arrival, self.dataplane.context, grant, self.config)
+        job = LiveQuery(
+            arrival=arrival,
+            operator=operator,
+            grant=grant,
+            submitted_wall=self._wall(),
+        )
+        pool_pages = self.config.resources.memory_pages
+        job.demand_max = min(operator.max_pages, pool_pages)
+        job.demand_min = min(operator.min_pages, job.demand_max)
+        self._jobs[arrival.qid] = job
+        if self._drained is not None:
+            self._drained.clear()
+        self.report.arrivals += 1
+        stats = self.report.per_class.setdefault(
+            arrival.class_name, LiveClassStats()
+        )
+        stats.arrivals += 1
+        self.broker.register(
+            arrival.qid,
+            arrival.class_name,
+            arrival.deadline,
+            job.demand_min,
+            job.demand_max,
+        )
+        if self.config.firm_deadlines:
+            job.expiry = self._loop.call_at(
+                self._t0 + self._to_wall(arrival.deadline),
+                self._expire,
+                job,
+            )
+        self._reallocate()
+        return job
+
+    def _reallocate(self) -> None:
+        """One broker decision, enforced and enacted in ED order."""
+        if self._reallocating:
+            return
+        self._reallocating = True
+        try:
+            started = _time.perf_counter()
+            decision = self.broker.reallocate(now=self.sim_now())
+            self.allocator.apply(decision.allocation)
+            elapsed = _time.perf_counter() - started
+            report = self.report
+            report.decisions += 1
+            report.decision_seconds += elapsed
+            if elapsed > report.decision_max_seconds:
+                report.decision_max_seconds = elapsed
+            allocation = decision.allocation
+            for qid in decision.order:
+                job = self._jobs[qid]
+                pages = allocation.get(qid, 0)
+                if job.state == WAITING and pages > 0:
+                    self._admit(job, pages)
+                elif job.state == RUNNING:
+                    job.grant.set(pages)
+            self._note_mpl()
+        finally:
+            self._reallocating = False
+
+    def _admit(self, job: LiveQuery, pages: int) -> None:
+        job.state = RUNNING
+        job.admitted_wall = self._wall()
+        job.grant.set(pages)
+        job.grant.started = True
+        job.task = self._loop.create_task(
+            self._run_query(job), name=f"query-{job.arrival.qid}"
+        )
+
+    def _note_mpl(self) -> None:
+        now = self._wall()
+        self._mpl_integral += self._mpl_last_count * (now - self._mpl_last_wall)
+        self._mpl_last_wall = now
+        self._mpl_last_count = self.broker.admitted_count
+
+    def observed_mpl(self) -> float:
+        """Time-weighted admitted-query count so far (the live MPL)."""
+        wall = self._wall()
+        if wall <= 0:
+            return 0.0
+        integral = self._mpl_integral + self._mpl_last_count * (
+            wall - self._mpl_last_wall
+        )
+        return integral / wall
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _run_query(self, job: LiveQuery) -> None:
+        try:
+            await self._drive(job)
+        except asyncio.CancelledError:
+            return  # the expiry timer owns the departure
+        except Exception as error:  # operator bug: fail the run loudly
+            self._fail(error)
+            job.state = ABORTED
+            try:
+                self._depart(job, missed=True)
+            except Exception as cleanup_error:
+                self._fail(cleanup_error)
+            return
+        if job.state != RUNNING:
+            return  # aborted while the final step was in flight
+        job.state = DONE
+        missed = self.sim_now() > job.arrival.deadline + 1e-9
+        try:
+            self._depart(job, missed=missed)
+        except Exception as error:  # enforcement violation on departure
+            self._fail(error)
+
+    async def _drive(self, job: LiveQuery) -> None:
+        """Execute the operator's request stream against the data plane.
+
+        Disk accesses are priced with the same zero-contention rules as
+        the stand-alone cost model the deadlines were computed from
+        (positioning once per contiguous sequential stream, per-page
+        positioning during merges), so a query alone in the server runs
+        in roughly its stand-alone time.  Service debt (scaled to wall
+        seconds) is accumulated and paid in ``MIN_SLEEP``-sized chunks
+        *inside the worker pool* -- each chunk occupies a worker for
+        its duration and replays the pending byte traffic through the
+        page store, so a pool of W workers is a genuine W-way resource
+        and concurrency beyond it queues.
+        """
+        resources = self.config.resources
+        cpu_rate = resources.cpu_rate
+        start_io = self.config.cpu_costs.start_io
+        scale = self.time_scale
+        rotation_half = resources.rotation_s / 2.0
+        transfer = resources.transfer_s_per_page
+        positioning = rotation_half + resources.seek_time(
+            max(1, resources.num_cylinders // 8)
+        )
+        page_hop = rotation_half + transfer + resources.seek_time(1)
+        debt_wall = 0.0
+        pending: List[tuple] = []
+        heads: Dict[int, int] = {}  # per-disk next-contiguous page
+        for request in job.operator.run():
+            request_type = type(request)
+            if request_type is DiskAccess:
+                if request.sequential:
+                    service = request.npages * transfer
+                    if heads.get(request.disk) != request.start_page:
+                        service += positioning
+                else:
+                    service = request.npages * page_hop
+                heads[request.disk] = request.start_page + request.npages
+                sim_seconds = service + (request.cpu + start_io) / cpu_rate
+                debt_wall += sim_seconds * scale
+                pending.append(
+                    (request.kind, request.disk, request.start_page, request.npages)
+                )
+                if debt_wall >= MIN_SLEEP:
+                    debt_wall = await self._flush(job, debt_wall, pending)
+            elif request_type is CPUBurst:
+                debt_wall += request.instructions / cpu_rate * scale
+                if debt_wall >= MIN_SLEEP:
+                    debt_wall = await self._flush(job, debt_wall, pending)
+            elif request_type is AllocationWait:
+                if job.grant.pages > 0:
+                    continue  # raced with a re-grant: keep going
+                if debt_wall > 0.0 or pending:
+                    debt_wall = await self._flush(job, debt_wall, pending)
+                    if job.grant.pages > 0:
+                        continue  # a re-grant landed during the flush
+                # No award between here and the wait is possible: the
+                # check and the waiter registration share one loop pass.
+                wake = asyncio.Event()
+                job.grant.on_change(wake.set)
+                await wake.wait()
+            else:  # pragma: no cover - operator contract violation
+                raise TypeError(f"unknown operator request {request!r}")
+        if debt_wall > 0.0 or pending:
+            await self._flush(job, debt_wall, pending)
+
+    async def _flush(
+        self, job: LiveQuery, debt_wall: float, pending: List[tuple]
+    ) -> float:
+        """Pay accumulated service time (and byte traffic) in the pool.
+
+        The worker slot is acquired in ED order (see
+        :class:`PriorityWorkerGate`), then occupied for the chunk's
+        duration while the pending byte traffic replays.
+        """
+        ops = tuple(pending)
+        pending.clear()
+        self._busy_seconds += debt_wall
+        await self._gate.acquire(job.arrival.deadline)
+        try:
+            await self._loop.run_in_executor(
+                self._pool, _serve_chunk, self.dataplane, debt_wall, ops
+            )
+        finally:
+            self._gate.release()
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # departures
+    # ------------------------------------------------------------------
+    def _expire(self, job: LiveQuery) -> None:
+        """Firm deadline: abort wherever the query is [Hari90]."""
+        if job.state in (DONE, ABORTED):
+            return
+        job.state = ABORTED
+        if job.task is not None:
+            job.task.cancel()
+        try:
+            self._depart(job, missed=True)
+        except Exception as error:  # callback context: surface via drain()
+            self._fail(error)
+
+    def _depart(self, job: LiveQuery, missed: bool) -> None:
+        qid = job.arrival.qid
+        if qid not in self._jobs:
+            return  # already departed
+        job.operator.release_resources()
+        self.allocator.release(qid)
+        del self._jobs[qid]
+        self.broker.release(qid)
+        if job.expiry is not None:
+            job.expiry.cancel()
+            job.expiry = None
+
+        now_sim = self.sim_now()
+        now_wall = self._wall()
+        scale = self.time_scale
+        if job.admitted_wall is None:
+            waiting = (now_wall - job.submitted_wall) / scale
+            execution = 0.0
+        else:
+            waiting = (job.admitted_wall - job.submitted_wall) / scale
+            execution = (now_wall - job.admitted_wall) / scale
+        record = DepartureRecord(
+            qid=qid,
+            class_name=job.arrival.class_name,
+            missed=missed,
+            arrival=job.arrival.arrival,
+            departure=now_sim,
+            waiting_time=waiting,
+            execution_time=execution,
+            time_constraint=job.arrival.time_constraint,
+            max_demand=job.demand_max,
+            min_demand=job.demand_min,
+            operand_io_count=job.operator.operand_io_count,
+            memory_fluctuations=job.grant.fluctuations,
+        )
+        self.broker.note_departure(missed)
+        report = self.report
+        report.served += 1
+        stats = report.per_class.setdefault(job.arrival.class_name, LiveClassStats())
+        stats.served += 1
+        if missed:
+            report.missed += 1
+            stats.missed += 1
+        for listener in self.departure_listeners:
+            listener(record)
+        window = self.broker.departure_feedback(record)
+        if window is not None:
+            self.broker.deliver_batch(self._batch_stats(window))
+        self._reallocate()
+        if not self._jobs and self._drained is not None:
+            self._drained.set()
+
+    def _batch_stats(self, window) -> BatchStats:
+        """Live telemetry for the policy's feedback channel.
+
+        The realized MPL is the wall-time-weighted admitted count over
+        the window; utilisation is the worker pool's busy fraction (the
+        live stand-in for the simulator's bottleneck-resource signal).
+        """
+        now = self._wall()
+        self._note_mpl()
+        span = max(now - self._batch_wall_start, 1e-9)
+        realized_mpl = (self._mpl_integral - self._batch_mpl_start) / span
+        busy = self._busy_seconds - self._batch_busy_start
+        utilization = min(1.0, busy / (span * self.workers))
+        self._batch_wall_start = now
+        self._batch_mpl_start = self._mpl_integral
+        self._batch_busy_start = self._busy_seconds
+        return BatchStats(
+            time=self.sim_now(),
+            served=window.served,
+            missed=window.missed,
+            realized_mpl=realized_mpl,
+            cpu_utilization=utilization,
+            disk_utilizations=(),
+        )
+
+
+def _serve_chunk(
+    dataplane: LiveDataPlane, busy_wall: float, ops: tuple
+) -> None:
+    """Worker-pool body of one service chunk: occupy + move bytes."""
+    if busy_wall > 0:
+        _time.sleep(busy_wall)
+    for kind, disk, start_page, npages in ops:
+        dataplane.copy_pages(
+            "read" if kind == READ else "write", disk, start_page, npages
+        )
+
+
+async def run_live(
+    config: SimulationConfig,
+    policy: Union[str, MemoryPolicy],
+    time_scale: float = 0.05,
+    workers: Optional[int] = None,
+    horizon: Optional[float] = None,
+    max_arrivals: Optional[int] = None,
+    invariants: bool = False,
+) -> LiveReport:
+    """Convenience: build gateway + schedule, replay, return the report."""
+    from repro.serve.workload import build_schedule
+
+    gateway = LiveGateway(
+        config,
+        policy,
+        time_scale=time_scale,
+        workers=workers,
+        invariants=invariants,
+    )
+    schedule = build_schedule(
+        config, gateway.dataplane.database, horizon=horizon, max_arrivals=max_arrivals
+    )
+    return await gateway.run_schedule(schedule)

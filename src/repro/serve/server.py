@@ -1,0 +1,189 @@
+"""A JSON-lines TCP front end over the live gateway.
+
+``python -m repro.serve serve`` runs this: clients connect, submit
+queries with deadlines, and receive the outcome when the query departs
+(completed or deadline-aborted).  One request per line, one JSON
+response per request.
+
+Protocol
+--------
+Submit a query (the response arrives when the query departs)::
+
+    {"op": "submit", "type": "sort", "pages": 40, "slack": 3.0}
+    {"op": "submit", "type": "hash_join", "pages": 30, "outer_pages": 80}
+
+    -> {"qid": 7, "missed": false, "admitted": true,
+        "waiting_s": 0.8, "execution_s": 2.1, "deadline_s": 9.3}
+
+Read the server's live metrics::
+
+    {"op": "stats"}
+    -> {"arrivals": 12, "served": 9, "missed": 2, "miss_ratio": 0.222,
+        "observed_mpl": 2.4, "decisions": 25, ...}
+
+``pages`` is the operand size in model pages (a sort's relation, a
+join's inner relation); the server synthesises a relation of that size
+on a round-robin disk, prices the deadline with the same stand-alone
+cost model the simulator uses (``deadline = now + standalone * slack``),
+and admission is entirely up to the configured memory policy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from itertools import count
+from typing import Optional
+
+from repro.rtdbs.config import EXTERNAL_SORT, HASH_JOIN
+from repro.rtdbs.database import Relation
+from repro.serve.gateway import LiveGateway
+from repro.serve.workload import LiveArrival
+
+#: Synthetic relations get ids far above any laid-out relation's.
+_SYNTHETIC_BASE = 1_000_000
+
+
+class LiveServer:
+    """Accept query submissions over TCP and push them to the gateway."""
+
+    def __init__(self, gateway: LiveGateway):
+        self.gateway = gateway
+        self._qids = count()
+        self._rel_ids = count(_SYNTHETIC_BASE)
+        self._disk_cursor = 0
+        self._waiters: dict = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        gateway.departure_listeners.append(self._on_departure)
+
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Start the gateway and the listener; returns (host, port)."""
+        await self.gateway.start()
+        self._server = await asyncio.start_server(self._handle, host, port)
+        address = self._server.sockets[0].getsockname()
+        return address[0], address[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.gateway.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    def _on_departure(self, record) -> None:
+        future = self._waiters.pop(record.qid, None)
+        if future is not None and not future.done():
+            future.set_result(record)
+
+    def _next_disk(self) -> int:
+        disk = self._disk_cursor
+        self._disk_cursor = (disk + 1) % self.gateway.config.resources.num_disks
+        return disk
+
+    def _synthetic_relation(self, pages: int) -> Relation:
+        return Relation(
+            rel_id=next(self._rel_ids),
+            group=0,
+            disk=self._next_disk(),
+            pages=pages,
+            start_page=0,
+        )
+
+    def _build_arrival(self, request: dict) -> LiveArrival:
+        query_type = request.get("type", "sort")
+        pages = int(request.get("pages", 20))
+        if pages <= 0:
+            raise ValueError(f"pages must be positive, got {pages}")
+        slack = float(request.get("slack", 3.0))
+        if slack <= 0:
+            raise ValueError(f"slack must be positive, got {slack}")
+        gateway = self.gateway
+        if query_type in ("hash_join", "join"):
+            outer_pages = int(request.get("outer_pages", 2 * pages))
+            inner = self._synthetic_relation(pages)
+            outer = self._synthetic_relation(outer_pages)
+            if inner.pages > outer.pages:
+                inner, outer = outer, inner
+            standalone = gateway.cost_model.hash_join_standalone(
+                inner.pages, outer.pages
+            )
+            kind = HASH_JOIN
+        elif query_type in ("sort", "external_sort"):
+            inner = self._synthetic_relation(pages)
+            outer = None
+            standalone = gateway.cost_model.sort_standalone(pages)
+            kind = EXTERNAL_SORT
+        else:
+            raise ValueError(f"unknown query type {query_type!r}")
+        now = gateway.sim_now()
+        return LiveArrival(
+            qid=next(self._qids),
+            class_name=str(request.get("class", query_type)),
+            query_type=kind,
+            arrival=now,
+            deadline=now + standalone * slack,
+            standalone=standalone,
+            inner=inner,
+            outer=outer,
+            temp_disk=inner.disk,
+        )
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    response = await self._dispatch(json.loads(line))
+                except (ValueError, KeyError) as error:
+                    response = {"error": str(error)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass  # server shutdown or client vanished: just end quietly
+        finally:
+            writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op", "submit")
+        if op == "stats":
+            report = self.gateway.report
+            return {
+                "policy": report.policy,
+                "arrivals": report.arrivals,
+                "served": report.served,
+                "missed": report.missed,
+                "miss_ratio": round(report.miss_ratio, 4),
+                "observed_mpl": round(self.gateway.observed_mpl(), 4),
+                "admitted": self.gateway.broker.admitted_count,
+                "waiting": self.gateway.broker.waiting_count,
+                "decisions": report.decisions,
+                "decision_latency_mean_us": round(
+                    report.decision_latency_mean_us, 2
+                ),
+            }
+        if op == "submit":
+            arrival = self._build_arrival(request)
+            future = asyncio.get_running_loop().create_future()
+            self._waiters[arrival.qid] = future
+            job = self.gateway.submit(arrival)
+            record = await future
+            return {
+                "qid": record.qid,
+                "class": record.class_name,
+                "missed": record.missed,
+                "admitted": job.admitted_wall is not None,
+                "waiting_s": round(record.waiting_time, 4),
+                "execution_s": round(record.execution_time, 4),
+                "deadline_s": round(arrival.deadline, 4),
+            }
+        raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,201 @@
+"""The live shootout: every policy serves the same real workload.
+
+``live_shootout`` replays one generated scenario (see
+:mod:`repro.scenarios`) through the live gateway once per policy --
+identical open-loop traffic each time, since the schedule is computed
+from the scenario seed -- and sets the measured miss ratios beside the
+DES simulator's prediction for the *same* workload (fetched through
+the cached parallel experiment engine).  Cross-checks:
+
+* **traffic determinism** -- every policy must have served the exact
+  same arrival count (the schedule is policy-independent by
+  construction; a mismatch means the gateway lost or duplicated
+  queries);
+* **allocation conservation** -- the tracked allocator raised on any
+  oversubscribed decision during the runs (reaching the report at all
+  certifies every decision respected the pool);
+* **qualitative ordering** -- Max's insistence on maximum allocations
+  is the paper's worst strategy under load (Section 5.1); live, MinMax
+  must not miss more than Max beyond a tolerance.  Wall-clock noise
+  makes a single live run far noisier than a simulation, so the
+  tolerance is wider than the simulator shootout's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.policies import DEFAULT_POLICIES
+from repro.scenarios import Scenario, ScenarioGenerator
+from repro.serve.gateway import LiveGateway, LiveReport
+from repro.serve.workload import build_schedule
+
+#: Live ordering tolerance: one wall-clock replay per policy is a far
+#: smaller sample than a simulated hour, so MinMax may exceed Max by
+#: this much before the shootout fails.
+LIVE_ORDERING_TOLERANCE = 0.15
+
+
+@dataclass
+class LiveShootoutReport:
+    """Live results, simulator predictions, and cross-check failures."""
+
+    scenario: Scenario
+    policies: Sequence[str]
+    live: Dict[str, LiveReport]
+    predicted: Dict[str, float]
+    time_scale: float
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        headers = [
+            "policy",
+            "live_miss",
+            "sim_miss",
+            "served",
+            "completed",
+            "mpl",
+            "qps",
+            "decisions/s",
+            "decide_us",
+        ]
+        rows = []
+        for policy in self.policies:
+            report = self.live[policy]
+            rows.append(
+                [
+                    report.policy,
+                    round(report.miss_ratio, 3),
+                    round(self.predicted.get(policy, float("nan")), 3),
+                    report.served,
+                    report.completed,
+                    round(report.observed_mpl, 2),
+                    round(report.queries_per_sec, 1),
+                    round(report.decisions_per_sec, 1),
+                    round(report.decision_latency_mean_us, 1),
+                ]
+            )
+        title = (
+            f"Live shootout: {self.scenario.name} "
+            f"({self.scenario.content_hash[:10]}), "
+            f"time_scale={self.time_scale}"
+        )
+        table = format_table(headers, rows, title=title)
+        if self.failures:
+            table += "\n\nCROSS-CHECK FAILURES:\n" + "\n".join(
+                f"  - {failure}" for failure in self.failures
+            )
+        else:
+            table += "\n\nAll live cross-checks passed."
+        return table
+
+
+def live_shootout(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    family: str = "mix",
+    index: int = 0,
+    scenario_seed: int = 0,
+    time_scale: float = 0.05,
+    workers: Optional[int] = None,
+    horizon: Optional[float] = None,
+    max_arrivals: Optional[int] = None,
+    invariants: bool = True,
+    predict: bool = True,
+    jobs: Optional[int] = None,
+) -> LiveShootoutReport:
+    """Serve one scenario live under every policy and cross-check.
+
+    ``predict=True`` also runs (or fetches from the cache) the DES
+    simulation of the same scenario per policy, for the side-by-side
+    prediction column; the simulated horizon is clipped to ``horizon``
+    when given so both substrates see the same traffic.
+    """
+    scenario = ScenarioGenerator(scenario_seed).generate(family, index)
+    config = scenario.config
+    policy_list = tuple(policies)
+
+    predicted: Dict[str, float] = {}
+    if predict:
+        from dataclasses import replace
+
+        from repro.experiments import runner
+
+        specs = []
+        for policy in policy_list:
+            spec = scenario.run_spec(policy, invariants=invariants)
+            if horizon is not None and horizon < config.duration:
+                spec = replace(
+                    spec, settings=replace(spec.settings, duration=horizon)
+                )
+            specs.append(spec)
+        results = runner.run_many(specs, jobs=jobs)
+        predicted = {
+            policy: result.miss_ratio
+            for policy, result in zip(policy_list, results)
+        }
+
+    live: Dict[str, LiveReport] = {}
+    for policy in policy_list:
+        gateway = LiveGateway(
+            config,
+            policy,
+            time_scale=time_scale,
+            workers=workers,
+            invariants=invariants,
+        )
+        schedule = build_schedule(
+            config,
+            gateway.dataplane.database,
+            horizon=horizon,
+            max_arrivals=max_arrivals,
+        )
+        live[policy] = asyncio.run(gateway.run_schedule(schedule))
+
+    report = LiveShootoutReport(
+        scenario=scenario,
+        policies=policy_list,
+        live=live,
+        predicted=predicted,
+        time_scale=time_scale,
+    )
+    _cross_check(report)
+    return report
+
+
+def _cross_check(report: LiveShootoutReport) -> None:
+    served_counts = {
+        policy: result.served for policy, result in report.live.items()
+    }
+    if len(set(served_counts.values())) > 1:
+        report.failures.append(
+            f"served counts differ across policies: {served_counts} -- the "
+            "open-loop schedule is policy-independent, so every policy must "
+            "serve the identical traffic"
+        )
+    for policy, result in report.live.items():
+        if result.served != result.arrivals:
+            report.failures.append(
+                f"{policy}: {result.arrivals} arrivals but {result.served} "
+                "departures -- queries were lost or duplicated"
+            )
+        if not 0.0 <= result.miss_ratio <= 1.0:
+            report.failures.append(
+                f"{policy}: miss ratio {result.miss_ratio} outside [0, 1]"
+            )
+    if "minmax" in report.live and "max" in report.live:
+        minmax_miss = report.live["minmax"].miss_ratio
+        max_miss = report.live["max"].miss_ratio
+        if minmax_miss > max_miss + LIVE_ORDERING_TOLERANCE:
+            report.failures.append(
+                f"live ordering violated: MinMax miss ratio {minmax_miss:.3f} "
+                f"exceeds Max's {max_miss:.3f} by more than "
+                f"{LIVE_ORDERING_TOLERANCE} -- the paper's Section 5.1 "
+                "ordering inverted on live traffic"
+            )

@@ -33,6 +33,7 @@ def test_examples_directory_is_fully_covered():
         "policy_shootout",
         "adaptive_operators",
         "fair_multiclass",
+        "live_serving",
     }
     assert scripts == covered, (
         f"examples changed ({scripts ^ covered}); add or remove a smoke test"
@@ -77,6 +78,17 @@ def test_adaptive_operators_runs(capsys):
     assert "merge steps" in output
 
 
+def test_live_serving_runs(capsys):
+    module = load_example("live_serving")
+    module.POLICIES = ("max", "minmax")
+    module.TIME_SCALE = 0.005
+    module.MAX_ARRIVALS = 25
+    module.main()
+    output = capsys.readouterr().out
+    assert "live miss" in output
+    assert "MinMax" in output
+
+
 def test_fair_multiclass_runs(capsys):
     module = load_example("fair_multiclass")
     module.multiclass = _shrunk(repro.multiclass, duration=400.0)
@@ -87,7 +99,14 @@ def test_fair_multiclass_runs(capsys):
 
 
 @pytest.mark.parametrize(
-    "name", ["quickstart", "policy_shootout", "adaptive_operators", "fair_multiclass"]
+    "name",
+    [
+        "quickstart",
+        "policy_shootout",
+        "adaptive_operators",
+        "fair_multiclass",
+        "live_serving",
+    ],
 )
 def test_examples_have_docstring_run_line(name):
     module = load_example(name)

@@ -51,10 +51,61 @@ def test_attach_invariants_hook_and_signature():
     assert checker.checks["final"] == 1
 
 
-def test_checker_attaches_to_one_system_only():
+def test_checker_reuse_resets_state_on_reattach():
+    """Regression: re-attaching a checker must not carry stale state.
+
+    Attaching one checker to a second system used to raise; now it
+    detaches from the first system, zeroes every counter, and forgets
+    recorded failures -- so counts after the second run reflect that
+    run alone and a stale failure can never poison a fresh run's
+    ``check_final``.
+    """
+    first = RTDBSystem(tiny_config(), "minmax", invariants=True)
+    checker = first.invariants
+    first.run()
+    first_counts = dict(checker.checks)
+    assert first_counts["final"] == 1
+    checker.failures.append("stale failure from a previous epoch")
+
+    second = RTDBSystem(tiny_config(seed=5), "minmax")
+    assert checker.attach(second) is checker
+    # The first system is fully unhooked...
+    assert first.invariants is None
+    assert first.query_manager.invariants is None
+    assert first.query_manager.broker.invariants is None
+    assert first.buffers.invariants is None
+    # ...and the counters restart from zero (no stale failures either).
+    assert checker.checks == {
+        "allocation": 0,
+        "buffers": 0,
+        "population": 0,
+        "final": 0,
+    }
+    assert checker.failures == []
+    result = second.run()
+    assert checker.checks["final"] == 1
+    assert checker.checks["population"] == result.served
+    assert checker.checks["allocation"] > 0
+
+
+def test_checker_reuse_on_standalone_broker():
+    """A checker moves from a system to a broker (and back) cleanly."""
+    from repro.core.broker import MemoryBroker
+    from repro.policies import make_policy
+
     system = RTDBSystem(tiny_config(), "minmax", invariants=True)
-    with pytest.raises(ValueError):
-        system.invariants.attach(RTDBSystem(tiny_config(), "minmax"))
+    checker = system.invariants
+    system.run()
+    assert checker.checks["allocation"] > 0
+
+    broker = MemoryBroker(make_policy("minmax"), total_pages=64, sample_size=10)
+    checker.attach_broker(broker)
+    assert system.invariants is None
+    assert broker.invariants is checker
+    assert checker.checks["allocation"] == 0
+    broker.register(1, "C0", priority=10.0, min_pages=4, max_pages=16)
+    broker.reallocate(now=0.0)
+    assert checker.checks["allocation"] == 1
 
 
 def test_disk_conservation_counters():

@@ -1,0 +1,182 @@
+"""The MemoryBroker: admission semantics, feedback cadence, and the
+broker/simulator parity contract (trace replay equals the DES decision
+stream, decision for decision, for every policy)."""
+
+import pytest
+
+from repro import RTDBSystem, baseline
+from repro.core.broker import (
+    BrokerTrace,
+    MemoryBroker,
+    replay_trace,
+)
+from repro.policies import DEFAULT_POLICIES, make_policy
+from repro.policies.base import BatchStats
+
+
+def minmax_broker(**overrides):
+    kwargs = dict(total_pages=100, sample_size=5)
+    kwargs.update(overrides)
+    return MemoryBroker(make_policy("minmax"), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# population and admission
+# ----------------------------------------------------------------------
+def test_register_enters_wait_queue_without_memory():
+    broker = minmax_broker()
+    entry = broker.register(1, "C0", priority=50.0, min_pages=10, max_pages=40)
+    assert entry.state == "waiting"
+    assert entry.pages == 0
+    assert broker.waiting_count == 1
+    assert broker.admitted_count == 0
+
+
+def test_reallocate_admits_in_ed_order_within_memory():
+    broker = minmax_broker(total_pages=50)
+    broker.register(1, "C0", priority=90.0, min_pages=30, max_pages=45)
+    broker.register(2, "C0", priority=10.0, min_pages=30, max_pages=45)  # urgent
+    decision = broker.reallocate(now=0.0)
+    # Only the more urgent query fits its minimum; ED order puts it first.
+    assert decision.order == (2, 1)
+    assert decision.admitted == (2,)
+    assert decision.allocation[2] >= 30
+    assert decision.allocation.get(1, 0) == 0
+    assert broker.entry(2).state == "running"
+    assert broker.entry(1).state == "waiting"
+    assert broker.admitted_count == 1
+    assert broker.waiting_count == 1
+
+
+def test_departure_driven_reallocation_admits_the_waiter():
+    broker = minmax_broker(total_pages=50)
+    broker.register(1, "C0", priority=90.0, min_pages=30, max_pages=45)
+    broker.register(2, "C0", priority=10.0, min_pages=30, max_pages=45)
+    broker.reallocate(now=0.0)
+    broker.release(2)
+    decision = broker.reallocate(now=1.0)
+    assert decision.admitted == (1,)
+    assert broker.admitted_count == 1
+
+
+def test_duplicate_registration_rejected():
+    broker = minmax_broker()
+    broker.register(1, "C0", priority=1.0, min_pages=1, max_pages=2)
+    with pytest.raises(ValueError):
+        broker.register(1, "C0", priority=1.0, min_pages=1, max_pages=2)
+
+
+def test_mpl_limit_policy_caps_admissions():
+    broker = MemoryBroker(make_policy("minmax-2"), total_pages=1000, sample_size=5)
+    for qid in range(5):
+        broker.register(qid, "C0", priority=float(qid), min_pages=10, max_pages=20)
+    broker.reallocate(now=0.0)
+    assert broker.admitted_count == 2  # the two most urgent only
+    assert {e.qid for e in broker.present if e.pages > 0} == {0, 1}
+
+
+# ----------------------------------------------------------------------
+# departure counters and the batch window
+# ----------------------------------------------------------------------
+def _departure_record(qid, missed):
+    from repro.policies.base import DepartureRecord
+
+    return DepartureRecord(
+        qid=qid,
+        class_name="C0",
+        missed=missed,
+        arrival=0.0,
+        departure=1.0,
+        waiting_time=0.1,
+        execution_time=0.9,
+        time_constraint=5.0,
+        max_demand=10,
+        min_demand=2,
+        operand_io_count=4,
+    )
+
+
+def test_batch_window_closes_every_sample_size_departures():
+    broker = minmax_broker(sample_size=3)
+    windows = []
+    for qid in range(7):
+        broker.note_departure(missed=qid % 2 == 0)
+        window = broker.departure_feedback(_departure_record(qid, qid % 2 == 0))
+        if window is not None:
+            windows.append(window)
+            broker.deliver_batch(
+                BatchStats(
+                    time=float(qid),
+                    served=window.served,
+                    missed=window.missed,
+                    realized_mpl=1.0,
+                    cpu_utilization=0.5,
+                )
+            )
+    assert [w.served for w in windows] == [3, 3]
+    assert [w.missed for w in windows] == [2, 1]
+    assert broker.batches_delivered == 2
+    assert broker.departures == 7
+    assert broker.completions + broker.misses == 7
+
+
+# ----------------------------------------------------------------------
+# trace replay: the broker is deterministic in its operation stream
+# ----------------------------------------------------------------------
+def test_trace_records_and_replays_synthetic_stream():
+    trace = BrokerTrace()
+    broker = MemoryBroker(
+        make_policy("minmax"), total_pages=60, sample_size=4, recorder=trace
+    )
+    broker.register(1, "C0", priority=9.0, min_pages=20, max_pages=50)
+    broker.reallocate(now=0.0)
+    broker.register(2, "C1", priority=3.0, min_pages=20, max_pages=50)
+    broker.reallocate(now=0.5)
+    broker.release(1)
+    broker.note_departure(missed=False)
+    broker.departure_feedback(_departure_record(1, False))
+    broker.reallocate(now=1.0)
+    decisions = trace.decisions
+    assert len(decisions) == 3
+    replayed = replay_trace(
+        trace.ops, make_policy("minmax"), total_pages=60, sample_size=4
+    )
+    assert replayed == decisions
+
+
+# ----------------------------------------------------------------------
+# broker/simulator parity: replaying a DES run's trace through a fresh
+# standalone broker reproduces the decision stream exactly
+# ----------------------------------------------------------------------
+def parity_config():
+    return baseline(arrival_rate=0.3, scale=0.05, seed=3, duration=80.0)
+
+
+@pytest.mark.parametrize("policy", DEFAULT_POLICIES)
+def test_simulator_trace_replays_decision_for_decision(policy):
+    config = parity_config()
+    trace = BrokerTrace()
+    system = RTDBSystem(config, policy)
+    system.query_manager.broker.recorder = trace
+    result = system.run()
+    assert result.served > 10  # the trace exercises real churn
+
+    recorded = trace.decisions
+    assert len(recorded) > result.served  # >= one decision per arrival+departure
+    replayed = replay_trace(
+        trace.ops,
+        make_policy(policy, config.pmm),
+        total_pages=config.resources.memory_pages,
+        sample_size=config.pmm.sample_size,
+    )
+    assert replayed == recorded
+
+
+def test_query_manager_counters_delegate_to_broker():
+    system = RTDBSystem(parity_config(), "minmax")
+    result = system.run()
+    manager = system.query_manager
+    assert manager.departures == manager.broker.departures == result.served
+    assert manager.completions == manager.broker.completions == result.completed
+    assert manager.misses == manager.broker.misses == result.missed
+    assert manager.batches_delivered == manager.broker.batches_delivered

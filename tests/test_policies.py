@@ -81,3 +81,50 @@ def test_make_policy_pmm_default_params():
     policy = make_policy("pmm")
     assert isinstance(policy, PMM)
     assert policy.params.sample_size == 30
+
+
+# ----------------------------------------------------------------------
+# the registry is the single construction path
+# ----------------------------------------------------------------------
+def test_registry_default_policy_set_resolves():
+    from repro.policies import DEFAULT_POLICIES
+
+    names = [make_policy(spec).name for spec in DEFAULT_POLICIES]
+    assert names == ["Max", "MinMax", "MinMax-4", "Proportional", "PMM", "FairPMM"]
+
+
+def test_registry_unknown_spec_lists_available():
+    from repro.policies import available_policies
+
+    with pytest.raises(ValueError) as excinfo:
+        make_policy("lru")
+    message = str(excinfo.value)
+    for spec in available_policies():
+        assert spec in message
+
+
+def test_registry_forwards_factory_kwargs():
+    from repro.core.fairness import FairPMM
+
+    policy = make_policy("fairpmm", goals={"Medium": 0.5})
+    assert isinstance(policy, FairPMM)
+    assert policy.goals == {"Medium": 0.5}
+
+
+def test_registry_parametric_spec_rejects_garbage_suffix():
+    with pytest.raises(ValueError):
+        make_policy("minmax-ten")
+
+
+def test_register_policy_extends_the_namespace():
+    from repro.policies import registry
+
+    class _Stub(MaxPolicy):
+        name = "Stub"
+
+    registry.register_policy("stub-test", lambda pmm_params=None, **kw: _Stub(**kw))
+    try:
+        assert isinstance(make_policy("STUB-TEST"), _Stub)
+        assert "stub-test" in registry.available_policies()
+    finally:
+        del registry._EXACT["stub-test"]

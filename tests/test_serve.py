@@ -1,0 +1,316 @@
+"""The live serving layer: allocator enforcement, schedule parity with
+the simulator, the asyncio gateway end to end, and the TCP server."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import RTDBSystem
+from repro.scenarios import ScenarioGenerator
+from repro.serve.dataplane import (
+    GrantOversubscribedError,
+    LiveDataPlane,
+    PageStore,
+    TrackedAllocator,
+)
+from repro.serve.gateway import LiveGateway, PriorityWorkerGate, run_live
+from repro.serve.workload import build_schedule
+
+
+def scenario_config(family="mix", index=0, seed=0):
+    return ScenarioGenerator(seed).generate(family, index).config
+
+
+# ----------------------------------------------------------------------
+# grant enforcement
+# ----------------------------------------------------------------------
+def test_allocator_tracks_holdings():
+    allocator = TrackedAllocator(100)
+    allocator.apply({1: 40, 2: 60})
+    assert allocator.reserved_pages == 100
+    assert allocator.free_pages == 0
+    assert allocator.holding(1) == 40
+    allocator.release(1)
+    assert allocator.reserved_pages == 60
+    allocator.apply({2: 10})  # a full vector replaces the ledger
+    assert allocator.holding(2) == 10
+
+
+def test_allocator_rejects_oversubscription():
+    allocator = TrackedAllocator(100)
+    with pytest.raises(GrantOversubscribedError):
+        allocator.apply({1: 70, 2: 40})
+
+
+def test_allocator_rejects_negative_grants():
+    allocator = TrackedAllocator(100)
+    with pytest.raises(GrantOversubscribedError):
+        allocator.apply({1: -5})
+
+
+# ----------------------------------------------------------------------
+# the page store
+# ----------------------------------------------------------------------
+def test_page_store_deterministic_content_and_roundtrip():
+    store = PageStore(disk=0, payload_bytes=64)
+    first = store.read(10, 3)
+    assert len(first) == 3 * 64
+    assert store.read(10, 3) == first  # unwritten pages are stable
+    assert first != store.read(13, 3)  # distinct pages, distinct bytes
+    store.write(10, b"x" * 64)
+    assert store.read(10, 1) == b"x" * 64
+    assert store.pages_written == 1
+    assert store.pages_read == 10
+
+
+# ----------------------------------------------------------------------
+# schedule parity with the simulator
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", ["mix", "bursty", "phases", "multitenant", "heavytail"])
+def test_schedule_matches_simulator_arrivals(family):
+    config = scenario_config(family=family, index=0)
+    result = RTDBSystem(config, "max").run()
+    plane = LiveDataPlane(config)
+    schedule = build_schedule(config, plane.database)
+    assert len(schedule.arrivals) == result.arrivals
+    # Deadlines are feasible and strictly ordered per query.
+    for arrival in schedule.arrivals:
+        assert arrival.deadline > arrival.arrival
+        assert arrival.standalone > 0
+
+
+def test_schedule_is_deterministic_and_capped():
+    config = scenario_config()
+    plane = LiveDataPlane(config)
+    first = build_schedule(config, plane.database)
+    second = build_schedule(config, plane.database)
+    assert [a.qid for a in first.arrivals] == [a.qid for a in second.arrivals]
+    assert [a.deadline for a in first.arrivals] == [
+        a.deadline for a in second.arrivals
+    ]
+    capped = build_schedule(config, plane.database, max_arrivals=5)
+    assert len(capped.arrivals) == 5
+    assert [a.qid for a in capped.arrivals] == [0, 1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# the ED worker gate
+# ----------------------------------------------------------------------
+def test_priority_gate_serves_most_urgent_waiter_first():
+    async def scenario():
+        gate = PriorityWorkerGate(1)
+        await gate.acquire(priority=1.0)  # occupy the only slot
+        order = []
+
+        async def waiter(priority):
+            await gate.acquire(priority)
+            order.append(priority)
+            gate.release()
+
+        tasks = [
+            asyncio.create_task(waiter(p)) for p in (30.0, 10.0, 20.0)
+        ]
+        await asyncio.sleep(0)  # all three enqueue
+        gate.release()  # hand the slot to the most urgent
+        await asyncio.gather(*tasks)
+        return order
+
+    assert asyncio.run(scenario()) == [10.0, 20.0, 30.0]
+
+
+def test_priority_gate_recovers_slot_from_cancelled_handoff():
+    """Regression: a waiter cancelled in the same loop pass its slot is
+    handed over must give the slot back, not leak it."""
+
+    async def scenario():
+        gate = PriorityWorkerGate(1)
+        await gate.acquire(1.0)
+
+        async def waiter():
+            await gate.acquire(2.0)
+            gate.release()  # pragma: no cover - the waiter is cancelled
+
+        blocked = asyncio.create_task(waiter())
+        await asyncio.sleep(0)  # the waiter enqueues
+        gate.release()  # hands the slot to the waiter's future...
+        blocked.cancel()  # ...which is cancelled before it resumes
+        try:
+            await blocked
+        except asyncio.CancelledError:
+            pass
+        # The slot must be available again.
+        await asyncio.wait_for(gate.acquire(3.0), timeout=1.0)
+        return True
+
+    assert asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# the gateway end to end
+# ----------------------------------------------------------------------
+def test_live_replay_serves_every_query():
+    config = scenario_config()
+    report = asyncio.run(
+        run_live(
+            config,
+            "minmax",
+            time_scale=0.005,
+            max_arrivals=40,
+            invariants=True,
+        )
+    )
+    assert report.arrivals == 40
+    assert report.served == 40  # firm deadlines: every query departs
+    assert 0.0 <= report.miss_ratio <= 1.0
+    assert report.decisions >= 80  # one per arrival + one per departure
+    assert report.observed_mpl > 0.0
+    assert report.pages_read > 0
+    assert sum(s.served for s in report.per_class.values()) == 40
+
+
+def test_live_gateway_releases_all_grants():
+    config = scenario_config(family="heavytail", index=0)
+
+    async def scenario():
+        gateway = LiveGateway(config, "pmm", time_scale=0.005, invariants=True)
+        schedule = build_schedule(
+            config, gateway.dataplane.database, max_arrivals=25
+        )
+        report = await gateway.run_schedule(schedule)
+        return gateway, report
+
+    gateway, report = asyncio.run(scenario())
+    assert report.served == 25
+    assert gateway.allocator.reserved_pages == 0  # every grant returned
+    assert gateway.broker.present_count == 0
+    assert gateway.broker.departures == 25
+
+
+def test_hopeless_deadline_is_aborted_and_counted_missed():
+    config = scenario_config()
+
+    async def scenario():
+        gateway = LiveGateway(config, "max", time_scale=0.02)
+        schedule = build_schedule(config, gateway.dataplane.database, max_arrivals=1)
+        await gateway.start()
+        arrival = schedule.arrivals[0]
+        # Rewrite the deadline to something unmeetable (1 ms of slack).
+        from dataclasses import replace
+
+        doomed = replace(
+            arrival, arrival=gateway.sim_now(), deadline=gateway.sim_now() + 0.05
+        )
+        gateway.submit(doomed)
+        await gateway.drain()
+        await gateway.close()
+        return gateway
+
+    gateway = asyncio.run(scenario())
+    assert gateway.report.served == 1
+    assert gateway.report.missed == 1
+    assert gateway.allocator.reserved_pages == 0
+
+
+def test_broken_policy_fails_the_live_run_loudly():
+    """Regression: an oversubscribing decision made on a departure path
+    (an asyncio task, no awaiter) must surface through drain(), not be
+    swallowed by the event loop while the run hangs or 'passes'."""
+    from dataclasses import replace
+
+    from repro.core.allocation import allocate_minmax
+    from repro.policies.base import MemoryPolicy
+
+    class LateBrokenPolicy(MemoryPolicy):
+        name = "LateBroken"
+
+        def __init__(self):
+            self.calls = 0
+
+        def allocate(self, demands, memory, now=0.0):
+            self.calls += 1
+            if self.calls >= 3 and demands:
+                return {demands[0].qid: 2 * memory}  # oversubscribe
+            return allocate_minmax(demands, memory)
+
+    config = scenario_config()
+
+    async def scenario():
+        gateway = LiveGateway(config, LateBrokenPolicy(), time_scale=0.01)
+        schedule = build_schedule(config, gateway.dataplane.database, max_arrivals=2)
+        await gateway.start()
+        try:
+            now = gateway.sim_now()
+            for arrival in schedule.arrivals:
+                gateway.submit(
+                    replace(arrival, arrival=now, deadline=now + 1000.0)
+                )
+            await gateway.drain()  # decision 3 fires on the departure path
+        finally:
+            await gateway.close()
+
+    with pytest.raises(GrantOversubscribedError):
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# the TCP server
+# ----------------------------------------------------------------------
+def test_server_submission_roundtrip():
+    config = scenario_config()
+
+    async def scenario():
+        from repro.serve.server import LiveServer
+
+        gateway = LiveGateway(config, "minmax", time_scale=0.01)
+        server = LiveServer(gateway)
+        host, port = await server.start(port=0)
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                json.dumps(
+                    {"op": "submit", "type": "sort", "pages": 12, "slack": 50.0}
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            submit_response = json.loads(await reader.readline())
+            writer.write(json.dumps({"op": "stats"}).encode() + b"\n")
+            await writer.drain()
+            stats_response = json.loads(await reader.readline())
+        finally:
+            writer.close()
+            await server.close()
+        return submit_response, stats_response
+
+    submitted, stats = asyncio.run(scenario())
+    assert submitted["admitted"] is True
+    assert submitted["missed"] is False
+    assert submitted["qid"] == 0
+    assert stats["served"] == 1
+    assert stats["policy"] == "MinMax"
+
+
+def test_server_rejects_malformed_submissions():
+    config = scenario_config()
+
+    async def scenario():
+        from repro.serve.server import LiveServer
+
+        gateway = LiveGateway(config, "max", time_scale=0.01)
+        server = LiveServer(gateway)
+        host, port = await server.start(port=0)
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                json.dumps({"op": "submit", "type": "sort", "pages": -3}).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            response = json.loads(await reader.readline())
+        finally:
+            writer.close()
+            await server.close()
+        return response
+
+    assert "error" in asyncio.run(scenario())
