@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Gate CI on the perf trajectory: fresh ``BENCH_*.json`` vs baselines.
+
+The repository commits its perf trajectory (``BENCH_kernel.json``,
+``BENCH_serve.json``); CI regenerates fresh copies on every push.
+Until now the fresh files were uploaded as artifacts and compared to
+nothing -- the trajectory existed and gated nothing.  This script
+closes the loop: it diffs the fresh throughput numbers against the
+committed baselines and **fails** on any regression beyond the floors,
+printing a one-line delta table per metric.
+
+Floors are the larger of
+
+* an **absolute floor** -- the hard contract the test suite and bench
+  scripts already promise (events/s from ``tests/test_kernel_perf.py``,
+  decisions/s from ``scripts/bench_serve.py``, a live replay
+  queries/s minimum), and
+* a **relative floor** -- ``--rel`` (default 0.25) times the committed
+  baseline, generous because CI runners are slower and noisier than
+  the machines baselines are committed from.  A fresh number below a
+  quarter of its baseline is a real regression, not runner noise.
+
+Usage (either or both)::
+
+    python scripts/bench_gate.py --kernel BENCH_kernel.fresh.json
+    python scripts/bench_gate.py --serve BENCH_serve.fresh.json \
+        --baseline-serve BENCH_serve.json --rel 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, NamedTuple
+
+#: Relative floor: fresh must reach this fraction of the baseline.
+DEFAULT_REL = 0.25
+
+#: Absolute floors -- the hard contracts, independent of any baseline.
+KERNEL_EVENTS_PER_S_FLOOR = 12_000  # pinned by tests/test_kernel_perf.py
+SERVE_DECISIONS_PER_S_FLOOR = 1_000  # pinned by scripts/bench_serve.py
+LIVE_QUERIES_PER_S_FLOOR = 10.0
+
+
+class Metric(NamedTuple):
+    name: str
+    baseline: float
+    fresh: float
+    abs_floor: float
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"bench-gate: missing file {path}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"bench-gate: {path} is not valid JSON ({error})")
+
+
+def kernel_metrics(baseline: dict, fresh: dict) -> Iterator[Metric]:
+    yield Metric(
+        "kernel.events_per_s",
+        float(baseline["events_per_s"]),
+        float(fresh["events_per_s"]),
+        KERNEL_EVENTS_PER_S_FLOOR,
+    )
+
+
+def serve_metrics(baseline: dict, fresh: dict) -> Iterator[Metric]:
+    def slowest_admission(payload: dict) -> float:
+        return min(
+            float(entry["decisions_per_sec"])
+            for entry in payload["admission"].values()
+        )
+
+    yield Metric(
+        "serve.admission_decisions_per_s",
+        slowest_admission(baseline),
+        slowest_admission(fresh),
+        SERVE_DECISIONS_PER_S_FLOOR,
+    )
+    if "live" in baseline and "live" in fresh:
+        yield Metric(
+            "serve.live_queries_per_s",
+            float(baseline["live"]["queries_per_sec"]),
+            float(fresh["live"]["queries_per_sec"]),
+            LIVE_QUERIES_PER_S_FLOOR,
+        )
+
+
+def gate(metrics: list, rel: float) -> int:
+    """Print the delta table; return the number of failed metrics."""
+    failures = 0
+    width = max(len(metric.name) for metric in metrics)
+    for metric in metrics:
+        floor = max(metric.abs_floor, rel * metric.baseline)
+        delta = (
+            (metric.fresh - metric.baseline) / metric.baseline * 100.0
+            if metric.baseline
+            else float("nan")
+        )
+        ok = metric.fresh >= floor
+        verdict = "ok" if ok else "REGRESSION"
+        print(
+            f"{metric.name:<{width}}  baseline={metric.baseline:>10.1f}  "
+            f"fresh={metric.fresh:>10.1f}  delta={delta:>+7.1f}%  "
+            f"floor={floor:>10.1f}  {verdict}"
+        )
+        if not ok:
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--kernel", type=Path, default=None, help="fresh BENCH_kernel.json"
+    )
+    parser.add_argument(
+        "--serve", type=Path, default=None, help="fresh BENCH_serve.json"
+    )
+    parser.add_argument(
+        "--baseline-kernel",
+        type=Path,
+        default=Path("BENCH_kernel.json"),
+        help="committed kernel baseline (default: ./BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--baseline-serve",
+        type=Path,
+        default=Path("BENCH_serve.json"),
+        help="committed serve baseline (default: ./BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--rel",
+        type=float,
+        default=DEFAULT_REL,
+        help=f"relative floor as a fraction of baseline (default {DEFAULT_REL})",
+    )
+    args = parser.parse_args(argv)
+    if args.kernel is None and args.serve is None:
+        parser.error("nothing to gate: pass --kernel and/or --serve")
+    if not 0.0 < args.rel <= 1.0:
+        parser.error(f"--rel must be in (0, 1], got {args.rel}")
+
+    metrics: list = []
+    if args.kernel is not None:
+        metrics.extend(
+            kernel_metrics(_load(args.baseline_kernel), _load(args.kernel))
+        )
+    if args.serve is not None:
+        metrics.extend(
+            serve_metrics(_load(args.baseline_serve), _load(args.serve))
+        )
+
+    failures = gate(metrics, args.rel)
+    if failures:
+        print(
+            f"bench-gate: {failures} metric(s) regressed beyond the floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench-gate: {len(metrics)} metric(s) within floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -98,6 +98,8 @@ def bench_live(time_scale: float) -> dict:
         "decisions_per_sec": round(report.decisions_per_sec, 1),
         "decision_latency_mean_us": round(report.decision_latency_mean_us, 1),
         "bytes_moved": report.bytes_moved,
+        "pool_hit_ratio": round(report.pool_hit_ratio, 4),
+        "disk_queue_s": round(report.disk_queue_seconds, 4),
     }
 
 

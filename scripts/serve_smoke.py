@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Multi-tenant serve smoke: two TCP clients against the real server.
+
+CI's ``serve-smoke`` job runs this: it launches the actual CLI server
+process (``python -m repro.serve serve --tenants 2``), connects two
+concurrent TCP clients as two different tenants, drives real
+submissions through the shared data plane, asserts the per-tenant
+report is sane, and then shuts the server down with SIGINT -- which
+must drain gracefully (in-flight queries depart, clients get their
+responses, exit code 0).
+
+Run locally with::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import queue
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Submissions per tenant.
+PER_TENANT = 3
+
+
+def launch(time_scale: float) -> tuple:
+    """Start the server subprocess; returns (process, host, port, lines).
+
+    ``lines`` is a queue fed by a stdout-pump thread (``None`` marks
+    EOF); all later output -- the drain banners -- is read from it.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "serve",
+            "--port",
+            "0",
+            "--tenants",
+            "2",
+            "--policy",
+            "pmm",
+            "--time-scale",
+            str(time_scale),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # Read stdout on a thread: a wedged server must trip the deadline,
+    # not leave this script blocked forever inside readline().
+    lines: queue.Queue = queue.Queue()
+
+    def pump() -> None:
+        for line in process.stdout:
+            lines.put(line)
+        lines.put(None)  # EOF
+
+    threading.Thread(target=pump, daemon=True).start()
+    deadline = time.monotonic() + 60.0
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            process.kill()
+            raise SystemExit("server never printed its ready line")
+        try:
+            line = lines.get(timeout=min(remaining, 1.0))
+        except queue.Empty:
+            continue
+        if line is None:
+            raise SystemExit(
+                f"server exited early ({process.wait()}) before its ready line"
+            )
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if match:
+            return process, match.group(1), int(match.group(2)), lines
+
+
+async def tenant_client(host: str, port: int, tenant: str) -> list:
+    """One tenant's connection: hello, then PER_TENANT submissions."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            json.dumps({"op": "hello", "tenant": tenant}).encode() + b"\n"
+        )
+        await writer.drain()
+        hello = json.loads(await reader.readline())
+        assert hello["tenant"] == tenant, hello
+        assert hello["class"], f"tenant {tenant} got no class mapping: {hello}"
+        responses = []
+        for index in range(PER_TENANT):
+            writer.write(
+                json.dumps(
+                    {
+                        "op": "submit",
+                        "type": "sort" if index % 2 == 0 else "hash_join",
+                        "pages": 8 + 4 * index,
+                        "slack": 20.0,
+                    }
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert "error" not in response, response
+            assert response["tenant"] == tenant, response
+            responses.append(response)
+        return responses
+    finally:
+        writer.close()
+
+
+async def fetch_stats(host: str, port: int) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps({"op": "stats"}).encode() + b"\n")
+        await writer.drain()
+        return json.loads(await reader.readline())
+    finally:
+        writer.close()
+
+
+def check_stats(stats: dict) -> None:
+    """Per-tenant report sanity over the shared data plane."""
+    per_tenant = stats["per_tenant"]
+    assert set(per_tenant) == {"alpha", "beta"}, per_tenant
+    for tenant, entry in per_tenant.items():
+        assert entry["arrivals"] == PER_TENANT, (tenant, entry)
+        assert entry["served"] == PER_TENANT, (tenant, entry)
+        assert 0 <= entry["missed"] <= entry["served"], (tenant, entry)
+        assert 0.0 <= entry["miss_ratio"] <= 1.0, (tenant, entry)
+        assert entry["class"], (tenant, entry)
+    served = sum(entry["served"] for entry in per_tenant.values())
+    assert stats["served"] == served, stats
+    assert stats["arrivals"] == 2 * PER_TENANT, stats
+    assert 0.0 <= stats["pool_hit_ratio"] <= 1.0, stats
+    assert stats["disk_queue_s"] >= 0.0, stats
+    assert stats["disk_busy_s"] > 0.0, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--time-scale", type=float, default=0.02)
+    args = parser.parse_args(argv)
+
+    process, host, port, lines = launch(args.time_scale)
+    try:
+        results = asyncio.run(
+            asyncio.wait_for(
+                _drive(host, port),
+                timeout=240.0,
+            )
+        )
+    except BaseException:
+        process.kill()
+        process.wait()
+        raise
+    stats = results["stats"]
+    check_stats(stats)
+    print(
+        f"serve-smoke: 2 tenants x {PER_TENANT} queries served "
+        f"(miss_ratio={stats['miss_ratio']}, "
+        f"pool_hit_ratio={stats['pool_hit_ratio']}, "
+        f"disk_queue_s={stats['disk_queue_s']})"
+    )
+
+    # Graceful drain: SIGINT must produce a clean exit and the drain
+    # banner, with every query already departed.
+    process.send_signal(signal.SIGINT)
+    try:
+        process.wait(timeout=120.0)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit("server did not drain within 120 s of SIGINT")
+    chunks = []
+    while True:  # the pump thread ends with a None sentinel at EOF
+        line = lines.get(timeout=10.0)
+        if line is None:
+            break
+        chunks.append(line)
+    output = "".join(chunks)
+    if process.returncode != 0:
+        raise SystemExit(
+            f"server exited {process.returncode} after SIGINT:\n{output}"
+        )
+    if "drained cleanly" not in output:
+        raise SystemExit(f"no drain banner in server output:\n{output}")
+    print("serve-smoke: graceful drain ok")
+    return 0
+
+
+async def _drive(host: str, port: int) -> dict:
+    alpha, beta = await asyncio.gather(
+        tenant_client(host, port, "alpha"),
+        tenant_client(host, port, "beta"),
+    )
+    stats = await fetch_stats(host, port)
+    return {"alpha": alpha, "beta": beta, "stats": stats}
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

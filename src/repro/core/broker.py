@@ -309,6 +309,7 @@ def _stats_tuple(stats: BatchStats) -> tuple:
         stats.realized_mpl,
         stats.cpu_utilization,
         stats.disk_utilizations,
+        stats.pool_hit_ratio,
     )
 
 
@@ -340,7 +341,10 @@ def replay_trace(
             broker.note_departure(missed=op[1][2])
             broker.departure_feedback(DepartureRecord(*op[1]))
         elif kind == "batch":
-            time, served, missed, mpl, cpu, disks = op[1]
+            # Pre-pool traces carry six fields; newer ones add the
+            # shared-pool hit ratio.
+            time, served, missed, mpl, cpu, disks = op[1][:6]
+            pool_hit = op[1][6] if len(op[1]) > 6 else 0.0
             broker.deliver_batch(
                 BatchStats(
                     time=time,
@@ -349,6 +353,7 @@ def replay_trace(
                     realized_mpl=mpl,
                     cpu_utilization=cpu,
                     disk_utilizations=disks,
+                    pool_hit_ratio=pool_hit,
                 )
             )
         elif kind == "decision":

@@ -65,6 +65,10 @@ class BatchStats:
     cpu_utilization: float
     #: Per-disk utilisations over the batch window.
     disk_utilizations: Tuple[float, ...] = field(default_factory=tuple)
+    #: Shared buffer-pool hit ratio over the batch window (0.0 when the
+    #: host measures none -- the DES buffer manager and the live
+    #: :class:`~repro.serve.dataplane.LiveBufferPool` both supply it).
+    pool_hit_ratio: float = 0.0
 
     @property
     def miss_ratio(self) -> float:

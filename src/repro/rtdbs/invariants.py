@@ -62,6 +62,10 @@ class InvariantChecker:
     def __init__(self) -> None:
         self.system: Optional["RTDBSystem"] = None
         self.broker: Optional["MemoryBroker"] = None
+        #: Live shared buffer pool (``repro.serve``'s
+        #: :class:`~repro.serve.dataplane.LiveBufferPool``), when the
+        #: checker watches a standalone broker with a live data plane.
+        self.pool = None
         self.checks: Dict[str, int] = {}
         #: Every violation message, in detection order.  A violation
         #: raised inside a simulation *process* is captured by the
@@ -93,6 +97,9 @@ class InvariantChecker:
         if self.broker is not None:
             self.broker.invariants = None
             self.broker = None
+        if self.pool is not None:
+            self.pool.invariants = None
+            self.pool = None
 
     def attach(self, system: "RTDBSystem") -> "InvariantChecker":
         """Install the checker on a built (not yet run) system.
@@ -101,7 +108,7 @@ class InvariantChecker:
         one and resets the counters -- each attachment starts a fresh
         accounting epoch.
         """
-        if self.system is not None or self.broker is not None:
+        if self.system is not None or self.broker is not None or self.pool is not None:
             self.detach()
             self.reset()
         self.system = system
@@ -111,17 +118,24 @@ class InvariantChecker:
         system.buffers.invariants = self
         return self
 
-    def attach_broker(self, broker: "MemoryBroker") -> "InvariantChecker":
+    def attach_broker(self, broker: "MemoryBroker", pool=None) -> "InvariantChecker":
         """Install the checker on a standalone broker (no simulator).
 
-        The live serving layer uses this: only the allocation-contract
-        laws apply, checked on every decision the broker makes.
+        The live serving layer uses this: the allocation-contract laws
+        are checked on every decision the broker makes, and -- when the
+        live shared buffer pool is given -- the buffer-ledger laws are
+        checked on every pool update too (``pool`` exposes the same
+        ledger surface as the DES :class:`BufferManager`, so
+        :meth:`check_buffers` applies verbatim).
         """
-        if self.system is not None or self.broker is not None:
+        if self.system is not None or self.broker is not None or self.pool is not None:
             self.detach()
             self.reset()
         self.broker = broker
         broker.invariants = self
+        if pool is not None:
+            self.pool = pool
+            pool.invariants = self
         return self
 
     def _fail(self, law: str, detail: str) -> None:

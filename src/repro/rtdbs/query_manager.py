@@ -424,12 +424,17 @@ class QueryManager:
             "cpu": self.cpu.busy.snapshot(),
             "disks": [disk.busy.snapshot() for disk in self.disks],
             "mpl": self.mpl_monitor.snapshot(),
+            "pool": (self.buffers.cache.hits, self.buffers.cache.misses),
         }
 
     def _close_batch(self, window) -> None:
         """Build the batch telemetry only this host can measure and
         hand it to the broker (which forwards it to the policy)."""
         snapshots = self._batch_snapshots
+        pool_hits, pool_misses = snapshots.get("pool", (0, 0))
+        consulted = (self.buffers.cache.hits - pool_hits) + (
+            self.buffers.cache.misses - pool_misses
+        )
         stats = BatchStats(
             time=self.sim.now,
             served=window.served,
@@ -439,6 +444,9 @@ class QueryManager:
             disk_utilizations=tuple(
                 min(1.0, disk.busy.mean_since(snapshot))
                 for disk, snapshot in zip(self.disks, snapshots["disks"])
+            ),
+            pool_hit_ratio=(
+                (self.buffers.cache.hits - pool_hits) / consulted if consulted else 0.0
             ),
         )
         self._batch_snapshots = self._take_snapshots()

@@ -25,19 +25,33 @@ Entry points:
 
 from repro.serve.dataplane import (
     GrantOversubscribedError,
+    LiveBufferPool,
     LiveDataPlane,
+    LiveDisk,
     PageStore,
     TrackedAllocator,
 )
 from repro.serve.gateway import LiveGateway, LiveReport, run_live
 from repro.serve.server import LiveServer
-from repro.serve.shootout import LiveShootoutReport, live_shootout
-from repro.serve.workload import LiveArrival, LiveSchedule, build_schedule, make_operator
+from repro.serve.shootout import (
+    LiveShootoutReport,
+    find_multitenant_scenario,
+    live_shootout,
+)
+from repro.serve.workload import (
+    LiveArrival,
+    LiveSchedule,
+    build_schedule,
+    make_operator,
+    tag_tenants,
+)
 
 __all__ = [
     "GrantOversubscribedError",
     "LiveArrival",
+    "LiveBufferPool",
     "LiveDataPlane",
+    "LiveDisk",
     "LiveGateway",
     "LiveReport",
     "LiveSchedule",
@@ -46,7 +60,9 @@ __all__ = [
     "PageStore",
     "TrackedAllocator",
     "build_schedule",
+    "find_multitenant_scenario",
     "live_shootout",
     "make_operator",
     "run_live",
+    "tag_tenants",
 ]

@@ -78,6 +78,7 @@ def _cmd_live_shootout(args) -> int:
         invariants=not args.no_invariants,
         predict=not args.no_predict,
         jobs=args.jobs,
+        tenants=args.tenants,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -116,15 +117,28 @@ def _cmd_replay(args) -> int:
     print(f"data plane      : {report.pages_read} pages read, "
           f"{report.pages_written} written, "
           f"{report.bytes_moved / 1e6:.1f} MB moved")
+    print(f"shared pool     : {report.pool_hits} hits / "
+          f"{report.pool_misses} misses "
+          f"(hit ratio {report.pool_hit_ratio:.3f})")
+    print(f"disk contention : busy {sum(report.disk_busy):.2f} s, "
+          f"queued {report.disk_queue_seconds:.2f} s wall "
+          f"({report.disk_queue_sim_seconds:.1f} sim s)")
     return 0
 
 
 def _cmd_serve(args) -> int:
+    import signal
+
     from repro.scenarios import ScenarioGenerator
     from repro.serve.gateway import LiveGateway
     from repro.serve.server import LiveServer
+    from repro.serve.shootout import find_multitenant_scenario
 
-    scenario = ScenarioGenerator(args.scenario_seed).generate(args.family, args.index)
+    generator = ScenarioGenerator(args.scenario_seed)
+    if args.tenants is not None:
+        scenario = find_multitenant_scenario(generator, args.tenants, args.index)
+    else:
+        scenario = generator.generate(args.family, args.index)
 
     async def main() -> None:
         gateway = LiveGateway(
@@ -136,17 +150,33 @@ def _cmd_serve(args) -> int:
         )
         server = LiveServer(gateway)
         host, port = await server.start(args.host, args.port)
-        print(f"repro.serve: policy={gateway.policy.name} listening on "
-              f"{host}:{port} (JSON lines; see repro/serve/server.py)")
+        print(f"repro.serve: policy={gateway.policy.name} "
+              f"scenario={scenario.name} listening on "
+              f"{host}:{port} (JSON lines; see repro/serve/server.py)",
+              flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
         try:
-            await server.serve_forever()
-        finally:
-            await server.close()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:
+            # Windows event loops: fall back to plain signal handlers
+            # (they run on the main thread, which runs the loop).
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                signal.signal(
+                    signum,
+                    lambda *_args: loop.call_soon_threadsafe(stop.set),
+                )
+        await stop.wait()
+        print("repro.serve: draining "
+              f"({gateway.broker.present_count} queries in flight)", flush=True)
+        await server.close()
+        report = gateway.report
+        print(f"repro.serve: drained cleanly -- served {report.served} "
+              f"({report.missed} missed), pool hit ratio "
+              f"{gateway.pool.hit_ratio:.3f}", flush=True)
 
-    try:
-        asyncio.run(main())
-    except KeyboardInterrupt:
-        print("\nshutting down")
+    asyncio.run(main())
     return 0
 
 
@@ -172,6 +202,13 @@ def main(argv=None) -> int:
     shootout.add_argument(
         "--jobs", type=int, default=None, help="worker processes for the predictions"
     )
+    shootout.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="multi-tenant mode: serve the first multitenant scenario with "
+        "exactly N tenants, tagging and cross-checking per-tenant traffic",
+    )
 
     replay = commands.add_parser("replay", help="one policy, one scenario, live")
     replay.add_argument("--policy", default="pmm", help="policy spec")
@@ -182,6 +219,13 @@ def main(argv=None) -> int:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7070)
     serve.add_argument("--policy", default="pmm", help="policy spec")
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="serve the first multitenant scenario with exactly N tenants "
+        "(tenant submissions map onto its per-tenant classes)",
+    )
     _add_scenario_flags(serve)
     _add_live_flags(serve)
 

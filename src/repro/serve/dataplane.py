@@ -1,6 +1,6 @@
-"""The live data plane: real pages, real grants, no simulator.
+"""The live data plane: real pages, real grants, shared and contended.
 
-Three pieces back the live serving layer's execution substrate:
+Five pieces back the live serving layer's execution substrate:
 
 * :class:`PageStore` -- a sparse in-memory "disk": page-granular byte
   storage with deterministic content for never-written (base relation)
@@ -13,19 +13,33 @@ Three pieces back the live serving layer's execution substrate:
   exceeds the pool) independently of the policy and raises
   :class:`GrantOversubscribedError` on any violation, so a broken
   policy can never silently oversubscribe a live server.
+* :class:`LiveBufferPool` -- the *shared* buffer pool: the allocator's
+  reservation ledger plus a cross-query LRU region over the unreserved
+  remainder, mirroring the simulator's
+  :class:`~repro.rtdbs.buffer_manager.BufferManager` semantics.  Every
+  concurrent query and tenant consults the same pool, so one tenant's
+  operand scan can serve another's re-read -- and one tenant's memory
+  reservations shrink everyone's cache.
+* :class:`LiveDisk` -- the contended disk model: a FIFO service queue
+  per disk (plus the shared head state the sequential-positioning
+  rules read), so concurrent queries' accesses genuinely queue and
+  interleaving scans break each other's sequential streams.
 * :class:`LiveDataPlane` -- the bundle the gateway hands to operators:
   the paper's :class:`~repro.rtdbs.database.Database` layout (same
   placement rules, same seeded streams as the simulator), one
-  :class:`PageStore` per disk, and the
+  :class:`PageStore` + :class:`LiveDisk` per disk, and the
   :class:`~repro.queries.base.OperatorContext` wired to the database's
   temp-extent allocators.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import asyncio
+from collections import deque
+from typing import Deque, Dict, List
 
 from repro.queries.base import OperatorContext
+from repro.rtdbs.buffer_manager import LRUDataCache
 from repro.rtdbs.config import SimulationConfig
 from repro.rtdbs.database import Database
 from repro.sim.rng import Streams
@@ -85,6 +99,191 @@ class TrackedAllocator:
 
     def release(self, qid: int) -> None:
         self._holdings.pop(qid, None)
+
+
+class LiveBufferPool:
+    """The shared buffer pool: reservations + cross-query LRU reuse.
+
+    Live equivalent of the simulator's
+    :class:`~repro.rtdbs.buffer_manager.BufferManager`: the policy's
+    grants are installed through the :class:`TrackedAllocator` (which
+    enforces the conservation law), and whatever the grants leave
+    unreserved backs an LRU data cache shared by *every* concurrent
+    query.  Cacheable operand reads consult the cache before paying
+    for a disk access and are retained in it afterwards, so live miss
+    ratios respond to pool size and load exactly the way the DES's
+    buffer manager makes them.
+
+    The attribute surface (``total_pages`` / ``_reserved`` / ``cache``)
+    deliberately matches ``BufferManager`` so
+    :meth:`repro.rtdbs.invariants.InvariantChecker.check_buffers`
+    asserts the identical ledger laws on the live pool.
+    """
+
+    def __init__(self, allocator: TrackedAllocator):
+        self.allocator = allocator
+        self.total_pages = allocator.total_pages
+        self.cache = LRUDataCache(allocator.total_pages)
+        #: Optional :class:`repro.rtdbs.invariants.InvariantChecker`;
+        #: ``None`` (the default) keeps ledger updates hook-free.
+        self.invariants = None
+
+    # -- ledger views (the InvariantChecker reads these) ----------------
+    @property
+    def _reserved(self) -> Dict[int, int]:
+        return self.allocator._holdings
+
+    @property
+    def reserved_pages(self) -> int:
+        return self.allocator.reserved_pages
+
+    @property
+    def free_pages(self) -> int:
+        return self.allocator.free_pages
+
+    def reservation_of(self, qid: int) -> int:
+        return self.allocator.holding(qid)
+
+    # -- grant installation ---------------------------------------------
+    def apply(self, allocation: Dict[int, int]) -> None:
+        """Install a decision: enforce it, then resize the LRU region."""
+        self.allocator.apply(allocation)
+        self.cache.capacity = self.allocator.free_pages
+        if self.invariants is not None:
+            self.invariants.check_buffers(self)
+
+    def release(self, qid: int) -> None:
+        """Drop one query's reservation (departure or abort)."""
+        self.allocator.release(qid)
+        self.cache.capacity = self.allocator.free_pages
+        if self.invariants is not None:
+            self.invariants.check_buffers(self)
+
+    # -- the cross-query cache ------------------------------------------
+    def read_hit(self, disk: int, start_page: int, npages: int) -> bool:
+        """Whether a cacheable read is fully served from the pool."""
+        return self.cache.contains_all(disk, start_page, npages)
+
+    def install(self, disk: int, start_page: int, npages: int) -> None:
+        """Retain pages that just arrived from a live disk."""
+        self.cache.insert(disk, start_page, npages)
+
+    @property
+    def hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self.cache.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        consulted = self.cache.hits + self.cache.misses
+        return self.cache.hits / consulted if consulted else 0.0
+
+
+class LiveDisk:
+    """One live disk: a FIFO service queue over shared stream state.
+
+    Concurrent queries' service chunks queue here first-in-first-out
+    (the arm is non-shareable), so a loaded disk stretches every
+    access by its queueing delay -- the live analogue of the DES disk
+    queues, with conservation counters to prove no chunk is ever lost:
+    ``chunks_submitted == chunks_served + chunks_cancelled + waiting +
+    in-service``.  :meth:`service_time` prices accesses with the same
+    physical rules as the DES :class:`~repro.rtdbs.disk.Disk`: it
+    tracks the tails of recently active sequential streams (bounded by
+    the modelled 256-KByte prefetch cache, exactly as the simulator
+    bounds its ``_streams``), so a handful of interleaved scans each
+    stay efficient -- and beyond that bound, concurrent queries evict
+    each other's tails and sequentiality is genuinely lost, the
+    physical face of thrashing.
+    """
+
+    def __init__(self, store: PageStore, resources):
+        self.store = store
+        self._transfer = resources.transfer_s_per_page
+        rotation_half = resources.rotation_s / 2.0
+        self._positioning = rotation_half + resources.seek_time(
+            max(1, resources.num_cylinders // 8)
+        )
+        self._page_hop = rotation_half + self._transfer + resources.seek_time(1)
+        #: Tails of recently active sequential streams (shared across
+        #: every query touching this disk; insertion-ordered dict,
+        #: oldest tail evicted first -- mirror of ``Disk._streams``).
+        self._streams: dict = {}
+        self._max_streams = max(1, resources.disk_cache_pages // resources.block_size)
+        self.sequential_continuations = 0
+        self._busy = False
+        self._waiters: Deque[asyncio.Future] = deque()
+        # -- conservation counters -------------------------------------
+        self.chunks_submitted = 0
+        self.chunks_served = 0
+        self.chunks_cancelled = 0
+        # -- contention telemetry --------------------------------------
+        #: Wall seconds chunks spent waiting for the arm.
+        self.queue_seconds = 0.0
+        #: Wall seconds the arm spent in service.
+        self.busy_seconds = 0.0
+        #: Individual disk accesses served (a chunk batches several).
+        self.accesses = 0
+
+    def service_time(self, start_page: int, npages: int, sequential: bool) -> float:
+        """Price one access (simulated seconds) and update stream tails."""
+        if sequential:
+            service = npages * self._transfer
+            if start_page in self._streams:
+                self.sequential_continuations += 1
+            else:
+                service = service + self._positioning
+        else:
+            service = npages * self._page_hop
+        streams = self._streams
+        streams.pop(start_page, None)
+        streams[start_page + npages] = None
+        while len(streams) > self._max_streams:
+            del streams[next(iter(streams))]
+        return service
+
+    @property
+    def in_service(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        """Live waiters (excluding any chunk in service)."""
+        return sum(1 for future in self._waiters if not future.done())
+
+    async def acquire(self) -> float:
+        """Join the FIFO queue; returns the wall seconds spent waiting."""
+        self.chunks_submitted += 1
+        if not self._busy:
+            self._busy = True
+            return 0.0
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._waiters.append(future)
+        started = loop.time()
+        try:
+            await future  # the releasing holder hands the arm over
+        except asyncio.CancelledError:
+            self.chunks_cancelled += 1
+            if future.done() and not future.cancelled():
+                # The arm was handed over in the same loop pass the
+                # expiry cancelled us: pass it on or it leaks.
+                self.release()
+            raise
+        waited = loop.time() - started
+        self.queue_seconds += waited
+        return waited
+
+    def release(self) -> None:
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():  # skip waiters cancelled by expiry
+                future.set_result(None)
+                return
+        self._busy = False
 
 
 class PageStore:
@@ -166,6 +365,8 @@ class LiveDataPlane:
             PageStore(disk, payload_bytes)
             for disk in range(config.resources.num_disks)
         ]
+        #: The contended service queues, one per store.
+        self.disks = [LiveDisk(store, config.resources) for store in self.stores]
         self.context = OperatorContext(
             tuples_per_page=config.tuples_per_page,
             block_size=config.resources.block_size,
@@ -174,10 +375,3 @@ class LiveDataPlane:
             release_temp=lambda temp: self.database.temp_space(temp.disk).release(temp),
         )
 
-    def copy_pages(self, kind: str, disk: int, start_page: int, npages: int) -> int:
-        """Execute one operator disk access as real byte traffic."""
-        store = self.stores[disk]
-        if kind == "read":
-            return len(store.read(start_page, npages))
-        store.write_blank(start_page, npages)
-        return npages * store.payload_bytes

@@ -14,11 +14,16 @@ does for simulated ones -- and drives the *identical*
 * admitted queries run the *real* adaptive operators of
   :mod:`repro.queries` -- the PPHJ hash join and the adaptive external
   sort -- against the in-memory relations of a
-  :class:`~repro.serve.dataplane.LiveDataPlane`.  Operator requests
-  are executed inside a bounded worker pool: every CPU burst and disk
-  access occupies a worker for its calibrated service time (scaled by
-  ``time_scale``) and disk accesses move real bytes, so concurrency
-  beyond the pool queues -- genuine resource contention, not a model;
+  :class:`~repro.serve.dataplane.LiveDataPlane`.  The data plane is
+  *shared and contended*: cacheable operand reads consult one
+  cross-query :class:`~repro.serve.dataplane.LiveBufferPool` (the live
+  buffer manager -- reservations shrink the LRU region every query
+  shares), disk accesses queue FIFO on per-disk
+  :class:`~repro.serve.dataplane.LiveDisk` service queues (concurrent
+  queries stretch each other's accesses by real queueing delay, and
+  interleaved scans break each other's sequential positioning), and
+  CPU bursts occupy a slot of a bounded ED-ordered worker gate.  Disk
+  service moves real bytes through the per-disk page stores;
 * deadlines are enforced firmly: an expiry timer aborts a query
   wherever it is (waiting or mid-operator), releasing its memory and
   temp extents, and it counts as a missed, served query;
@@ -39,7 +44,7 @@ import time as _time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.broker import BrokerTrace, MemoryBroker
 from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
@@ -48,7 +53,12 @@ from repro.queries.base import MemoryGrant, Operator
 from repro.queries.cost_model import StandAloneCostModel
 from repro.queries.requests import AllocationWait, CPUBurst, DiskAccess, READ
 from repro.rtdbs.config import SimulationConfig
-from repro.serve.dataplane import LiveDataPlane, TrackedAllocator
+from repro.serve.dataplane import (
+    LiveBufferPool,
+    LiveDataPlane,
+    LiveDisk,
+    TrackedAllocator,
+)
 from repro.serve.workload import LiveArrival, LiveSchedule, make_operator
 
 WAITING = "waiting"
@@ -161,6 +171,16 @@ class LiveReport:
     pages_read: int = 0
     pages_written: int = 0
     bytes_moved: int = 0
+    #: Shared buffer-pool consultations (cacheable operand reads).
+    pool_hits: int = 0
+    pool_misses: int = 0
+    #: Wall seconds each disk's arm spent in service / chunks spent
+    #: queueing behind other queries' chunks (contention telemetry).
+    disk_busy: Tuple[float, ...] = ()
+    disk_queue: Tuple[float, ...] = ()
+    #: Per-tenant outcome counters (populated when arrivals carry a
+    #: tenant tag -- the multi-tenant server and ``--tenants`` mode).
+    per_tenant: Dict[str, LiveClassStats] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -169,6 +189,21 @@ class LiveReport:
     @property
     def miss_ratio(self) -> float:
         return self.missed / self.served if self.served else 0.0
+
+    @property
+    def pool_hit_ratio(self) -> float:
+        consulted = self.pool_hits + self.pool_misses
+        return self.pool_hits / consulted if consulted else 0.0
+
+    @property
+    def disk_queue_seconds(self) -> float:
+        """Total wall seconds spent queueing across all disks."""
+        return sum(self.disk_queue)
+
+    @property
+    def disk_queue_sim_seconds(self) -> float:
+        """Queueing delay in simulated seconds (comparable to the DES)."""
+        return self.disk_queue_seconds / self.time_scale if self.time_scale else 0.0
 
     @property
     def queries_per_sec(self) -> float:
@@ -218,7 +253,11 @@ class LiveGateway:
             recorder=recorder,
         )
         self.allocator = TrackedAllocator(config.resources.memory_pages)
+        #: The shared, cross-query buffer pool (grants + LRU reuse).
+        self.pool = LiveBufferPool(self.allocator)
         self.dataplane = LiveDataPlane(config, payload_bytes=payload_bytes)
+        #: The contended per-disk FIFO service queues.
+        self.disks: List[LiveDisk] = self.dataplane.disks
         self.cost_model = StandAloneCostModel(
             resources=config.resources,
             costs=config.cpu_costs,
@@ -229,7 +268,7 @@ class LiveGateway:
         if invariants:
             from repro.rtdbs.invariants import InvariantChecker
 
-            InvariantChecker().attach_broker(self.broker)
+            InvariantChecker().attach_broker(self.broker, pool=self.pool)
 
         self._jobs: Dict[int, LiveQuery] = {}
         #: Callbacks invoked with each DepartureRecord (the TCP server
@@ -257,6 +296,8 @@ class LiveGateway:
         self._batch_wall_start = 0.0
         self._batch_mpl_start = 0.0
         self._batch_busy_start = 0.0
+        self._batch_disk_busy = [0.0] * len(self.disks)
+        self._batch_pool = (0, 0)
 
     # ------------------------------------------------------------------
     # clock
@@ -276,8 +317,12 @@ class LiveGateway:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
+        # Gate slots bound CPU chunks, the per-disk FIFOs bound disk
+        # chunks; the thread pool must cover both at once or threads
+        # would become a hidden extra contention point.
         self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-serve"
+            max_workers=self.workers + len(self.disks),
+            thread_name_prefix="repro-serve",
         )
         self._gate = PriorityWorkerGate(self.workers)
         self._drained = asyncio.Event()
@@ -343,6 +388,10 @@ class LiveGateway:
         report.bytes_moved = (
             report.pages_read + report.pages_written
         ) * self.dataplane.stores[0].payload_bytes
+        report.pool_hits = self.pool.hits
+        report.pool_misses = self.pool.misses
+        report.disk_busy = tuple(disk.busy_seconds for disk in self.disks)
+        report.disk_queue = tuple(disk.queue_seconds for disk in self.disks)
 
     # ------------------------------------------------------------------
     # admission
@@ -371,6 +420,11 @@ class LiveGateway:
             arrival.class_name, LiveClassStats()
         )
         stats.arrivals += 1
+        if arrival.tenant:
+            tenant_stats = self.report.per_tenant.setdefault(
+                arrival.tenant, LiveClassStats()
+            )
+            tenant_stats.arrivals += 1
         self.broker.register(
             arrival.qid,
             arrival.class_name,
@@ -395,7 +449,7 @@ class LiveGateway:
         try:
             started = _time.perf_counter()
             decision = self.broker.reallocate(now=self.sim_now())
-            self.allocator.apply(decision.allocation)
+            self.pool.apply(decision.allocation)
             elapsed = _time.perf_counter() - started
             report = self.report
             report.decisions += 1
@@ -467,56 +521,84 @@ class LiveGateway:
     async def _drive(self, job: LiveQuery) -> None:
         """Execute the operator's request stream against the data plane.
 
-        Disk accesses are priced with the same zero-contention rules as
-        the stand-alone cost model the deadlines were computed from
+        Disk accesses are priced with the same physical rules as the
+        stand-alone cost model the deadlines were computed from
         (positioning once per contiguous sequential stream, per-page
-        positioning during merges), so a query alone in the server runs
-        in roughly its stand-alone time.  Service debt (scaled to wall
-        seconds) is accumulated and paid in ``MIN_SLEEP``-sized chunks
-        *inside the worker pool* -- each chunk occupies a worker for
-        its duration and replays the pending byte traffic through the
-        page store, so a pool of W workers is a genuine W-way resource
-        and concurrency beyond it queues.
+        positioning during merges) -- but against *shared, contended*
+        resources: cacheable operand reads consult the cross-query
+        :class:`LiveBufferPool` first (a hit skips the disk entirely),
+        sequential positioning reads the per-disk head state every
+        query updates (interleaved scans break each other's streams),
+        and the service time is paid on the disk's FIFO queue, where
+        concurrent queries' chunks genuinely wait behind each other.
+        A query alone in the server still runs in roughly its
+        stand-alone time; under load, queueing delay and lost
+        sequentiality stretch it the way the DES disks predict.
+
+        Service debt (scaled to wall seconds) is accumulated per
+        resource and paid in ``MIN_SLEEP``-sized chunks: CPU debt
+        occupies an ED-ordered worker-gate slot, disk debt occupies
+        the disk's arm while the pending byte traffic replays through
+        the page store in the thread pool.
         """
         resources = self.config.resources
         cpu_rate = resources.cpu_rate
         start_io = self.config.cpu_costs.start_io
         scale = self.time_scale
-        rotation_half = resources.rotation_s / 2.0
-        transfer = resources.transfer_s_per_page
-        positioning = rotation_half + resources.seek_time(
-            max(1, resources.num_cylinders // 8)
-        )
-        page_hop = rotation_half + transfer + resources.seek_time(1)
-        debt_wall = 0.0
-        pending: List[tuple] = []
-        heads: Dict[int, int] = {}  # per-disk next-contiguous page
+        pool = self.pool
+        disks = self.disks
+        cpu_debt = 0.0
+        disk_debt: Dict[int, float] = {}  # wall seconds per disk
+        disk_ops: Dict[int, List[tuple]] = {}
         for request in job.operator.run():
             request_type = type(request)
             if request_type is DiskAccess:
-                if request.sequential:
-                    service = request.npages * transfer
-                    if heads.get(request.disk) != request.start_page:
-                        service += positioning
-                else:
-                    service = request.npages * page_hop
-                heads[request.disk] = request.start_page + request.npages
-                sim_seconds = service + (request.cpu + start_io) / cpu_rate
-                debt_wall += sim_seconds * scale
-                pending.append(
-                    (request.kind, request.disk, request.start_page, request.npages)
+                cacheable_read = request.kind == READ and request.cacheable
+                if cacheable_read and pool.read_hit(
+                    request.disk, request.start_page, request.npages
+                ):
+                    # Served from the shared pool: no disk time, but
+                    # the attached per-block processing burst still
+                    # runs (mirror of the DES buffer-hit path).
+                    cpu_debt += request.cpu / cpu_rate * scale
+                    if cpu_debt >= MIN_SLEEP:
+                        cpu_debt = await self._cpu_chunk(job, cpu_debt)
+                    continue
+                disk = disks[request.disk]
+                service = disk.service_time(
+                    request.start_page, request.npages, request.sequential
                 )
-                if debt_wall >= MIN_SLEEP:
-                    debt_wall = await self._flush(job, debt_wall, pending)
+                # The per-block burst + "start an I/O" run on the CPU
+                # (overlapping other queries' disk service), exactly as
+                # the DES charges them.
+                cpu_debt += (request.cpu + start_io) / cpu_rate * scale
+                if cpu_debt >= MIN_SLEEP:
+                    cpu_debt = await self._cpu_chunk(job, cpu_debt)
+                debt = disk_debt.get(request.disk, 0.0) + service * scale
+                disk_ops.setdefault(request.disk, []).append(
+                    (
+                        request.kind,
+                        request.start_page,
+                        request.npages,
+                        cacheable_read,
+                    )
+                )
+                if debt >= MIN_SLEEP:
+                    disk_debt[request.disk] = 0.0
+                    await self._disk_chunk(
+                        job, request.disk, debt, disk_ops.pop(request.disk)
+                    )
+                else:
+                    disk_debt[request.disk] = debt
             elif request_type is CPUBurst:
-                debt_wall += request.instructions / cpu_rate * scale
-                if debt_wall >= MIN_SLEEP:
-                    debt_wall = await self._flush(job, debt_wall, pending)
+                cpu_debt += request.instructions / cpu_rate * scale
+                if cpu_debt >= MIN_SLEEP:
+                    cpu_debt = await self._cpu_chunk(job, cpu_debt)
             elif request_type is AllocationWait:
                 if job.grant.pages > 0:
                     continue  # raced with a re-grant: keep going
-                if debt_wall > 0.0 or pending:
-                    debt_wall = await self._flush(job, debt_wall, pending)
+                if cpu_debt > 0.0 or disk_ops:
+                    cpu_debt = await self._settle(job, cpu_debt, disk_debt, disk_ops)
                     if job.grant.pages > 0:
                         continue  # a re-grant landed during the flush
                 # No award between here and the wait is possible: the
@@ -526,29 +608,97 @@ class LiveGateway:
                 await wake.wait()
             else:  # pragma: no cover - operator contract violation
                 raise TypeError(f"unknown operator request {request!r}")
-        if debt_wall > 0.0 or pending:
-            await self._flush(job, debt_wall, pending)
+        if cpu_debt > 0.0 or disk_ops:
+            await self._settle(job, cpu_debt, disk_debt, disk_ops)
 
-    async def _flush(
-        self, job: LiveQuery, debt_wall: float, pending: List[tuple]
+    async def _settle(
+        self,
+        job: LiveQuery,
+        cpu_debt: float,
+        disk_debt: Dict[int, float],
+        disk_ops: Dict[int, List[tuple]],
     ) -> float:
-        """Pay accumulated service time (and byte traffic) in the pool.
+        """Pay every outstanding sub-chunk debt (wait points / end)."""
+        if cpu_debt > 0.0:
+            cpu_debt = await self._cpu_chunk(job, cpu_debt)
+        for disk_index in list(disk_ops):
+            await self._disk_chunk(
+                job,
+                disk_index,
+                disk_debt.pop(disk_index, 0.0),
+                disk_ops.pop(disk_index),
+            )
+        return cpu_debt
 
-        The worker slot is acquired in ED order (see
-        :class:`PriorityWorkerGate`), then occupied for the chunk's
-        duration while the pending byte traffic replays.
+    async def _cpu_chunk(self, job: LiveQuery, debt_wall: float) -> float:
+        """Occupy one ED-ordered worker-gate slot for the chunk.
+
+        The chunk sleeps in the thread pool (thread sleeps are an
+        order of magnitude more accurate than event-loop timers, and
+        pacing error compounds over hundreds of chunks).  Service is
+        non-preemptive: a deadline abort mid-chunk cancels the awaiting
+        task immediately, but the slot stays occupied until the worker
+        thread actually finishes -- releasing early would let another
+        chunk run against a thread the ghost still holds.
         """
-        ops = tuple(pending)
-        pending.clear()
         self._busy_seconds += debt_wall
         await self._gate.acquire(job.arrival.deadline)
+        future = self._loop.run_in_executor(self._pool, _time.sleep, debt_wall)
         try:
-            await self._loop.run_in_executor(
-                self._pool, _serve_chunk, self.dataplane, debt_wall, ops
-            )
-        finally:
+            await asyncio.shield(future)
+        except asyncio.CancelledError:
+            if future.done():
+                self._gate.release()
+            else:
+                future.add_done_callback(lambda _f: self._gate.release())
+            raise
+        except BaseException:
             self._gate.release()
+            raise
+        self._gate.release()
         return 0.0
+
+    async def _disk_chunk(
+        self, job: LiveQuery, disk_index: int, debt_wall: float, ops: List[tuple]
+    ) -> None:
+        """Pay one disk's service chunk on its FIFO queue.
+
+        The chunk waits behind every chunk submitted before it (the
+        contention the zero-contention deadline pricing knows nothing
+        about), then holds the arm for its service time while the byte
+        traffic replays through the page store in the thread pool;
+        cacheable reads are installed into the shared buffer pool as
+        they complete, where any concurrent query can hit them.
+        """
+        disk = self.disks[disk_index]
+        await disk.acquire()
+        future = self._loop.run_in_executor(
+            self._pool, _serve_chunk, disk.store, debt_wall, ops
+        )
+        try:
+            await asyncio.shield(future)
+        except asyncio.CancelledError:
+            # Non-preemptive service, as on the DES disk: the abort
+            # cancels the query immediately, but the arm stays held
+            # until the worker thread finishes its sleep/replay --
+            # releasing early would serve two chunks on one arm.
+            disk.chunks_cancelled += 1
+            if future.done():
+                disk.release()
+            else:
+                future.add_done_callback(lambda _f: disk.release())
+            raise
+        except BaseException:
+            disk.release()
+            raise
+        disk.busy_seconds += debt_wall
+        disk.accesses += len(ops)
+        disk.chunks_served += 1
+        pool = self.pool
+        for kind, start_page, npages, cacheable in ops:
+            if cacheable and kind == READ:
+                pool.install(disk_index, start_page, npages)
+        disk.release()
 
     # ------------------------------------------------------------------
     # departures
@@ -570,7 +720,7 @@ class LiveGateway:
         if qid not in self._jobs:
             return  # already departed
         job.operator.release_resources()
-        self.allocator.release(qid)
+        self.pool.release(qid)
         del self._jobs[qid]
         self.broker.release(qid)
         if job.expiry is not None:
@@ -605,9 +755,17 @@ class LiveGateway:
         report.served += 1
         stats = report.per_class.setdefault(job.arrival.class_name, LiveClassStats())
         stats.served += 1
+        tenant_stats = None
+        if job.arrival.tenant:
+            tenant_stats = report.per_tenant.setdefault(
+                job.arrival.tenant, LiveClassStats()
+            )
+            tenant_stats.served += 1
         if missed:
             report.missed += 1
             stats.missed += 1
+            if tenant_stats is not None:
+                tenant_stats.missed += 1
         for listener in self.departure_listeners:
             listener(record)
         window = self.broker.departure_feedback(record)
@@ -621,8 +779,10 @@ class LiveGateway:
         """Live telemetry for the policy's feedback channel.
 
         The realized MPL is the wall-time-weighted admitted count over
-        the window; utilisation is the worker pool's busy fraction (the
-        live stand-in for the simulator's bottleneck-resource signal).
+        the window; CPU utilisation is the worker gate's busy fraction,
+        disk utilisations are each arm's measured busy fraction over
+        the window, and the shared pool's window hit ratio rides along
+        -- the same signals the DES host measures for its policies.
         """
         now = self._wall()
         self._note_mpl()
@@ -630,29 +790,38 @@ class LiveGateway:
         realized_mpl = (self._mpl_integral - self._batch_mpl_start) / span
         busy = self._busy_seconds - self._batch_busy_start
         utilization = min(1.0, busy / (span * self.workers))
+        disk_utilizations = tuple(
+            min(1.0, (disk.busy_seconds - previous) / span)
+            for disk, previous in zip(self.disks, self._batch_disk_busy)
+        )
+        pool_hits, pool_misses = self._batch_pool
+        consulted = (self.pool.hits - pool_hits) + (self.pool.misses - pool_misses)
+        pool_hit_ratio = (self.pool.hits - pool_hits) / consulted if consulted else 0.0
         self._batch_wall_start = now
         self._batch_mpl_start = self._mpl_integral
         self._batch_busy_start = self._busy_seconds
+        self._batch_disk_busy = [disk.busy_seconds for disk in self.disks]
+        self._batch_pool = (self.pool.hits, self.pool.misses)
         return BatchStats(
             time=self.sim_now(),
             served=window.served,
             missed=window.missed,
             realized_mpl=realized_mpl,
             cpu_utilization=utilization,
-            disk_utilizations=(),
+            disk_utilizations=disk_utilizations,
+            pool_hit_ratio=pool_hit_ratio,
         )
 
 
-def _serve_chunk(
-    dataplane: LiveDataPlane, busy_wall: float, ops: tuple
-) -> None:
-    """Worker-pool body of one service chunk: occupy + move bytes."""
+def _serve_chunk(store, busy_wall: float, ops: List[tuple]) -> None:
+    """Worker-pool body of one disk service chunk: occupy + move bytes."""
     if busy_wall > 0:
         _time.sleep(busy_wall)
-    for kind, disk, start_page, npages in ops:
-        dataplane.copy_pages(
-            "read" if kind == READ else "write", disk, start_page, npages
-        )
+    for kind, start_page, npages, _cacheable in ops:
+        if kind == READ:
+            store.read(start_page, npages)
+        else:
+            store.write_blank(start_page, npages)
 
 
 async def run_live(

@@ -1,31 +1,55 @@
-"""A JSON-lines TCP front end over the live gateway.
+"""A multi-tenant JSON-lines TCP front end over the live gateway.
 
-``python -m repro.serve serve`` runs this: clients connect, submit
-queries with deadlines, and receive the outcome when the query departs
-(completed or deadline-aborted).  One request per line, one JSON
-response per request.
+``python -m repro.serve serve`` runs this: any number of clients
+connect concurrently, submit queries with deadlines, and receive the
+outcome when the query departs (completed or deadline-aborted).  One
+request per line, one JSON response per request.  Every connection
+shares the *same* gateway -- one memory broker, one tracked allocator,
+one cross-query buffer pool, one contended disk farm, one worker gate
+-- so tenants genuinely compete for memory and disks the way the
+paper's policies arbitrate.
 
 Protocol
 --------
+Declare the connection's tenant (optional; per-request ``"tenant"``
+keys override it)::
+
+    {"op": "hello", "tenant": "acme"}
+    -> {"tenant": "acme", "class": "tenant0"}
+
+Tenants map onto the scenario's query classes (the multitenant family
+names one class per tenant): a tenant named after a class keeps it,
+anyone else is assigned round-robin.  The mapped class is the identity
+the memory policy sees (per-class fairness goals etc.); per-tenant
+outcomes are tracked separately.
+
 Submit a query (the response arrives when the query departs)::
 
     {"op": "submit", "type": "sort", "pages": 40, "slack": 3.0}
-    {"op": "submit", "type": "hash_join", "pages": 30, "outer_pages": 80}
+    {"op": "submit", "type": "hash_join", "pages": 30, "outer_pages": 80,
+     "tenant": "acme"}
 
-    -> {"qid": 7, "missed": false, "admitted": true,
+    -> {"qid": 7, "tenant": "acme", "missed": false, "admitted": true,
         "waiting_s": 0.8, "execution_s": 2.1, "deadline_s": 9.3}
 
-Read the server's live metrics::
+Read the server's live metrics (shared-pool + contention telemetry and
+the per-tenant breakdown included)::
 
     {"op": "stats"}
     -> {"arrivals": 12, "served": 9, "missed": 2, "miss_ratio": 0.222,
-        "observed_mpl": 2.4, "decisions": 25, ...}
+        "observed_mpl": 2.4, "decisions": 25, "pool_hit_ratio": 0.13,
+        "disk_queue_s": 0.8, "per_tenant": {"acme": {...}}, ...}
 
 ``pages`` is the operand size in model pages (a sort's relation, a
 join's inner relation); the server synthesises a relation of that size
 on a round-robin disk, prices the deadline with the same stand-alone
 cost model the simulator uses (``deadline = now + standalone * slack``),
 and admission is entirely up to the configured memory policy.
+
+Shutdown is a graceful drain: the listener stops accepting, new
+submissions are refused, in-flight queries run to departure (firm
+deadlines bound the wait) and their clients receive their responses,
+then the gateway closes.
 """
 
 from __future__ import annotations
@@ -33,7 +57,7 @@ from __future__ import annotations
 import asyncio
 import json
 from itertools import count
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.rtdbs.config import EXTERNAL_SORT, HASH_JOIN
 from repro.rtdbs.database import Relation
@@ -54,6 +78,13 @@ class LiveServer:
         self._disk_cursor = 0
         self._waiters: dict = {}
         self._server: Optional[asyncio.AbstractServer] = None
+        #: tenant name -> query-class name (policy-facing identity).
+        self._tenant_classes: Dict[str, str] = {}
+        self._class_cursor = 0
+        self._writers: set = set()
+        self._draining = False
+        #: Requests mid-flight in a handler (read, not yet responded).
+        self._pending = 0
         gateway.departure_listeners.append(self._on_departure)
 
     # ------------------------------------------------------------------
@@ -65,11 +96,48 @@ class LiveServer:
         return address[0], address[1]
 
     async def close(self) -> None:
+        """Graceful drain: refuse new work, let in-flight queries depart
+        (answering their clients), then tear the gateway down."""
+        self._draining = True
         if self._server is not None:
             self._server.close()
+        await self.gateway.drain()
+        # The departures resolved every waiter; wait until the handler
+        # tasks have written those final responses out (bounded, in
+        # case a client's transport wedges mid-write).
+        deadline = asyncio.get_running_loop().time() + 10.0
+        while self._pending and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
             await self._server.wait_closed()
             self._server = None
         await self.gateway.close()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    def tenant_class(self, tenant: str) -> str:
+        """The query class a tenant maps onto (sticky once assigned).
+
+        A tenant named after one of the scenario's classes keeps that
+        class (the multitenant family names one class per tenant);
+        other tenants are assigned round-robin over the classes.
+        """
+        mapped = self._tenant_classes.get(tenant)
+        if mapped is None:
+            classes = self.gateway.config.workload.classes
+            names = {query_class.name for query_class in classes}
+            if tenant in names:
+                mapped = tenant
+            else:
+                mapped = classes[self._class_cursor % len(classes)].name
+                self._class_cursor += 1
+            self._tenant_classes[tenant] = mapped
+        return mapped
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -96,7 +164,7 @@ class LiveServer:
             start_page=0,
         )
 
-    def _build_arrival(self, request: dict) -> LiveArrival:
+    def _build_arrival(self, request: dict, tenant: str = "") -> LiveArrival:
         query_type = request.get("type", "sort")
         pages = int(request.get("pages", 20))
         if pages <= 0:
@@ -104,6 +172,7 @@ class LiveServer:
         slack = float(request.get("slack", 3.0))
         if slack <= 0:
             raise ValueError(f"slack must be positive, got {slack}")
+        tenant = str(request.get("tenant", tenant) or "")
         gateway = self.gateway
         if query_type in ("hash_join", "join"):
             outer_pages = int(request.get("outer_pages", 2 * pages))
@@ -122,10 +191,16 @@ class LiveServer:
             kind = EXTERNAL_SORT
         else:
             raise ValueError(f"unknown query type {query_type!r}")
+        if "class" in request:
+            class_name = str(request["class"])
+        elif tenant:
+            class_name = self.tenant_class(tenant)
+        else:
+            class_name = query_type
         now = gateway.sim_now()
         return LiveArrival(
             qid=next(self._qids),
-            class_name=str(request.get("class", query_type)),
+            class_name=class_name,
             query_type=kind,
             arrival=now,
             deadline=now + standalone * slack,
@@ -133,46 +208,91 @@ class LiveServer:
             inner=inner,
             outer=outer,
             temp_disk=inner.disk,
+            tenant=tenant,
         )
 
     # ------------------------------------------------------------------
     async def _handle(self, reader, writer) -> None:
+        self._writers.add(writer)
+        tenant = ""  # the connection's default, set by "hello"
         try:
             while True:
                 line = await reader.readline()
                 if not line:
                     break
+                self._pending += 1
                 try:
-                    response = await self._dispatch(json.loads(line))
-                except (ValueError, KeyError) as error:
-                    response = {"error": str(error)}
-                writer.write(json.dumps(response).encode() + b"\n")
-                await writer.drain()
+                    try:
+                        request = json.loads(line)
+                        if request.get("op") == "hello":
+                            tenant = str(request.get("tenant", ""))
+                            response = {
+                                "tenant": tenant,
+                                "class": self.tenant_class(tenant)
+                                if tenant
+                                else None,
+                            }
+                        else:
+                            response = await self._dispatch(request, tenant)
+                    except (ValueError, KeyError) as error:
+                        response = {"error": str(error)}
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                finally:
+                    self._pending -= 1
         except (asyncio.CancelledError, ConnectionResetError):
             pass  # server shutdown or client vanished: just end quietly
         finally:
+            self._writers.discard(writer)
             writer.close()
 
-    async def _dispatch(self, request: dict) -> dict:
+    def _stats(self) -> dict:
+        gateway = self.gateway
+        report = gateway.report
+        pool = gateway.pool
+        return {
+            "policy": report.policy,
+            "arrivals": report.arrivals,
+            "served": report.served,
+            "missed": report.missed,
+            "miss_ratio": round(report.miss_ratio, 4),
+            "observed_mpl": round(gateway.observed_mpl(), 4),
+            "admitted": gateway.broker.admitted_count,
+            "waiting": gateway.broker.waiting_count,
+            "decisions": report.decisions,
+            "decision_latency_mean_us": round(
+                report.decision_latency_mean_us, 2
+            ),
+            "pool_hit_ratio": round(pool.hit_ratio, 4),
+            "pool_reserved_pages": pool.reserved_pages,
+            "pool_free_pages": pool.free_pages,
+            "disk_queue_s": round(
+                sum(disk.queue_seconds for disk in gateway.disks), 4
+            ),
+            "disk_busy_s": round(
+                sum(disk.busy_seconds for disk in gateway.disks), 4
+            ),
+            "per_tenant": {
+                tenant: {
+                    "class": self._tenant_classes.get(tenant),
+                    "arrivals": stats.arrivals,
+                    "served": stats.served,
+                    "missed": stats.missed,
+                    "miss_ratio": round(stats.miss_ratio, 4),
+                }
+                for tenant, stats in sorted(report.per_tenant.items())
+            },
+            "draining": self._draining,
+        }
+
+    async def _dispatch(self, request: dict, tenant: str = "") -> dict:
         op = request.get("op", "submit")
         if op == "stats":
-            report = self.gateway.report
-            return {
-                "policy": report.policy,
-                "arrivals": report.arrivals,
-                "served": report.served,
-                "missed": report.missed,
-                "miss_ratio": round(report.miss_ratio, 4),
-                "observed_mpl": round(self.gateway.observed_mpl(), 4),
-                "admitted": self.gateway.broker.admitted_count,
-                "waiting": self.gateway.broker.waiting_count,
-                "decisions": report.decisions,
-                "decision_latency_mean_us": round(
-                    report.decision_latency_mean_us, 2
-                ),
-            }
+            return self._stats()
         if op == "submit":
-            arrival = self._build_arrival(request)
+            if self._draining:
+                raise ValueError("server is draining; submission refused")
+            arrival = self._build_arrival(request, tenant)
             future = asyncio.get_running_loop().create_future()
             self._waiters[arrival.qid] = future
             job = self.gateway.submit(arrival)
@@ -180,6 +300,7 @@ class LiveServer:
             return {
                 "qid": record.qid,
                 "class": record.class_name,
+                "tenant": arrival.tenant or None,
                 "missed": record.missed,
                 "admitted": job.admitted_wall is not None,
                 "waiting_s": round(record.waiting_time, 4),

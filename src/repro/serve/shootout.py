@@ -31,12 +31,36 @@ from repro.analysis.report import format_table
 from repro.policies import DEFAULT_POLICIES
 from repro.scenarios import Scenario, ScenarioGenerator
 from repro.serve.gateway import LiveGateway, LiveReport
-from repro.serve.workload import build_schedule
+from repro.serve.workload import build_schedule, tag_tenants
 
 #: Live ordering tolerance: one wall-clock replay per policy is a far
 #: smaller sample than a simulated hour, so MinMax may exceed Max by
 #: this much before the shootout fails.
 LIVE_ORDERING_TOLERANCE = 0.15
+
+#: How many multitenant indices to scan for a ``--tenants N`` match.
+TENANT_SCAN_LIMIT = 64
+
+
+def find_multitenant_scenario(
+    generator: ScenarioGenerator, tenants: int, start_index: int = 0
+) -> Scenario:
+    """The first multitenant scenario with exactly ``tenants`` classes.
+
+    Deterministic in (generator seed, tenants, start_index): indices
+    are scanned in order, so a fixed seed always lands on the same
+    scenario -- ``--tenants 2`` replays are reproducible.
+    """
+    if tenants < 2:
+        raise ValueError(f"need at least 2 tenants, got {tenants}")
+    for index in range(start_index, start_index + TENANT_SCAN_LIMIT):
+        scenario = generator.generate("multitenant", index)
+        if len(scenario.config.workload.classes) == tenants:
+            return scenario
+    raise ValueError(
+        f"no multitenant scenario with {tenants} tenants in indices "
+        f"[{start_index}, {start_index + TENANT_SCAN_LIMIT})"
+    )
 
 
 @dataclass
@@ -49,6 +73,11 @@ class LiveShootoutReport:
     predicted: Dict[str, float]
     time_scale: float
     failures: List[str] = field(default_factory=list)
+    #: DES-predicted shared-pool hit ratio per policy (the live pool's
+    #: contention cross-check column).
+    predicted_pool_hit: Dict[str, float] = field(default_factory=dict)
+    #: Tenant count when the shootout ran in ``--tenants`` mode.
+    tenants: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -59,6 +88,9 @@ class LiveShootoutReport:
             "policy",
             "live_miss",
             "sim_miss",
+            "pool_hit",
+            "sim_hit",
+            "disk_q_s",
             "served",
             "completed",
             "mpl",
@@ -74,6 +106,9 @@ class LiveShootoutReport:
                     report.policy,
                     round(report.miss_ratio, 3),
                     round(self.predicted.get(policy, float("nan")), 3),
+                    round(report.pool_hit_ratio, 3),
+                    round(self.predicted_pool_hit.get(policy, float("nan")), 3),
+                    round(report.disk_queue_sim_seconds, 1),
                     report.served,
                     report.completed,
                     round(report.observed_mpl, 2),
@@ -87,7 +122,11 @@ class LiveShootoutReport:
             f"({self.scenario.content_hash[:10]}), "
             f"time_scale={self.time_scale}"
         )
+        if self.tenants:
+            title += f", tenants={self.tenants}"
         table = format_table(headers, rows, title=title)
+        if self.tenants:
+            table += "\n\n" + self._render_tenants()
         if self.failures:
             table += "\n\nCROSS-CHECK FAILURES:\n" + "\n".join(
                 f"  - {failure}" for failure in self.failures
@@ -95,6 +134,30 @@ class LiveShootoutReport:
         else:
             table += "\n\nAll live cross-checks passed."
         return table
+
+    def _render_tenants(self) -> str:
+        """Per-tenant live served/missed counts, one row per policy."""
+        names = sorted(
+            {
+                tenant
+                for report in self.live.values()
+                for tenant in report.per_tenant
+            }
+        )
+        headers = ["policy"] + [f"{name} s/m" for name in names]
+        rows = []
+        for policy in self.policies:
+            report = self.live[policy]
+            row = [report.policy]
+            for name in names:
+                stats = report.per_tenant.get(name)
+                row.append(
+                    f"{stats.served}/{stats.missed}" if stats is not None else "-"
+                )
+            rows.append(row)
+        return format_table(
+            headers, rows, title="Per-tenant served/missed (shared pool + disks)"
+        )
 
 
 def live_shootout(
@@ -109,19 +172,32 @@ def live_shootout(
     invariants: bool = True,
     predict: bool = True,
     jobs: Optional[int] = None,
+    tenants: Optional[int] = None,
 ) -> LiveShootoutReport:
     """Serve one scenario live under every policy and cross-check.
 
     ``predict=True`` also runs (or fetches from the cache) the DES
     simulation of the same scenario per policy, for the side-by-side
-    prediction column; the simulated horizon is clipped to ``horizon``
-    when given so both substrates see the same traffic.
+    prediction columns (miss ratio and shared-pool hit ratio); the
+    simulated horizon is clipped to ``horizon`` when given so both
+    substrates see the same traffic.
+
+    ``tenants=N`` switches to the multitenant scenario family (the
+    first scenario at or after ``index`` with exactly ``N`` per-tenant
+    query classes), tags every arrival with its owning tenant, and
+    adds per-tenant cross-checks: all tenants share one broker, one
+    buffer pool, and one disk farm.
     """
-    scenario = ScenarioGenerator(scenario_seed).generate(family, index)
+    generator = ScenarioGenerator(scenario_seed)
+    if tenants is not None:
+        scenario = find_multitenant_scenario(generator, tenants, index)
+    else:
+        scenario = generator.generate(family, index)
     config = scenario.config
     policy_list = tuple(policies)
 
     predicted: Dict[str, float] = {}
+    predicted_pool_hit: Dict[str, float] = {}
     if predict:
         from dataclasses import replace
 
@@ -140,6 +216,11 @@ def live_shootout(
             policy: result.miss_ratio
             for policy, result in zip(policy_list, results)
         }
+        for policy, result in zip(policy_list, results):
+            consulted = result.buffer_hits + result.buffer_misses
+            predicted_pool_hit[policy] = (
+                result.buffer_hits / consulted if consulted else 0.0
+            )
 
     live: Dict[str, LiveReport] = {}
     for policy in policy_list:
@@ -156,6 +237,8 @@ def live_shootout(
             horizon=horizon,
             max_arrivals=max_arrivals,
         )
+        if tenants is not None:
+            schedule = tag_tenants(schedule)
         live[policy] = asyncio.run(gateway.run_schedule(schedule))
 
     report = LiveShootoutReport(
@@ -164,6 +247,8 @@ def live_shootout(
         live=live,
         predicted=predicted,
         time_scale=time_scale,
+        predicted_pool_hit=predicted_pool_hit,
+        tenants=tenants,
     )
     _cross_check(report)
     return report
@@ -189,6 +274,17 @@ def _cross_check(report: LiveShootoutReport) -> None:
             report.failures.append(
                 f"{policy}: miss ratio {result.miss_ratio} outside [0, 1]"
             )
+        if not 0.0 <= result.pool_hit_ratio <= 1.0:
+            report.failures.append(
+                f"{policy}: shared-pool hit ratio {result.pool_hit_ratio} "
+                "outside [0, 1]"
+            )
+        if any(queued < 0.0 for queued in result.disk_queue):
+            report.failures.append(
+                f"{policy}: negative per-disk queue time {result.disk_queue}"
+            )
+    if report.tenants:
+        _cross_check_tenants(report)
     if "minmax" in report.live and "max" in report.live:
         minmax_miss = report.live["minmax"].miss_ratio
         max_miss = report.live["max"].miss_ratio
@@ -199,3 +295,37 @@ def _cross_check(report: LiveShootoutReport) -> None:
                 f"{LIVE_ORDERING_TOLERANCE} -- the paper's Section 5.1 "
                 "ordering inverted on live traffic"
             )
+
+
+def _cross_check_tenants(report: LiveShootoutReport) -> None:
+    """Multi-tenant laws: tenant accounting must conserve and the
+    (policy-independent) per-tenant traffic must be identical across
+    policies -- every tenant shares the one pool and disk farm, but no
+    tenant's queries may be lost, duplicated, or re-attributed."""
+    per_tenant_counts: Dict[str, Dict[str, int]] = {}
+    for policy, result in report.live.items():
+        if len(result.per_tenant) != report.tenants:
+            report.failures.append(
+                f"{policy}: report covers {len(result.per_tenant)} tenants, "
+                f"expected {report.tenants}"
+            )
+        tenant_served = sum(stats.served for stats in result.per_tenant.values())
+        tenant_missed = sum(stats.missed for stats in result.per_tenant.values())
+        if tenant_served != result.served or tenant_missed != result.missed:
+            report.failures.append(
+                f"{policy}: per-tenant counts ({tenant_served} served, "
+                f"{tenant_missed} missed) do not sum to the totals "
+                f"({result.served} served, {result.missed} missed)"
+            )
+        per_tenant_counts[policy] = {
+            tenant: stats.served for tenant, stats in result.per_tenant.items()
+        }
+    distinct = {
+        tuple(sorted(counts.items())) for counts in per_tenant_counts.values()
+    }
+    if len(distinct) > 1:
+        report.failures.append(
+            f"per-tenant served counts differ across policies: "
+            f"{per_tenant_counts} -- tenant traffic is policy-independent "
+            "by construction"
+        )

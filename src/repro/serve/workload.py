@@ -47,6 +47,11 @@ class LiveArrival:
     #: Probing relation for joins, ``None`` for sorts.
     outer: Optional[Relation]
     temp_disk: int
+    #: Owning tenant ("" = untagged single-tenant traffic).  Tenants
+    #: map onto query classes (the multitenant scenario family names
+    #: one class per tenant); per-tenant outcomes land in
+    #: :attr:`repro.serve.gateway.LiveReport.per_tenant`.
+    tenant: str = ""
 
     @property
     def time_constraint(self) -> float:
@@ -189,6 +194,25 @@ def build_schedule(
             )
         )
     return LiveSchedule(config=config, arrivals=tuple(arrivals), horizon=limit)
+
+
+def tag_tenants(schedule: LiveSchedule) -> LiveSchedule:
+    """Tag every arrival with its query class as the owning tenant.
+
+    The multitenant scenario family generates one query class per
+    tenant (``tenant0`` .. ``tenantN``), so class identity *is* tenant
+    identity there; tagging turns on per-tenant accounting in the
+    gateway without touching the replayed traffic.
+    """
+    from dataclasses import replace
+
+    return replace(
+        schedule,
+        arrivals=tuple(
+            replace(arrival, tenant=arrival.class_name)
+            for arrival in schedule.arrivals
+        ),
+    )
 
 
 def make_operator(

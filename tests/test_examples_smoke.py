@@ -34,6 +34,7 @@ def test_examples_directory_is_fully_covered():
         "adaptive_operators",
         "fair_multiclass",
         "live_serving",
+        "multitenant_serving",
     }
     assert scripts == covered, (
         f"examples changed ({scripts ^ covered}); add or remove a smoke test"
@@ -89,6 +90,17 @@ def test_live_serving_runs(capsys):
     assert "MinMax" in output
 
 
+def test_multitenant_serving_runs(capsys):
+    module = load_example("multitenant_serving")
+    module.QUERIES_PER_TENANT = 2
+    module.TIME_SCALE = 0.005
+    module.main()
+    output = capsys.readouterr().out
+    assert "shared pool" in output
+    assert "acme" in output and "globex" in output
+    assert "FIFO contention" in output
+
+
 def test_fair_multiclass_runs(capsys):
     module = load_example("fair_multiclass")
     module.multiclass = _shrunk(repro.multiclass, duration=400.0)
@@ -106,6 +118,7 @@ def test_fair_multiclass_runs(capsys):
         "adaptive_operators",
         "fair_multiclass",
         "live_serving",
+        "multitenant_serving",
     ],
 )
 def test_examples_have_docstring_run_line(name):

@@ -291,6 +291,91 @@ def test_server_submission_roundtrip():
     assert stats["policy"] == "MinMax"
 
 
+def test_server_multi_tenant_roundtrip_and_drain():
+    """Two concurrent TCP tenants share one gateway (one broker, one
+    pool, one disk farm); per-tenant stats must conserve and shutdown
+    must drain gracefully."""
+    from repro.scenarios import ScenarioGenerator
+    from repro.serve.server import LiveServer
+    from repro.serve.shootout import find_multitenant_scenario
+
+    scenario = find_multitenant_scenario(ScenarioGenerator(0), 2)
+
+    async def tenant(host, port, name, submissions):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                json.dumps({"op": "hello", "tenant": name}).encode() + b"\n"
+            )
+            await writer.drain()
+            hello = json.loads(await reader.readline())
+            responses = []
+            for _ in range(submissions):
+                writer.write(
+                    json.dumps(
+                        {"op": "submit", "type": "sort", "pages": 8, "slack": 30.0}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                responses.append(json.loads(await reader.readline()))
+            return hello, responses
+        finally:
+            writer.close()
+
+    async def scenario_run():
+        gateway = LiveGateway(scenario.config, "pmm", time_scale=0.01)
+        server = LiveServer(gateway)
+        host, port = await server.start(port=0)
+        results = await asyncio.gather(
+            tenant(host, port, "acme", 2), tenant(host, port, "globex", 2)
+        )
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(json.dumps({"op": "stats"}).encode() + b"\n")
+        await writer.drain()
+        stats = json.loads(await reader.readline())
+        writer.close()
+        await server.close()
+        return server, gateway, results, stats
+
+    server, gateway, results, stats = asyncio.run(scenario_run())
+    (acme_hello, acme), (globex_hello, globex) = results
+    # Tenants map onto distinct per-tenant scenario classes.
+    assert {acme_hello["class"], globex_hello["class"]} == {
+        "tenant0",
+        "tenant1",
+    }
+    for name, responses in (("acme", acme), ("globex", globex)):
+        assert all(r["tenant"] == name for r in responses)
+    per_tenant = stats["per_tenant"]
+    assert set(per_tenant) == {"acme", "globex"}
+    assert all(entry["served"] == 2 for entry in per_tenant.values())
+    assert stats["served"] == 4
+    assert 0.0 <= stats["pool_hit_ratio"] <= 1.0
+    assert stats["disk_busy_s"] > 0.0
+    # Graceful drain left nothing behind.
+    assert server.draining
+    assert gateway.broker.present_count == 0
+    assert gateway.allocator.reserved_pages == 0
+
+
+def test_server_refuses_submissions_while_draining():
+    config = scenario_config()
+
+    async def scenario():
+        from repro.serve.server import LiveServer
+
+        gateway = LiveGateway(config, "max", time_scale=0.01)
+        server = LiveServer(gateway)
+        host, port = await server.start(port=0)
+        await server.close()
+        response = await server._dispatch({"op": "submit", "pages": 4})
+        return response  # pragma: no cover - _dispatch raises
+
+    with pytest.raises(ValueError, match="draining"):
+        asyncio.run(scenario())
+
+
 def test_server_rejects_malformed_submissions():
     config = scenario_config()
 
