@@ -40,8 +40,14 @@ DEFAULT_REL = 0.25
 
 #: Absolute floors -- the hard contracts, independent of any baseline.
 KERNEL_EVENTS_PER_S_FLOOR = 12_000  # pinned by tests/test_kernel_perf.py
-SERVE_DECISIONS_PER_S_FLOOR = 1_000  # pinned by scripts/bench_serve.py
-LIVE_QUERIES_PER_S_FLOOR = 10.0
+SERVE_DECISIONS_PER_S_FLOOR = 8_000  # pinned by scripts/bench_serve.py
+#: Paced replay is arrival-bound (~188 q/s on mix/0/0 at scale 0.01 --
+#: the gateway idles between scheduled arrivals), so its floor reflects
+#: replay health, not capacity.
+LIVE_QUERIES_PER_S_FLOOR = 100.0
+#: The compressed-arrival probe is capacity-bound; the live plane must
+#: absorb at least 2x the old paced-replay rate.
+LIVE_CAPACITY_QUERIES_PER_S_FLOOR = 375.0
 
 
 class Metric(NamedTuple):
@@ -88,6 +94,13 @@ def serve_metrics(baseline: dict, fresh: dict) -> Iterator[Metric]:
             float(baseline["live"]["queries_per_sec"]),
             float(fresh["live"]["queries_per_sec"]),
             LIVE_QUERIES_PER_S_FLOOR,
+        )
+    if "live_capacity" in baseline and "live_capacity" in fresh:
+        yield Metric(
+            "serve.live_capacity_queries_per_s",
+            float(baseline["live_capacity"]["queries_per_sec"]),
+            float(fresh["live_capacity"]["queries_per_sec"]),
+            LIVE_CAPACITY_QUERIES_PER_S_FLOOR,
         )
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the live serving layer and write ``BENCH_serve.json``.
 
-Two probes:
+Three probes:
 
 * **admission** -- the broker decision path exactly as the gateway
   drives it (register -> reallocate -> enforce through the tracked
@@ -11,7 +11,14 @@ Two probes:
   the sustained rate stays above ``MIN_DECISIONS_PER_SEC``.
 * **live replay** -- one scenario replayed open-loop through the full
   asyncio gateway (workers, pacing, real byte traffic): sustained
-  queries/second and end-to-end decision rate under load.
+  queries/second and end-to-end decision rate under load.  This leg is
+  *arrival-pacing-bound*: the gateway idles between scheduled Poisson
+  arrivals, so its q/s measures fidelity-preserving replay, not
+  capacity.
+* **live capacity** -- the same scenario with the arrival instants
+  compressed (slacks untouched) so queries land as fast as the plane
+  can absorb them: sustained q/s with the gateway *capacity-bound* --
+  the number that actually moves when the data plane gets faster.
 
 Run locally with::
 
@@ -31,8 +38,10 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 #: The serve acceptance floor: the admission path must sustain at
-#: least this many decisions per second (it typically does 10-100x).
-MIN_DECISIONS_PER_SEC = 1000
+#: least this many decisions per second (it typically does 2-3x; the
+#: proportional bisection is the historically slowest path and holds
+#: ~10k/s after its grant-exact shortcuts).
+MIN_DECISIONS_PER_SEC = 8000
 
 
 def bench_admission(policy_spec: str, decisions: int, population: int) -> dict:
@@ -103,30 +112,87 @@ def bench_live(time_scale: float) -> dict:
     }
 
 
+def bench_live_capacity(time_scale: float, compress: float) -> dict:
+    """Replay the scenario with arrivals compressed ``compress``-fold.
+
+    Each arrival keeps its slack (``deadline - arrival``) so per-query
+    urgency is untouched; only the inter-arrival gaps shrink.  Under
+    heavy compression the gateway stops idling between arrivals and the
+    measured q/s is bounded by the data plane itself (worker pacing,
+    disk arms, admission) rather than by the Poisson schedule.
+    """
+    from dataclasses import replace
+
+    from repro.scenarios import ScenarioGenerator
+    from repro.serve.gateway import LiveGateway
+    from repro.serve.workload import build_schedule
+
+    scenario = ScenarioGenerator(0).generate("mix", 0)
+
+    async def run():
+        gateway = LiveGateway(scenario.config, "minmax", time_scale=time_scale)
+        schedule = build_schedule(scenario.config, gateway.dataplane.database)
+        compressed = replace(
+            schedule,
+            arrivals=tuple(
+                replace(
+                    arrival,
+                    arrival=arrival.arrival / compress,
+                    deadline=arrival.arrival / compress + arrival.time_constraint,
+                )
+                for arrival in schedule.arrivals
+            ),
+        )
+        return await gateway.run_schedule(compressed)
+
+    started = time.perf_counter()
+    report = asyncio.run(run())
+    elapsed = time.perf_counter() - started
+    return {
+        "scenario": scenario.name,
+        "time_scale": time_scale,
+        "compress": compress,
+        "wall_s": round(elapsed, 3),
+        "served": report.served,
+        "queries_per_sec": round(report.queries_per_sec, 1),
+        "decisions_per_sec": round(report.decisions_per_sec, 1),
+        "bytes_moved": report.bytes_moved,
+        "disk_queue_s": round(report.disk_queue_seconds, 4),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_serve.json")
     parser.add_argument("--decisions", type=int, default=3000)
     parser.add_argument("--population", type=int, default=24)
     parser.add_argument("--time-scale", type=float, default=0.01)
+    parser.add_argument("--compress", type=float, default=16.0)
     parser.add_argument(
         "--skip-live", action="store_true", help="admission probe only"
     )
     args = parser.parse_args(argv)
 
     from repro.policies import DEFAULT_POLICIES
+    from repro.serve.gateway import install_uvloop
+
+    uvloop_active = install_uvloop()
 
     admission = {
         spec: bench_admission(spec, args.decisions, args.population)
         for spec in DEFAULT_POLICIES
     }
     payload = {
-        "probe": "repro.serve admission + live replay",
+        "probe": "repro.serve admission + live replay + live capacity",
         "admission": admission,
         "python": platform.python_version(),
+        "uvloop": uvloop_active,
     }
     if not args.skip_live:
         payload["live"] = bench_live(args.time_scale)
+        payload["live_capacity"] = bench_live_capacity(
+            args.time_scale, args.compress
+        )
 
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     slowest = min(entry["decisions_per_sec"] for entry in admission.values())

@@ -15,6 +15,9 @@ driven by Earliest Deadline priorities and past system behaviour:
   guarding adaptation decisions.
 * :mod:`~repro.core.change_detection` -- the workload-change monitor.
 * :mod:`~repro.core.pmm` -- the controller tying it all together.
+* :mod:`~repro.core.devices` -- the host-agnostic device engine (ED
+  queue selection, prefetch cache, LRU data cache, service pricing)
+  shared by the simulator and the live serving layer.
 """
 
 from repro.core.allocation import (
@@ -24,6 +27,7 @@ from repro.core.allocation import (
     allocate_proportional,
 )
 from repro.core.change_detection import WorkloadChangeDetector, WorkloadSample
+from repro.core.devices import DeviceCore, LRUDataCache, PrefetchCache
 from repro.core.fairness import ClassMissTracker, FairPMM
 from repro.core.pmm import PMM, BatchStats, DepartureRecord
 from repro.core.projection import CurveType, MissRatioProjection, ProjectionResult
@@ -35,6 +39,9 @@ __all__ = [
     "ClassMissTracker",
     "CurveType",
     "DepartureRecord",
+    "DeviceCore",
+    "LRUDataCache",
+    "PrefetchCache",
     "FairPMM",
     "MissRatioProjection",
     "PMM",

@@ -11,95 +11,21 @@ for the non-reserved remainder of the pool follows LRU.  Here:
   recently read operand pages, letting concurrent scans of the same
   relation skip disk reads.  Its capacity shrinks automatically when
   reservations grow.
+
+The cache itself is the host-agnostic
+:class:`repro.core.devices.LRUDataCache` (shared with the live serving
+layer's :class:`repro.serve.dataplane.LiveBufferPool`); this module is
+the simulator-side ledger around it.
 """
 
 from __future__ import annotations
 
-from itertools import islice
 from typing import Dict
 
+from repro.core.devices import LRUDataCache
 from repro.sim.monitor import TimeWeighted
 
-
-class LRUDataCache:
-    """Page-granular LRU cache with a dynamically adjustable capacity.
-
-    Pages are keyed by a single packed integer (``disk << 48 | page``)
-    rather than a ``(disk, page)`` tuple: the cache is consulted on
-    every cacheable read, and integer keys avoid a tuple allocation and
-    hash per page on that hot path.  The backing store is a plain
-    insertion-ordered dict (recency refresh = delete-and-reinsert),
-    which outperforms ``OrderedDict`` on every operation used here.
-    """
-
-    _DISK_SHIFT = 48  # pages-per-disk fits comfortably below 2**48
-
-    def __init__(self, capacity: int):
-        if capacity < 0:
-            raise ValueError(f"negative capacity: {capacity}")
-        self._capacity = capacity
-        self._pages: dict = {}
-        self.hits = 0
-        self.misses = 0
-
-    @property
-    def capacity(self) -> int:
-        """Current capacity in pages."""
-        return self._capacity
-
-    @capacity.setter
-    def capacity(self, value: int) -> None:
-        if value < 0:
-            raise ValueError(f"negative capacity: {value}")
-        self._capacity = value
-        self._evict_excess()
-
-    def _evict_excess(self) -> None:
-        pages = self._pages
-        excess = len(pages) - self._capacity
-        if excess > 0:
-            victims = list(islice(pages, excess))
-            for key in victims:
-                del pages[key]
-
-    def __len__(self) -> int:
-        return len(self._pages)
-
-    def contains_all(self, disk: int, start_page: int, npages: int) -> bool:
-        """True when the whole range is cached (counts one hit/miss)."""
-        pages = self._pages
-        base = (disk << self._DISK_SHIFT) + start_page
-        for key in range(base, base + npages):
-            if key not in pages:
-                self.misses += 1
-                return False
-        self.hits += 1
-        pop = pages.pop
-        for key in range(base, base + npages):
-            pop(key)
-            pages[key] = None
-        return True
-
-    def insert(self, disk: int, start_page: int, npages: int) -> None:
-        """Install pages just read from disk, evicting LRU victims.
-
-        Evictions are deferred to the end of the range; the surviving
-        set (the ``capacity`` most recently touched pages) is the same
-        as with per-page eviction.
-        """
-        if self._capacity == 0:
-            return
-        pages = self._pages
-        pop = pages.pop
-        base = (disk << self._DISK_SHIFT) + start_page
-        for key in range(base, base + npages):
-            pop(key, None)
-            pages[key] = None
-        self._evict_excess()
-
-    def invalidate_all(self) -> None:
-        """Drop every cached page."""
-        self._pages.clear()
+__all__ = ["LRUDataCache", "BufferManager"]
 
 
 class BufferManager:

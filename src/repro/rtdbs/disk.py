@@ -13,22 +13,27 @@ Each disk (Section 4.2):
 
 Requests are non-preemptive: once an access starts it completes even if
 a more urgent request (or an abort) arrives meanwhile.
+
+The physical model itself -- head/sweep state, stream tails, the
+prefetch cache, pricing, and the ED+elevator selection -- lives in the
+host-agnostic :class:`repro.core.devices.DeviceCore`; this module is
+the simulator-clock adapter around it: it owns the request heap, the
+completion events, and the simulated-time monitors.
 """
 
 from __future__ import annotations
 
 import heapq
-from itertools import islice
 from typing import List, Optional, Tuple
 
+from repro.core.devices import READ, WRITE, DeviceCore, PrefetchCache
 from repro.rtdbs.config import ResourceParams
 from repro.sim.events import Event
 from repro.sim.monitor import Tally, TimeWeighted
 from repro.sim.rng import Stream
 from repro.sim.simulator import Simulator
 
-READ = "read"
-WRITE = "write"
+__all__ = ["READ", "WRITE", "DiskRequest", "PrefetchCache", "Disk"]
 
 
 class DiskRequest(Event):
@@ -55,64 +60,13 @@ class DiskRequest(Event):
         self.cylinder = cylinder
 
 
-class PrefetchCache:
-    """LRU cache of recently transferred pages (one per disk).
-
-    Backed by a plain insertion-ordered dict: recency refresh is a
-    delete-and-reinsert, eviction pops from the iteration front.  Plain
-    dicts beat ``OrderedDict`` on every operation this hot path uses.
-    """
-
-    def __init__(self, capacity_pages: int):
-        if capacity_pages <= 0:
-            raise ValueError("cache capacity must be positive")
-        self.capacity = capacity_pages
-        self._pages: dict = {}
-        self.hits = 0
-        self.misses = 0
-
-    def contains_all(self, start_page: int, npages: int) -> bool:
-        """True when every page of the range is cached (a free read)."""
-        pages = self._pages
-        for page in range(start_page, start_page + npages):
-            if page not in pages:
-                return False
-        return True
-
-    def touch(self, start_page: int, npages: int) -> None:
-        """Record a hit: refresh the pages' recency."""
-        self.hits += 1
-        pages = self._pages
-        pop = pages.pop
-        for page in range(start_page, start_page + npages):
-            pop(page)
-            pages[page] = None
-
-    def insert(self, start_page: int, npages: int) -> None:
-        """Record a transfer: install the pages, evicting LRU ones.
-
-        Evictions are deferred to the end of the block: the surviving
-        set (the ``capacity`` most recently touched pages) is identical
-        to per-page eviction, without a capacity test on every page.
-        """
-        self.misses += 1
-        pages = self._pages
-        pop = pages.pop
-        for page in range(start_page, start_page + npages):
-            pop(page, None)
-            pages[page] = None
-        excess = len(pages) - self.capacity
-        if excess > 0:
-            victims = list(islice(pages, excess))
-            for page in victims:
-                del pages[page]
-
-    def __len__(self) -> int:
-        return len(self._pages)
-
-
 class Disk:
-    """A single disk with ED queueing and physical timing."""
+    """A single disk with ED queueing and physical timing.
+
+    Thin adapter: all physical state and scheduling decisions are taken
+    by the shared :class:`DeviceCore`; this class binds them to the
+    simulator's clock and event queue.
+    """
 
     def __init__(
         self,
@@ -124,28 +78,11 @@ class Disk:
         self.sim = sim
         self.disk_id = disk_id
         self.resources = resources
-        self._rotation_stream = rotation_stream
+        self.core = DeviceCore(resources, rotation_stream)
         self._queue: List[Tuple[float, int, DiskRequest]] = []
         self._sequence = 0
         self._serving: Optional[DiskRequest] = None
-        #: Current head position, cylinders; starts at the middle.
-        self.head = resources.num_cylinders // 2
-        #: Elevator sweep direction: +1 inward, -1 outward.
-        self.direction = 1
-        #: Tails of recently active sequential streams.  A request that
-        #: starts exactly at a tracked tail continues that stream and
-        #: pays pure transfer -- no seek, no rotational delay -- which
-        #: is what the paper's 256-KByte prefetch cache buys: several
-        #: interleaved sequential scans each stay efficient.  The
-        #: number of simultaneously tracked streams is bounded by the
-        #: cache size (256 KB / 32 pages ~ a handful of block streams);
-        #: beyond that, streams evict each other and sequentiality is
-        #: lost -- the physical face of thrashing.  (Insertion-ordered
-        #: plain dict; oldest tail is the iteration front.)
-        self._streams: dict = {}
-        self._max_streams = max(1, resources.disk_cache_pages // resources.block_size)
-        self.sequential_continuations = 0
-        self.cache = PrefetchCache(resources.disk_cache_pages)
+        self.cache = self.core.cache
         self.busy = TimeWeighted(sim, initial=0.0)
         self.service_times = Tally()
         self.accesses = 0
@@ -157,14 +94,34 @@ class Disk:
         self.submitted = 0
         self.cancelled_queued = 0
         self._complete_cb = self._complete  # pre-bound: one per serve
-        # Physical constants hoisted off the per-access path.
+        # Hoisted off the per-access path.
         self._cylinder_size = resources.cylinder_size
         self._pages_per_disk = resources.pages_per_disk
-        self._transfer_s = resources.transfer_s_per_page
-        self._rotation_s = resources.rotation_s
-        self._half_rotation_s = resources.rotation_s / 2.0
-        self._stochastic_rotation = resources.stochastic_rotation
-        self._seek_time = resources.seek_time
+
+    # ------------------------------------------------------------------
+    # views onto the shared core
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> int:
+        """Current head position, cylinders."""
+        return self.core.head
+
+    @head.setter
+    def head(self, value: int) -> None:
+        self.core.head = value
+
+    @property
+    def direction(self) -> int:
+        """Elevator sweep direction: +1 inward, -1 outward."""
+        return self.core.direction
+
+    @direction.setter
+    def direction(self, value: int) -> None:
+        self.core.direction = value
+
+    @property
+    def sequential_continuations(self) -> int:
+        return self.core.sequential_continuations
 
     # ------------------------------------------------------------------
     # public API
@@ -282,57 +239,8 @@ class Disk:
         while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
 
-    def _pop_best(self) -> Optional[DiskRequest]:
-        """Highest-priority request; elevator order among equal priorities."""
-        queue = self._queue
-        while queue and queue[0][2].cancelled:
-            heapq.heappop(queue)
-        if not queue:
-            return None
-        top = heapq.heappop(queue)
-        if not queue or queue[0][0] != top[0]:
-            return top[2]  # common case: unique priority, no re-push
-        # Collect the (rare) priority ties and pick by elevator order.
-        ties: List[Tuple[float, int, DiskRequest]] = [top]
-        while queue and queue[0][0] == top[0]:
-            entry = heapq.heappop(queue)
-            if not entry[2].cancelled:
-                ties.append(entry)
-        if len(ties) == 1:
-            return ties[0][2]
-        chosen = self._elevator_choice([entry[2] for entry in ties])
-        for entry in ties:
-            if entry[2] is not chosen:
-                heapq.heappush(queue, entry)
-        return chosen
-
-    def _elevator_choice(self, requests: List[DiskRequest]) -> DiskRequest:
-        """Nearest cylinder in the sweep direction, else reverse sweep."""
-        ahead = [
-            req
-            for req in requests
-            if (req.cylinder - self.head) * self.direction >= 0
-        ]
-        if ahead:
-            return min(ahead, key=lambda req: abs(req.cylinder - self.head))
-        self.direction *= -1
-        return min(requests, key=lambda req: abs(req.cylinder - self.head))
-
-    def _service_time(self, request: DiskRequest) -> float:
-        transfer = request.npages * self._transfer_s
-        if request.start_page in self._streams:
-            # Sequential continuation of a tracked stream: prefetched.
-            self.sequential_continuations += 1
-            return transfer
-        seek = self._seek_time(abs(request.cylinder - self.head))
-        if self._stochastic_rotation and self._rotation_stream is not None:
-            rotate = self._rotation_stream.uniform(0.0, self._rotation_s)
-        else:
-            rotate = self._half_rotation_s
-        return seek + rotate + transfer
-
     def _serve_next(self) -> None:
-        request = self._pop_best()
+        request = self.core.select(self._queue)
         if request is None:
             self.busy.record_if_changed(0.0)
             return
@@ -341,7 +249,9 @@ class Disk:
     def _serve(self, request: DiskRequest) -> None:
         self.busy.record_if_changed(1.0)
         self._serving = request
-        duration = self._service_time(request)
+        duration = self.core.service_time(
+            request.start_page, request.npages, request.cylinder
+        )
         self.service_times.record(duration)
         self.accesses += 1
         # Service is non-preemptive, so the request itself doubles as
@@ -352,17 +262,7 @@ class Disk:
         self.sim._schedule_event(request, duration)
 
     def _complete(self, request: DiskRequest) -> None:
-        # Head movement and sweep direction update.
-        end_cylinder = (request.start_page + request.npages - 1) // self._cylinder_size
-        if end_cylinder != self.head:
-            self.direction = 1 if end_cylinder > self.head else -1
-        self.head = end_cylinder
-        streams = self._streams
-        streams.pop(request.start_page, None)
-        streams[request.start_page + request.npages] = None
-        while len(streams) > self._max_streams:
-            del streams[next(iter(streams))]
-        self.cache.insert(request.start_page, request.npages)
+        self.core.note_transfer(request.start_page, request.npages)
         self._serving = None
         if self._queue:
             self._serve_next()

@@ -20,10 +20,15 @@ Five pieces back the live serving layer's execution substrate:
   concurrent query and tenant consults the same pool, so one tenant's
   operand scan can serve another's re-read -- and one tenant's memory
   reservations shrink everyone's cache.
-* :class:`LiveDisk` -- the contended disk model: a FIFO service queue
-  per disk (plus the shared head state the sequential-positioning
-  rules read), so concurrent queries' accesses genuinely queue and
-  interleaving scans break each other's sequential streams.
+* :class:`LiveDisk` -- the contended disk model: an Earliest-Deadline
+  service queue per disk with the elevator tie-break, wrapped around
+  the same :class:`~repro.core.devices.DeviceCore` the simulator's
+  :class:`~repro.rtdbs.disk.Disk` uses -- head position, sweep
+  direction, sequential-stream tails, the per-disk prefetch cache, and
+  the ``Seek + RotateDelay + Transfer`` pricing are one implementation
+  shared by both hosts, so concurrent queries' accesses genuinely
+  queue, urgent chunks overtake patient ones, and interleaving scans
+  break each other's sequential streams exactly as the DES predicts.
 * :class:`LiveDataPlane` -- the bundle the gateway hands to operators:
   the paper's :class:`~repro.rtdbs.database.Database` layout (same
   placement rules, same seeded streams as the simulator), one
@@ -35,11 +40,11 @@ Five pieces back the live serving layer's execution substrate:
 from __future__ import annotations
 
 import asyncio
-from collections import deque
-from typing import Deque, Dict, List
+import heapq
+from typing import Dict, List, Tuple
 
+from repro.core.devices import DeviceCore, LRUDataCache
 from repro.queries.base import OperatorContext
-from repro.rtdbs.buffer_manager import LRUDataCache
 from repro.rtdbs.config import SimulationConfig
 from repro.rtdbs.database import Database
 from repro.sim.rng import Streams
@@ -182,40 +187,53 @@ class LiveBufferPool:
         return self.cache.hits / consulted if consulted else 0.0
 
 
-class LiveDisk:
-    """One live disk: a FIFO service queue over shared stream state.
+class _DiskWaiter:
+    """One chunk waiting for a disk arm: the ED-heap entry payload.
 
-    Concurrent queries' service chunks queue here first-in-first-out
-    (the arm is non-shareable), so a loaded disk stretches every
-    access by its queueing delay -- the live analogue of the DES disk
-    queues, with conservation counters to prove no chunk is ever lost:
-    ``chunks_submitted == chunks_served + chunks_cancelled + waiting +
-    in-service``.  :meth:`service_time` prices accesses with the same
-    physical rules as the DES :class:`~repro.rtdbs.disk.Disk`: it
-    tracks the tails of recently active sequential streams (bounded by
-    the modelled 256-KByte prefetch cache, exactly as the simulator
-    bounds its ``_streams``), so a handful of interleaved scans each
-    stay efficient -- and beyond that bound, concurrent queries evict
-    each other's tails and sequentiality is genuinely lost, the
-    physical face of thrashing.
+    Exposes the two attributes :meth:`DeviceCore.select` reads --
+    ``cancelled`` (expired waiters are skipped and dropped) and
+    ``cylinder`` (the elevator tie-break key).
+    """
+
+    __slots__ = ("future", "cylinder")
+
+    def __init__(self, future: asyncio.Future, cylinder: int):
+        self.future = future
+        self.cylinder = cylinder
+
+    @property
+    def cancelled(self) -> bool:
+        return self.future.cancelled()
+
+
+class LiveDisk:
+    """One live disk: an ED+elevator service queue over the shared core.
+
+    Concurrent queries' service chunks queue here in Earliest-Deadline
+    order with the elevator tie-break -- the arm is non-shareable, and
+    :meth:`DeviceCore.select` picks the next holder exactly the way the
+    DES :class:`~repro.rtdbs.disk.Disk` picks its next request.  A
+    loaded disk stretches every access by its queueing delay, urgent
+    chunks overtake patient backlogs, and conservation counters prove
+    no chunk is ever lost: ``chunks_submitted == chunks_served +
+    chunks_cancelled + waiting + in-service``.
+
+    Pricing and physical state (head, sweep direction, stream tails,
+    the per-disk prefetch cache) live in the shared
+    :class:`~repro.core.devices.DeviceCore`; with no seeded rotation
+    stream the live host prices the deterministic half-rotation.
+    Reads fully covered by the prefetch cache (:meth:`read_hit`) cost
+    no arm time at all, the same short-circuit the DES applies in
+    ``Disk.submit_op``.
     """
 
     def __init__(self, store: PageStore, resources):
         self.store = store
-        self._transfer = resources.transfer_s_per_page
-        rotation_half = resources.rotation_s / 2.0
-        self._positioning = rotation_half + resources.seek_time(
-            max(1, resources.num_cylinders // 8)
-        )
-        self._page_hop = rotation_half + self._transfer + resources.seek_time(1)
-        #: Tails of recently active sequential streams (shared across
-        #: every query touching this disk; insertion-ordered dict,
-        #: oldest tail evicted first -- mirror of ``Disk._streams``).
-        self._streams: dict = {}
-        self._max_streams = max(1, resources.disk_cache_pages // resources.block_size)
-        self.sequential_continuations = 0
+        self.core = DeviceCore(resources)
+        self.cache = self.core.cache
         self._busy = False
-        self._waiters: Deque[asyncio.Future] = deque()
+        self._queue: List[Tuple[float, int, _DiskWaiter]] = []
+        self._seq = 0
         # -- conservation counters -------------------------------------
         self.chunks_submitted = 0
         self.chunks_served = 0
@@ -228,21 +246,27 @@ class LiveDisk:
         #: Individual disk accesses served (a chunk batches several).
         self.accesses = 0
 
-    def service_time(self, start_page: int, npages: int, sequential: bool) -> float:
-        """Price one access (simulated seconds) and update stream tails."""
-        if sequential:
-            service = npages * self._transfer
-            if start_page in self._streams:
-                self.sequential_continuations += 1
-            else:
-                service = service + self._positioning
-        else:
-            service = npages * self._page_hop
-        streams = self._streams
-        streams.pop(start_page, None)
-        streams[start_page + npages] = None
-        while len(streams) > self._max_streams:
-            del streams[next(iter(streams))]
+    @property
+    def sequential_continuations(self) -> int:
+        return self.core.sequential_continuations
+
+    def cylinder_of(self, page: int) -> int:
+        return self.core.cylinder_of(page)
+
+    def read_hit(self, start_page: int, npages: int) -> bool:
+        """Whether a read is fully served by the per-disk prefetch cache."""
+        return self.core.read_hit(start_page, npages)
+
+    def service_time(self, start_page: int, npages: int) -> float:
+        """Price one access (simulated seconds) with the DES rules.
+
+        Advances the shared physical state exactly as the simulator's
+        disk does on completion: head movement, sweep direction, the
+        stream tail, and the prefetch-cache installation.
+        """
+        cylinder = self.core.cylinder_of(start_page)
+        service = self.core.service_time(start_page, npages, cylinder)
+        self.core.note_transfer(start_page, npages)
         return service
 
     @property
@@ -252,23 +276,29 @@ class LiveDisk:
     @property
     def queue_depth(self) -> int:
         """Live waiters (excluding any chunk in service)."""
-        return sum(1 for future in self._waiters if not future.done())
+        return sum(1 for entry in self._queue if not entry[2].cancelled)
 
-    async def acquire(self) -> float:
-        """Join the FIFO queue; returns the wall seconds spent waiting."""
+    async def acquire(self, priority: float = 0.0, cylinder: int = 0) -> float:
+        """Join the ED queue; returns the wall seconds spent waiting.
+
+        ``priority`` is the chunk's deadline (smaller = more urgent),
+        ``cylinder`` its first access's cylinder for the elevator
+        tie-break among equal deadlines.
+        """
         self.chunks_submitted += 1
         if not self._busy:
             self._busy = True
             return 0.0
         loop = asyncio.get_running_loop()
-        future = loop.create_future()
-        self._waiters.append(future)
+        waiter = _DiskWaiter(loop.create_future(), cylinder)
+        self._seq += 1
+        heapq.heappush(self._queue, (priority, self._seq, waiter))
         started = loop.time()
         try:
-            await future  # the releasing holder hands the arm over
+            await waiter.future  # the releasing holder hands the arm over
         except asyncio.CancelledError:
             self.chunks_cancelled += 1
-            if future.done() and not future.cancelled():
+            if waiter.future.done() and not waiter.future.cancelled():
                 # The arm was handed over in the same loop pass the
                 # expiry cancelled us: pass it on or it leaks.
                 self.release()
@@ -278,12 +308,11 @@ class LiveDisk:
         return waited
 
     def release(self) -> None:
-        while self._waiters:
-            future = self._waiters.popleft()
-            if not future.done():  # skip waiters cancelled by expiry
-                future.set_result(None)
-                return
-        self._busy = False
+        waiter = self.core.select(self._queue)
+        if waiter is None:
+            self._busy = False
+        else:
+            waiter.future.set_result(None)
 
 
 class PageStore:
@@ -306,6 +335,13 @@ class PageStore:
         self._pages: Dict[int, bytes] = {}
         self.pages_read = 0
         self.pages_written = 0
+        # Zero-copy replay machinery: one reusable scratch buffer (all
+        # replayed reads land here via memcpy -- no per-read joined
+        # bytes object) and one shared immutable blank page (every
+        # spooled page aliases it -- no per-write allocation).
+        self._scratch = bytearray(payload_bytes)
+        self._scratch_view = memoryview(self._scratch)
+        self._blank = bytes(payload_bytes)
 
     def _template(self, page: int) -> bytes:
         # Cheap deterministic content: the page address smeared over
@@ -325,6 +361,24 @@ class PageStore:
         self.pages_read += npages
         return b"".join(chunks)
 
+    def replay_read(self, start_page: int, npages: int) -> int:
+        """Move ``npages`` of real bytes without materialising a copy.
+
+        The disk-service replay only needs the byte *traffic* (the
+        joined result of :meth:`read` was always discarded); each page
+        is memcpy'd into the reusable scratch buffer through a
+        memoryview, so the hot path allocates nothing.  Returns the
+        bytes moved.
+        """
+        pages = self._pages
+        view = self._scratch_view
+        blank = self._blank
+        for page in range(start_page, start_page + npages):
+            data = pages.get(page)
+            view[:] = data if data is not None else blank
+        self.pages_read += npages
+        return npages * self.payload_bytes
+
     def write(self, start_page: int, payload: bytes) -> int:
         """Store ``payload`` page by page; returns pages written."""
         step = self.payload_bytes
@@ -339,9 +393,10 @@ class PageStore:
 
     def write_blank(self, start_page: int, npages: int) -> None:
         """Spool ``npages`` of operator output (content irrelevant)."""
-        blank = b"\x00" * self.payload_bytes
+        blank = self._blank  # shared immutable page: no allocation
+        pages = self._pages
         for page in range(start_page, start_page + npages):
-            self._pages[page] = blank
+            pages[page] = blank
         self.pages_written += npages
 
     def __len__(self) -> int:

@@ -18,12 +18,15 @@ does for simulated ones -- and drives the *identical*
   *shared and contended*: cacheable operand reads consult one
   cross-query :class:`~repro.serve.dataplane.LiveBufferPool` (the live
   buffer manager -- reservations shrink the LRU region every query
-  shares), disk accesses queue FIFO on per-disk
-  :class:`~repro.serve.dataplane.LiveDisk` service queues (concurrent
-  queries stretch each other's accesses by real queueing delay, and
-  interleaved scans break each other's sequential positioning), and
-  CPU bursts occupy a slot of a bounded ED-ordered worker gate.  Disk
-  service moves real bytes through the per-disk page stores;
+  shares), disk accesses consult the per-disk prefetch cache and queue
+  in Earliest-Deadline order with the elevator tie-break on per-disk
+  :class:`~repro.serve.dataplane.LiveDisk` service queues -- the same
+  :class:`~repro.core.devices.DeviceCore` scheduling and pricing the
+  simulator's disks run (concurrent queries stretch each other's
+  accesses by real queueing delay, and interleaved scans break each
+  other's sequential positioning), and CPU bursts occupy a slot of a
+  bounded ED-ordered worker gate.  Disk service moves real bytes
+  through the per-disk page stores (zero-copy replay);
 * deadlines are enforced firmly: an expiry timer aborts a query
   wherever it is (waiting or mid-operator), releasing its memory and
   temp extents, and it counts as a missed, served query;
@@ -41,7 +44,6 @@ from __future__ import annotations
 
 import asyncio
 import time as _time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple, Union
@@ -68,8 +70,38 @@ ABORTED = "aborted"
 
 #: Never sleep for less than this (wall seconds): event-loop timers are
 #: only ~millisecond-accurate, so service debt is accumulated and paid
-#: in chunks at least this large.
+#: in chunks at least this large.  Each paid chunk returns its pacing
+#: carry (debt minus wall actually elapsed) so timer overshoot is
+#: repaid by the next chunk instead of compounding over a replay.
 MIN_SLEEP = 0.001
+
+
+def _quantize(seconds: float) -> float:
+    """Floor a sleep request to a whole-millisecond quantum.
+
+    The stdlib selector rounds epoll timeouts *up* to whole
+    milliseconds, so ``sleep(0.0012)`` actually takes ~2.3 ms -- nearly
+    double.  Requesting the floored quantum keeps the per-sleep error
+    under ~0.2 ms; the sub-millisecond remainder rides the pacing carry
+    instead of being rounded up by the kernel on every chunk.
+    """
+    return int(seconds * 1000.0) * 0.001
+
+
+def install_uvloop() -> bool:
+    """Install uvloop's event-loop policy when the package is present.
+
+    uvloop's timers and wakeups are several times cheaper than the
+    stdlib loop's, which compounds over the thousands of paced chunks
+    in a live replay.  Purely optional: returns ``False`` (a no-op)
+    when uvloop is not installed.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
 
 
 class PriorityWorkerGate:
@@ -82,6 +114,12 @@ class PriorityWorkerGate:
     milliseconds), so an urgent query overtakes a backlog at chunk
     granularity -- the live analogue of the simulator's priority
     queues.
+
+    Releases are batched: each :meth:`release` parks the slot and
+    schedules one flush per event-loop pass, so N chunks finishing in
+    the same pass cost one heap drain instead of N handoffs -- and a
+    more urgent waiter that enqueues in that same pass wins the slot,
+    which a direct handoff would have given to a patient one.
     """
 
     def __init__(self, slots: int):
@@ -90,16 +128,18 @@ class PriorityWorkerGate:
         self._free = slots
         self._waiters: List[tuple] = []  # heap of (priority, seq, future)
         self._seq = 0
+        self._pending = 0  # slots released but not yet flushed
+        self._flush_scheduled = False
 
     async def acquire(self, priority: float) -> None:
-        if self._free > 0:
+        if self._free > 0 and not self._waiters:
             self._free -= 1
             return
         future = asyncio.get_running_loop().create_future()
         self._seq += 1
         heappush(self._waiters, (priority, self._seq, future))
         try:
-            await future  # the releasing holder hands its slot over
+            await future  # a flushed slot is handed over here
         except asyncio.CancelledError:
             if future.done() and not future.cancelled():
                 # The slot was handed over in the same loop pass the
@@ -108,12 +148,22 @@ class PriorityWorkerGate:
             raise
 
     def release(self) -> None:
-        while self._waiters:
-            _priority, _seq, future = heappop(self._waiters)
+        self._pending += 1
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        free = self._free + self._pending
+        self._pending = 0
+        waiters = self._waiters
+        while free > 0 and waiters:
+            _priority, _seq, future = heappop(waiters)
             if not future.done():  # skip waiters cancelled by expiry
                 future.set_result(None)
-                return
-        self._free += 1
+                free -= 1
+        self._free = free
 
 
 @dataclass
@@ -256,7 +306,7 @@ class LiveGateway:
         #: The shared, cross-query buffer pool (grants + LRU reuse).
         self.pool = LiveBufferPool(self.allocator)
         self.dataplane = LiveDataPlane(config, payload_bytes=payload_bytes)
-        #: The contended per-disk FIFO service queues.
+        #: The contended per-disk ED+elevator service queues.
         self.disks: List[LiveDisk] = self.dataplane.disks
         self.cost_model = StandAloneCostModel(
             resources=config.resources,
@@ -274,7 +324,6 @@ class LiveGateway:
         #: Callbacks invoked with each DepartureRecord (the TCP server
         #: resolves per-client response futures here).
         self.departure_listeners: List = []
-        self._pool: Optional[ThreadPoolExecutor] = None
         self._gate: Optional[PriorityWorkerGate] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._t0 = 0.0
@@ -317,13 +366,6 @@ class LiveGateway:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
-        # Gate slots bound CPU chunks, the per-disk FIFOs bound disk
-        # chunks; the thread pool must cover both at once or threads
-        # would become a hidden extra contention point.
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers + len(self.disks),
-            thread_name_prefix="repro-serve",
-        )
         self._gate = PriorityWorkerGate(self.workers)
         self._drained = asyncio.Event()
         self._drained.set()
@@ -337,9 +379,6 @@ class LiveGateway:
                 job.task.cancel()
         if self._jobs:
             await asyncio.sleep(0)
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
 
     async def run_schedule(self, schedule: LiveSchedule) -> LiveReport:
         """Replay a full open-loop schedule and wait for the last
@@ -347,9 +386,16 @@ class LiveGateway:
         await self.start()
         try:
             for arrival in schedule.arrivals:
-                delay = self._to_wall(arrival.arrival) - self._wall()
-                if delay > 0:
-                    await asyncio.sleep(delay)
+                # Pace against the absolute wall target with floored
+                # sleeps: one rounded-up timer per arrival would make
+                # every query ~1 ms late, silently eating its deadline
+                # slack at tight time scales.
+                target = self._t0 + self._to_wall(arrival.arrival)
+                while True:
+                    delay = target - self._loop.time()
+                    if delay <= 0.0002:  # close enough: stop short of
+                        break  # a sleep(0) spin on the remainder
+                    await asyncio.sleep(_quantize(delay))
                 self.submit(arrival)
             await self.drain()
         finally:
@@ -521,25 +567,30 @@ class LiveGateway:
     async def _drive(self, job: LiveQuery) -> None:
         """Execute the operator's request stream against the data plane.
 
-        Disk accesses are priced with the same physical rules as the
-        stand-alone cost model the deadlines were computed from
-        (positioning once per contiguous sequential stream, per-page
-        positioning during merges) -- but against *shared, contended*
-        resources: cacheable operand reads consult the cross-query
-        :class:`LiveBufferPool` first (a hit skips the disk entirely),
-        sequential positioning reads the per-disk head state every
-        query updates (interleaved scans break each other's streams),
-        and the service time is paid on the disk's FIFO queue, where
-        concurrent queries' chunks genuinely wait behind each other.
-        A query alone in the server still runs in roughly its
-        stand-alone time; under load, queueing delay and lost
-        sequentiality stretch it the way the DES disks predict.
+        Disk accesses are priced by the shared
+        :class:`~repro.core.devices.DeviceCore` -- the same seek /
+        rotate / transfer rules and stream-tail state the DES disks run
+        -- against *shared, contended* resources: cacheable operand
+        reads consult the cross-query :class:`LiveBufferPool` first (a
+        hit skips the disk entirely), any read then consults the
+        per-disk prefetch cache (a hit costs no arm time, as in
+        ``Disk.submit_op``), positioning reads the per-disk head and
+        stream state every query updates (interleaved scans break each
+        other's streams), and the service time is paid on the disk's
+        ED+elevator queue, where concurrent queries' chunks genuinely
+        wait behind more urgent ones.  A query alone in the server
+        still runs in roughly its stand-alone time; under load,
+        queueing delay and lost sequentiality stretch it the way the
+        DES disks predict.
 
         Service debt (scaled to wall seconds) is accumulated per
         resource and paid in ``MIN_SLEEP``-sized chunks: CPU debt
         occupies an ED-ordered worker-gate slot, disk debt occupies
         the disk's arm while the pending byte traffic replays through
-        the page store in the thread pool.
+        the page store (zero-copy).  Every paid chunk returns its
+        pacing carry (debt minus wall actually elapsed), so timer
+        overshoot is repaid by the next chunk instead of compounding
+        into spurious deadline misses.
         """
         resources = self.config.resources
         cpu_rate = resources.cpu_rate
@@ -565,15 +616,23 @@ class LiveGateway:
                         cpu_debt = await self._cpu_chunk(job, cpu_debt)
                     continue
                 disk = disks[request.disk]
-                service = disk.service_time(
-                    request.start_page, request.npages, request.sequential
-                )
                 # The per-block burst + "start an I/O" run on the CPU
                 # (overlapping other queries' disk service), exactly as
-                # the DES charges them.
+                # the DES charges them -- prefetch hit or not.
                 cpu_debt += (request.cpu + start_io) / cpu_rate * scale
                 if cpu_debt >= MIN_SLEEP:
                     cpu_debt = await self._cpu_chunk(job, cpu_debt)
+                if request.kind == READ and disk.read_hit(
+                    request.start_page, request.npages
+                ):
+                    # Per-disk prefetch-cache hit: no arm time, the
+                    # same short-circuit as ``Disk.submit_op``.
+                    if cacheable_read:
+                        pool.install(
+                            request.disk, request.start_page, request.npages
+                        )
+                    continue
+                service = disk.service_time(request.start_page, request.npages)
                 debt = disk_debt.get(request.disk, 0.0) + service * scale
                 disk_ops.setdefault(request.disk, []).append(
                     (
@@ -584,8 +643,7 @@ class LiveGateway:
                     )
                 )
                 if debt >= MIN_SLEEP:
-                    disk_debt[request.disk] = 0.0
-                    await self._disk_chunk(
+                    disk_debt[request.disk] = await self._disk_chunk(
                         job, request.disk, debt, disk_ops.pop(request.disk)
                     )
                 else:
@@ -597,10 +655,12 @@ class LiveGateway:
             elif request_type is AllocationWait:
                 if job.grant.pages > 0:
                     continue  # raced with a re-grant: keep going
-                if cpu_debt > 0.0 or disk_ops:
-                    cpu_debt = await self._settle(job, cpu_debt, disk_debt, disk_ops)
-                    if job.grant.pages > 0:
-                        continue  # a re-grant landed during the flush
+                # Outstanding debts here are sub-MIN_SLEEP residues by
+                # construction (anything larger was paid at accrual).
+                # They stay accumulated across the wait: paying a
+                # 0.3 ms residue with a real timer costs ~1 ms of
+                # overshoot, which compounds into spurious deadline
+                # misses at tight time scales.
                 # No award between here and the wait is possible: the
                 # check and the waiter registration share one loop pass.
                 wake = asyncio.Event()
@@ -618,7 +678,7 @@ class LiveGateway:
         disk_debt: Dict[int, float],
         disk_ops: Dict[int, List[tuple]],
     ) -> float:
-        """Pay every outstanding sub-chunk debt (wait points / end)."""
+        """Pay every outstanding sub-chunk debt (end of the stream)."""
         if cpu_debt > 0.0:
             cpu_debt = await self._cpu_chunk(job, cpu_debt)
         for disk_index in list(disk_ops):
@@ -633,65 +693,78 @@ class LiveGateway:
     async def _cpu_chunk(self, job: LiveQuery, debt_wall: float) -> float:
         """Occupy one ED-ordered worker-gate slot for the chunk.
 
-        The chunk sleeps in the thread pool (thread sleeps are an
-        order of magnitude more accurate than event-loop timers, and
-        pacing error compounds over hundreds of chunks).  Service is
-        non-preemptive: a deadline abort mid-chunk cancels the awaiting
-        task immediately, but the slot stays occupied until the worker
-        thread actually finishes -- releasing early would let another
-        chunk run against a thread the ghost still holds.
+        The chunk sleeps inline on the event loop and returns its
+        pacing carry -- ``debt - wall actually elapsed``, usually a
+        small negative number -- which rides back into the query's
+        debt accumulator: timer overshoot self-corrects instead of
+        compounding into inflated execution times over hundreds of
+        chunks.  Service is non-preemptive: a deadline abort mid-chunk
+        cancels the awaiting task immediately, but the slot stays
+        occupied for the chunk's remaining service time.
         """
         self._busy_seconds += debt_wall
         await self._gate.acquire(job.arrival.deadline)
-        future = self._loop.run_in_executor(self._pool, _time.sleep, debt_wall)
+        loop = self._loop
+        started = loop.time()
         try:
-            await asyncio.shield(future)
+            await asyncio.sleep(_quantize(debt_wall))
         except asyncio.CancelledError:
-            if future.done():
-                self._gate.release()
+            remaining = debt_wall - (loop.time() - started)
+            if remaining > 0.0:
+                loop.call_later(remaining, self._gate.release)
             else:
-                future.add_done_callback(lambda _f: self._gate.release())
+                self._gate.release()
             raise
         except BaseException:
             self._gate.release()
             raise
         self._gate.release()
-        return 0.0
+        return debt_wall - (loop.time() - started)
 
     async def _disk_chunk(
         self, job: LiveQuery, disk_index: int, debt_wall: float, ops: List[tuple]
-    ) -> None:
-        """Pay one disk's service chunk on its FIFO queue.
+    ) -> float:
+        """Pay one disk's service chunk on its ED+elevator queue.
 
-        The chunk waits behind every chunk submitted before it (the
-        contention the zero-contention deadline pricing knows nothing
-        about), then holds the arm for its service time while the byte
-        traffic replays through the page store in the thread pool;
-        cacheable reads are installed into the shared buffer pool as
-        they complete, where any concurrent query can hit them.
+        The chunk waits behind every more urgent chunk (the contention
+        the zero-contention deadline pricing knows nothing about),
+        then holds the arm for its service time while the byte traffic
+        replays through the page store -- zero-copy, inline, counted
+        toward the service time; cacheable reads are installed into
+        the shared buffer pool as they complete, where any concurrent
+        query can hit them.  Returns the chunk's pacing carry.
         """
         disk = self.disks[disk_index]
-        await disk.acquire()
-        future = self._loop.run_in_executor(
-            self._pool, _serve_chunk, disk.store, debt_wall, ops
-        )
+        await disk.acquire(job.arrival.deadline, disk.cylinder_of(ops[0][1]))
+        loop = self._loop
+        started = loop.time()
+        store = disk.store
+        for kind, start_page, npages, _cacheable in ops:
+            if kind == READ:
+                store.replay_read(start_page, npages)
+            else:
+                store.write_blank(start_page, npages)
         try:
-            await asyncio.shield(future)
+            remaining = _quantize(debt_wall - (loop.time() - started))
+            if remaining > 0.0:
+                await asyncio.sleep(remaining)
         except asyncio.CancelledError:
             # Non-preemptive service, as on the DES disk: the abort
             # cancels the query immediately, but the arm stays held
-            # until the worker thread finishes its sleep/replay --
-            # releasing early would serve two chunks on one arm.
+            # until the chunk's service time is up -- releasing early
+            # would serve two chunks on one arm.
             disk.chunks_cancelled += 1
-            if future.done():
-                disk.release()
+            left = debt_wall - (loop.time() - started)
+            if left > 0.0:
+                loop.call_later(left, disk.release)
             else:
-                future.add_done_callback(lambda _f: disk.release())
+                disk.release()
             raise
         except BaseException:
             disk.release()
             raise
-        disk.busy_seconds += debt_wall
+        if debt_wall > 0.0:
+            disk.busy_seconds += debt_wall
         disk.accesses += len(ops)
         disk.chunks_served += 1
         pool = self.pool
@@ -699,6 +772,7 @@ class LiveGateway:
             if cacheable and kind == READ:
                 pool.install(disk_index, start_page, npages)
         disk.release()
+        return debt_wall - (loop.time() - started)
 
     # ------------------------------------------------------------------
     # departures
@@ -811,17 +885,6 @@ class LiveGateway:
             disk_utilizations=disk_utilizations,
             pool_hit_ratio=pool_hit_ratio,
         )
-
-
-def _serve_chunk(store, busy_wall: float, ops: List[tuple]) -> None:
-    """Worker-pool body of one disk service chunk: occupy + move bytes."""
-    if busy_wall > 0:
-        _time.sleep(busy_wall)
-    for kind, start_page, npages, _cacheable in ops:
-        if kind == READ:
-            store.read(start_page, npages)
-        else:
-            store.write_blank(start_page, npages)
 
 
 async def run_live(

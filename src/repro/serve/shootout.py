@@ -14,11 +14,17 @@ the cached parallel experiment engine).  Cross-checks:
 * **allocation conservation** -- the tracked allocator raised on any
   oversubscribed decision during the runs (reaching the report at all
   certifies every decision respected the pool);
-* **qualitative ordering** -- Max's insistence on maximum allocations
-  is the paper's worst strategy under load (Section 5.1); live, MinMax
-  must not miss more than Max beyond a tolerance.  Wall-clock noise
-  makes a single live run far noisier than a simulation, so the
-  tolerance is wider than the simulator shootout's.
+* **fidelity** (primary) -- when the simulator predictions ran against
+  the same unclipped traffic, every policy's live miss ratio must land
+  within ``FIDELITY_TOLERANCE`` of its DES prediction.  Both hosts run
+  the same :class:`~repro.core.devices.DeviceCore` physics, so the
+  remaining delta is wall-clock pacing jitter -- a hard per-policy
+  bound on it is the strongest cross-substrate check we have;
+* **qualitative ordering** (secondary) -- Max's insistence on maximum
+  allocations is the paper's worst strategy under load (Section 5.1);
+  live, MinMax must not miss more than Max beyond a tolerance.  The
+  fidelity gate subsumes this when predictions are available; the
+  ordering check still guards ``--no-predict`` runs.
 """
 
 from __future__ import annotations
@@ -33,9 +39,17 @@ from repro.scenarios import Scenario, ScenarioGenerator
 from repro.serve.gateway import LiveGateway, LiveReport
 from repro.serve.workload import build_schedule, tag_tenants
 
+#: Hard per-policy bound on |live miss ratio - DES prediction|.  The
+#: primary fidelity gate: both hosts share one DeviceCore, so anything
+#: beyond wall-clock pacing jitter is a genuine divergence.  Applied
+#: only when the predictions saw the same traffic (no ``max_arrivals``
+#: clipping, ``predict=True``).
+FIDELITY_TOLERANCE = 0.05
+
 #: Live ordering tolerance: one wall-clock replay per policy is a far
 #: smaller sample than a simulated hour, so MinMax may exceed Max by
-#: this much before the shootout fails.
+#: this much before the shootout fails.  Secondary to the fidelity
+#: gate -- it still guards ``--no-predict`` runs.
 LIVE_ORDERING_TOLERANCE = 0.15
 
 #: How many multitenant indices to scan for a ``--tenants N`` match.
@@ -78,16 +92,29 @@ class LiveShootoutReport:
     predicted_pool_hit: Dict[str, float] = field(default_factory=dict)
     #: Tenant count when the shootout ran in ``--tenants`` mode.
     tenants: Optional[int] = None
+    #: True when ``max_arrivals`` clipped the live traffic -- the DES
+    #: predictions then saw different traffic and the fidelity gate
+    #: does not apply.
+    clipped: bool = False
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def miss_delta(self, policy: str) -> float:
+        """Live miss ratio minus the DES prediction (NaN if no
+        prediction ran for the policy)."""
+        predicted = self.predicted.get(policy)
+        if predicted is None:
+            return float("nan")
+        return self.live[policy].miss_ratio - predicted
 
     def render(self) -> str:
         headers = [
             "policy",
             "live_miss",
             "sim_miss",
+            "delta",
             "pool_hit",
             "sim_hit",
             "disk_q_s",
@@ -106,6 +133,7 @@ class LiveShootoutReport:
                     report.policy,
                     round(report.miss_ratio, 3),
                     round(self.predicted.get(policy, float("nan")), 3),
+                    round(self.miss_delta(policy), 3),
                     round(report.pool_hit_ratio, 3),
                     round(self.predicted_pool_hit.get(policy, float("nan")), 3),
                     round(report.disk_queue_sim_seconds, 1),
@@ -249,6 +277,7 @@ def live_shootout(
         time_scale=time_scale,
         predicted_pool_hit=predicted_pool_hit,
         tenants=tenants,
+        clipped=max_arrivals is not None,
     )
     _cross_check(report)
     return report
@@ -285,6 +314,23 @@ def _cross_check(report: LiveShootoutReport) -> None:
             )
     if report.tenants:
         _cross_check_tenants(report)
+    if report.predicted and not report.clipped:
+        # Primary fidelity gate: the predictions saw the identical
+        # traffic, so every policy's live miss ratio must track its
+        # DES prediction within the hard tolerance.
+        for policy in report.policies:
+            delta = report.miss_delta(policy)
+            if delta != delta:  # NaN: no prediction for this policy
+                continue
+            if abs(delta) > FIDELITY_TOLERANCE:
+                report.failures.append(
+                    f"{policy}: live miss ratio "
+                    f"{report.live[policy].miss_ratio:.3f} is "
+                    f"{delta:+.3f} from the DES prediction "
+                    f"{report.predicted[policy]:.3f} "
+                    f"(|delta| > {FIDELITY_TOLERANCE}) -- the live plane "
+                    "diverged from the shared-core physics"
+                )
     if "minmax" in report.live and "max" in report.live:
         minmax_miss = report.live["minmax"].miss_ratio
         max_miss = report.live["max"].miss_ratio

@@ -165,3 +165,101 @@ def test_allocation_never_oversubscribes(allocator):
 def test_demand_envelope_validation():
     with pytest.raises(ValueError):
         QueryDemand(qid=1, priority=0.0, min_pages=10, max_pages=5)
+
+
+# ----------------------------------------------------------------------
+# proportional bisection: shortcut equivalence + admission-path speed
+# ----------------------------------------------------------------------
+def plain_bisection_reference(demands, memory, mpl_limit=None):
+    """The unshortcut Proportional procedure: 64 plain bisection
+    iterations over the clamp-sum, grants from the final ``low``.
+    ``allocate_proportional``'s fast path, pinning, and
+    single-boundary exit must reproduce this bit-for-bit -- the DES
+    goldens pin its grant vectors."""
+    from repro.core.allocation import _admit_by_minimum, _clamp_sum
+
+    allocation = {d.qid: 0 for d in demands}
+    admitted = _admit_by_minimum(demands, memory, mpl_limit)
+    if not admitted:
+        return allocation
+    mins = [d.min_pages for d in admitted]
+    maxs = [d.max_pages for d in admitted]
+    low, high = 0.0, 1.0
+    for _ in range(64):
+        mid = (low + high) / 2.0
+        if _clamp_sum(mid, mins, maxs) <= memory:
+            low = mid
+        else:
+            high = mid
+    for d in admitted:
+        allocation[d.qid] = min(
+            d.max_pages, max(d.min_pages, int(low * d.max_pages))
+        )
+    remaining = memory - sum(allocation[d.qid] for d in admitted)
+    for d in admitted:
+        if remaining <= 0:
+            break
+        extra = min(d.max_pages - allocation[d.qid], remaining)
+        allocation[d.qid] += extra
+        remaining -= extra
+    return allocation
+
+
+def test_proportional_matches_plain_bisection_reference():
+    """Property: across tie-heavy, wide, and huge-page demand regimes
+    the shortcut bisection returns the reference grants exactly."""
+    import random
+
+    rng = random.Random(1234)
+    for trial in range(600):
+        regime = trial % 3
+        if regime == 0:  # tiny maxima -> many duplicate boundaries
+            count, max_hi, memory_hi = rng.randint(0, 30), 12, 200
+        elif regime == 1:  # the live admission path's typical shape
+            count, max_hi, memory_hi = rng.randint(0, 60), 140, 1500
+        else:  # huge page counts stress the float boundaries
+            count, max_hi, memory_hi = rng.randint(0, 20), 1_000_000, 4_000_000
+        demands = []
+        for qid in range(count):
+            max_pages = rng.randint(0, max_hi)
+            min_pages = rng.randint(0, max_pages) if max_pages else 0
+            demands.append(demand(qid, min_pages, max_pages))
+        memory = rng.randint(0, memory_hi)
+        limit = rng.choice([None, rng.randint(0, 10)])
+        assert allocate_proportional(demands, memory, limit) == (
+            plain_bisection_reference(demands, memory, limit)
+        ), f"trial {trial}: shortcut bisection diverged from reference"
+
+
+@pytest.mark.slow
+def test_proportional_admission_rate_floor():
+    """The gateway's decision path under the Proportional policy must
+    sustain >= 8k decisions/s (it was the 6x admission outlier before
+    the bisection shortcuts; scripts/bench_serve.py tracks the same
+    loop)."""
+    import time
+
+    from repro.core.broker import MemoryBroker
+    from repro.policies import make_policy
+    from repro.serve.dataplane import TrackedAllocator
+
+    broker = MemoryBroker(make_policy("proportional"), total_pages=256, sample_size=30)
+    allocator = TrackedAllocator(256)
+    population = 24
+    for qid in range(population):
+        broker.register(qid, f"C{qid % 3}", 100.0 + qid, 4 + qid % 13, 20 + qid % 90)
+    decisions = 600
+    started = time.perf_counter()
+    for step in range(decisions):
+        decision = broker.reallocate(now=float(step))
+        allocator.apply(decision.allocation)
+        victim = qid - population + 1
+        broker.release(victim)
+        allocator.release(victim)
+        qid += 1
+        broker.register(qid, f"C{qid % 3}", 100.0 + qid, 4 + qid % 13, 20 + qid % 90)
+    rate = decisions / (time.perf_counter() - started)
+    assert rate >= 8000, (
+        f"proportional admission path sustained only {rate:.0f} "
+        "decisions/s (floor 8000); the bisection shortcuts regressed"
+    )

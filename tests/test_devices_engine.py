@@ -1,0 +1,364 @@
+"""Differential property tests for the extracted device engine.
+
+The refactor moved the disk model out of the DES into
+:mod:`repro.core.devices` so the live plane can share it.  These tests
+pin the extraction three ways:
+
+* the ED+elevator queue selection is replayed against an independently
+  written reference scheduler (plain per-selection list scan instead of
+  the lazy heap) over randomized tie-heavy workloads with mid-run
+  cancellations;
+* the ``Seek + RotateDelay + Transfer`` pricing and bounded
+  sequential-stream tracking are replayed against the formulas embedded
+  here (not imports of the code under test);
+* a full DES run is recorded at the engine boundary (every pricing,
+  transfer, and prefetch-cache call per disk) and the trace is replayed
+  through *fresh* engine objects, asserting bit-identical service times
+  and hit sequences -- the "pre-refactor DES behaviour is a pure
+  function of this state" contract.
+"""
+
+import heapq
+import math
+import random
+
+import pytest
+
+from repro import RTDBSystem, baseline
+from repro.core.devices import DeviceCore, PrefetchCache
+from repro.rtdbs.config import ResourceParams
+from repro.sim.rng import Streams
+
+
+def small_resources():
+    return ResourceParams(num_disks=1, memory_pages=16)
+
+
+# ----------------------------------------------------------------------
+# ED + elevator selection vs an independent reference scheduler
+# ----------------------------------------------------------------------
+class StubRequest:
+    """Minimal queue item: the core only reads these two attributes."""
+
+    __slots__ = ("tag", "cylinder", "start_page", "npages", "cancelled")
+
+    def __init__(self, tag, cylinder, start_page, npages):
+        self.tag = tag
+        self.cylinder = cylinder
+        self.start_page = start_page
+        self.npages = npages
+        self.cancelled = False
+
+    def __repr__(self):  # pragma: no cover - assertion messages only
+        return f"StubRequest({self.tag}, cyl={self.cylinder})"
+
+
+class ReferenceScheduler:
+    """ED + elevator written the obvious way: scan everything per pick.
+
+    Deliberately shares no code with ``DeviceCore``: selection is a
+    full-list minimum over live entries, ties sort by submission order,
+    and the elevator is restated from the paper's rule (nearest
+    cylinder at-or-ahead of the head in the sweep direction, reversing
+    the sweep when nothing lies ahead).
+    """
+
+    def __init__(self, resources):
+        self.head = resources.num_cylinders // 2
+        self.direction = 1
+        self._cylinder_size = resources.cylinder_size
+        self._entries = []
+        self.tie_picks = 0
+
+    def push(self, priority, seq, item):
+        self._entries.append((priority, seq, item))
+
+    def select(self):
+        alive = [e for e in self._entries if not e[2].cancelled]
+        if not alive:
+            self._entries = []
+            return None
+        best = min(e[0] for e in alive)
+        ties = sorted((e for e in alive if e[0] == best), key=lambda e: e[1])
+        if len(ties) == 1:
+            chosen = ties[0][2]
+        else:
+            self.tie_picks += 1
+            chosen = self._elevator([e[2] for e in ties])
+        self._entries = [
+            e for e in self._entries if e[2] is not chosen and not e[2].cancelled
+        ]
+        return chosen
+
+    def _elevator(self, requests):
+        head = self.head
+        ahead = [r for r in requests if (r.cylinder - head) * self.direction >= 0]
+        if not ahead:
+            self.direction = -self.direction
+            ahead = list(requests)
+        return min(ahead, key=lambda r: abs(r.cylinder - head))
+
+    def note_transfer(self, start_page, npages):
+        end_cylinder = (start_page + npages - 1) // self._cylinder_size
+        if end_cylinder != self.head:
+            self.direction = 1 if end_cylinder > self.head else -1
+        self.head = end_cylinder
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_select_matches_reference_ed_elevator(seed):
+    """Core and reference agree selection-for-selection on tie-heavy
+    randomized queues with mid-run cancellations, and their head/sweep
+    state stays identical through every served transfer."""
+    rng = random.Random(seed)
+    resources = small_resources()
+    core = DeviceCore(resources)
+    ref = ReferenceScheduler(resources)
+    cylinder_size = resources.cylinder_size
+
+    heap = []
+    seq = 0
+    pending = []
+    served = 0
+
+    def push_one():
+        nonlocal seq
+        seq += 1
+        cylinder = rng.randrange(resources.num_cylinders)
+        npages = rng.randint(1, 2 * cylinder_size)
+        item = StubRequest(seq, cylinder, cylinder * cylinder_size, npages)
+        # Five priority levels only: ties are the interesting regime.
+        priority = float(rng.randint(1, 5))
+        heapq.heappush(heap, (priority, seq, item))
+        ref.push(priority, seq, item)
+        pending.append(item)
+
+    def drain_one():
+        chosen = core.select(heap)
+        expected = ref.select()
+        assert chosen is expected, (
+            f"seed {seed}: core served {chosen}, reference {expected}"
+        )
+        if chosen is None:
+            return False
+        pending.remove(chosen)
+        core.note_transfer(chosen.start_page, chosen.npages)
+        ref.note_transfer(chosen.start_page, chosen.npages)
+        assert (core.head, core.direction) == (ref.head, ref.direction)
+        return True
+
+    for _ in range(400):
+        action = rng.random()
+        if action < 0.5:
+            push_one()
+        elif action < 0.6 and pending:
+            rng.choice(pending).cancelled = True
+        elif drain_one():
+            served += 1
+    while heap:
+        if drain_one():
+            served += 1
+
+    assert served > 50  # the trial actually exercised the queue
+    assert ref.tie_picks > 10, "the workload must hit the elevator path"
+    assert core.head == ref.head and core.direction == ref.direction
+
+
+def test_select_skips_cancelled_and_empties_to_none():
+    resources = small_resources()
+    core = DeviceCore(resources)
+    items = [StubRequest(i, 10 * i, 0, 1) for i in range(3)]
+    heap = []
+    for i, item in enumerate(items):
+        heapq.heappush(heap, (1.0, i, item))
+    items[0].cancelled = True
+    items[2].cancelled = True
+    assert core.select(heap) is items[1]
+    assert core.select(heap) is None
+    assert core.select([]) is None
+
+
+# ----------------------------------------------------------------------
+# pricing and stream tracking vs the embedded reference formulas
+# ----------------------------------------------------------------------
+class ReferencePricer:
+    """Section 4.2 pricing restated from the config parameters."""
+
+    def __init__(self, resources):
+        self.resources = resources
+        self.head = resources.num_cylinders // 2
+        self.tails = []  # oldest first, bounded like the prefetch cache
+        self.max_tails = max(1, resources.disk_cache_pages // resources.block_size)
+        self.continuations = 0
+
+    def price(self, start_page, npages, cylinder):
+        transfer = npages * self.resources.transfer_s_per_page
+        if start_page in self.tails:
+            self.continuations += 1
+            return transfer
+        seek = self.resources.seek_factor_ms * math.sqrt(abs(cylinder - self.head)) / 1e3
+        return seek + self.resources.rotation_s / 2.0 + transfer
+
+    def note_transfer(self, start_page, npages):
+        self.head = (start_page + npages - 1) // self.resources.cylinder_size
+        if start_page in self.tails:
+            self.tails.remove(start_page)
+        self.tails.append(start_page + npages)
+        while len(self.tails) > self.max_tails:
+            self.tails.pop(0)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_service_time_matches_reference_formulas(seed):
+    """Without a rotation stream both the core and the reference price
+    the deterministic half-rotation, so every access must agree exactly
+    -- including stream continuations and tail evictions."""
+    rng = random.Random(seed)
+    resources = small_resources()
+    core = DeviceCore(resources)  # no rotation stream: half-rotation
+    ref = ReferencePricer(resources)
+    cylinder_size = resources.cylinder_size
+    open_tails = []
+
+    for _ in range(300):
+        if open_tails and rng.random() < 0.4:
+            start_page = rng.choice(open_tails)  # continue a scan
+        else:
+            start_page = rng.randrange(resources.pages_per_disk - 2 * cylinder_size)
+        npages = rng.randint(1, resources.block_size)
+        cylinder = start_page // cylinder_size
+        got = core.service_time(start_page, npages, cylinder)
+        want = ref.price(start_page, npages, cylinder)
+        assert got == want, f"seed {seed}: priced {got!r}, reference {want!r}"
+        core.note_transfer(start_page, npages)
+        ref.note_transfer(start_page, npages)
+        if start_page in open_tails:
+            open_tails.remove(start_page)
+        open_tails.append(start_page + npages)
+        del open_tails[:-ref.max_tails]
+
+    assert core.sequential_continuations == ref.continuations
+    assert ref.continuations > 30  # the trial exercised the stream path
+    assert core.head == ref.head
+
+
+def test_stochastic_rotation_draws_from_the_stream():
+    resources = small_resources()
+    stream = Streams(11).stream("rotation.0")
+    twin = Streams(11).stream("rotation.0")
+    core = DeviceCore(resources, stream)
+    transfer = 4 * resources.transfer_s_per_page
+    seek = resources.seek_time(abs(0 - core.head))
+    priced = core.service_time(0, 4, 0)
+    assert priced == seek + twin.uniform(0.0, resources.rotation_s) + transfer
+
+
+# ----------------------------------------------------------------------
+# recorded DES trace replayed through fresh engine objects
+# ----------------------------------------------------------------------
+def test_des_trace_replays_identically_through_fresh_engine(monkeypatch):
+    """Record every engine-boundary call of a real DES run (pricing,
+    transfers, prefetch-cache queries) and replay the trace through
+    fresh ``DeviceCore``/``PrefetchCache`` objects: service times and
+    hit sequences must reproduce bit for bit.  This is the refactor's
+    core claim -- the DES disk is a pure adapter over this state."""
+    config = baseline(arrival_rate=0.3, scale=0.05, seed=3, duration=60.0)
+
+    core_logs = {}
+    cache_logs = {}
+    real_price = DeviceCore.service_time
+    real_transfer = DeviceCore.note_transfer
+    real_contains = PrefetchCache.contains_all
+    real_touch = PrefetchCache.touch
+    real_insert = PrefetchCache.insert
+
+    def rec_price(self, start_page, npages, cylinder):
+        out = real_price(self, start_page, npages, cylinder)
+        core_logs.setdefault(id(self), []).append(
+            ("price", start_page, npages, cylinder, out)
+        )
+        return out
+
+    def rec_transfer(self, start_page, npages):
+        core_logs.setdefault(id(self), []).append(("transfer", start_page, npages))
+        real_transfer(self, start_page, npages)
+
+    def rec_contains(self, start_page, npages):
+        out = real_contains(self, start_page, npages)
+        cache_logs.setdefault(id(self), []).append(
+            ("contains", start_page, npages, out)
+        )
+        return out
+
+    def rec_touch(self, start_page, npages):
+        cache_logs.setdefault(id(self), []).append(("touch", start_page, npages))
+        real_touch(self, start_page, npages)
+
+    def rec_insert(self, start_page, npages):
+        cache_logs.setdefault(id(self), []).append(("insert", start_page, npages))
+        real_insert(self, start_page, npages)
+
+    monkeypatch.setattr(DeviceCore, "service_time", rec_price)
+    monkeypatch.setattr(DeviceCore, "note_transfer", rec_transfer)
+    monkeypatch.setattr(PrefetchCache, "contains_all", rec_contains)
+    monkeypatch.setattr(PrefetchCache, "touch", rec_touch)
+    monkeypatch.setattr(PrefetchCache, "insert", rec_insert)
+
+    system = RTDBSystem(config, "minmax")
+    disk_cores = {disk.disk_id: id(disk.core) for disk in system.disks}
+    disk_caches = {disk.disk_id: id(disk.core.cache) for disk in system.disks}
+    result = system.run()
+    recorded_stats = {
+        disk.disk_id: (
+            disk.cache.hits,
+            disk.cache.misses,
+            disk.core.sequential_continuations,
+            disk.core.head,
+            disk.core.direction,
+        )
+        for disk in system.disks
+    }
+    monkeypatch.undo()
+
+    assert result.served > 10
+    total_prices = sum(
+        sum(1 for op in log if op[0] == "price") for log in core_logs.values()
+    )
+    assert total_prices > 50, "the run must exercise real disk traffic"
+
+    for disk_id, core_id in disk_cores.items():
+        fresh = DeviceCore(
+            config.resources, Streams(config.seed).stream(f"rotation.{disk_id}")
+        )
+        for op in core_logs.get(core_id, []):
+            if op[0] == "price":
+                _, start_page, npages, cylinder, recorded = op
+                replayed = fresh.service_time(start_page, npages, cylinder)
+                assert replayed == recorded, (
+                    f"disk {disk_id}: replayed {replayed!r} for "
+                    f"[{start_page}+{npages}], recorded {recorded!r}"
+                )
+            else:
+                _, start_page, npages = op
+                fresh.note_transfer(start_page, npages)
+        hits, misses, continuations, head, direction = recorded_stats[disk_id]
+        assert fresh.sequential_continuations == continuations
+        assert fresh.head == head
+        assert fresh.direction == direction
+
+    some_hit = False
+    for disk_id, cache_id in disk_caches.items():
+        fresh_cache = PrefetchCache(config.resources.disk_cache_pages)
+        for op in cache_logs.get(cache_id, []):
+            if op[0] == "contains":
+                _, start_page, npages, recorded = op
+                assert fresh_cache.contains_all(start_page, npages) == recorded
+                some_hit = some_hit or recorded
+            elif op[0] == "touch":
+                fresh_cache.touch(op[1], op[2])
+            else:
+                fresh_cache.insert(op[1], op[2])
+        hits, misses, _continuations, _head, _direction = recorded_stats[disk_id]
+        assert fresh_cache.hits == hits
+        assert fresh_cache.misses == misses
+    assert some_hit, "the run must produce at least one prefetch-cache hit"

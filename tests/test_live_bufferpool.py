@@ -1,7 +1,7 @@
 """The shared live data plane: buffer-pool ledger conservation (via the
 InvariantChecker), LRU hit-ratio monotonicity vs pool size, per-disk
-FIFO conservation under concurrent access, and determinism of the
-multi-tenant live shootout at a fixed seed."""
+ED+elevator scheduling and chunk conservation under concurrent access,
+and determinism of the multi-tenant live shootout at a fixed seed."""
 
 import asyncio
 
@@ -110,35 +110,39 @@ def test_hit_ratio_monotone_in_pool_size(trace_seed):
 
 
 # ----------------------------------------------------------------------
-# per-disk FIFO conservation under concurrent access
+# per-disk ED+elevator scheduling and chunk conservation
 # ----------------------------------------------------------------------
 def live_disk():
     return LiveDisk(PageStore(0), ResourceParams(num_disks=1, memory_pages=16))
 
 
-def test_disk_fifo_serves_in_submission_order():
+def test_disk_serves_most_urgent_chunk_first():
+    """The live disk honours Earliest-Deadline order, as the DES does:
+    chunks submitted later but with tighter deadlines overtake."""
+
     async def scenario():
         disk = live_disk()
         order = []
 
-        async def chunk(tag, hold):
-            await disk.acquire()
+        async def chunk(tag, priority, hold):
+            await disk.acquire(priority)
             try:
                 order.append(tag)
                 await asyncio.sleep(hold)
             finally:
                 disk.release()
 
-        first = asyncio.create_task(chunk("a", 0.01))
+        first = asyncio.create_task(chunk("a", 5.0, 0.01))
         await asyncio.sleep(0.002)  # "a" holds the arm
         tasks = [
-            asyncio.create_task(chunk(tag, 0.0)) for tag in ("b", "c", "d")
+            asyncio.create_task(chunk(tag, priority, 0.0))
+            for tag, priority in (("patient", 30.0), ("urgent", 1.0), ("mid", 10.0))
         ]
         await asyncio.gather(first, *tasks)
         return disk, order
 
     disk, order = asyncio.run(scenario())
-    assert order == ["a", "b", "c", "d"]  # FIFO, not priority, per spec
+    assert order == ["a", "urgent", "mid", "patient"]  # ED, not FIFO
     assert disk.chunks_submitted == 4
     assert disk.chunks_served == 0  # the gateway counts served chunks
     assert disk.chunks_cancelled == 0
@@ -147,7 +151,82 @@ def test_disk_fifo_serves_in_submission_order():
     assert disk.queue_seconds > 0.0
 
 
-def test_disk_fifo_conserves_chunks_through_cancellation():
+def test_disk_elevator_breaks_priority_ties():
+    """Equal-deadline chunks are served in elevator order: nearest
+    cylinder in the sweep direction first."""
+
+    async def scenario():
+        disk = live_disk()
+        head = disk.core.head
+        cyl_size = disk.core._cylinder_size
+        order = []
+
+        async def chunk(tag, cylinder):
+            await disk.acquire(7.0, cylinder)
+            order.append(tag)
+            disk.release()
+
+        await disk.acquire(7.0)  # hold the arm while the tie builds
+        # All three tie on priority; the sweep direction is +1, so the
+        # nearest cylinder at-or-ahead of the head must win.
+        tasks = [
+            asyncio.create_task(chunk(tag, cylinder))
+            for tag, cylinder in (
+                ("far-ahead", head + 40),
+                ("behind", head - 10),
+                ("near-ahead", head + 4),
+            )
+        ]
+        await asyncio.sleep(0)  # all three enqueue
+        disk.release()
+        await asyncio.gather(*tasks)
+        assert cyl_size > 0  # geometry sanity (core is configured)
+        return order
+
+    order = asyncio.run(scenario())
+    assert order[0] == "near-ahead"
+    assert order == ["near-ahead", "far-ahead", "behind"]
+
+
+def test_disk_honours_ed_under_cancellation():
+    """A cancelled queued chunk must neither be served nor lose the
+    conservation law, and the remaining chunks still run in ED order."""
+
+    async def scenario():
+        disk = live_disk()
+        order = []
+
+        async def chunk(tag, priority):
+            await disk.acquire(priority)
+            order.append(tag)
+            disk.release()
+
+        await disk.acquire(1.0)  # occupy the arm
+        doomed = asyncio.create_task(chunk("doomed", 2.0))
+        survivors = [
+            asyncio.create_task(chunk(tag, priority))
+            for tag, priority in (("late", 20.0), ("early", 5.0))
+        ]
+        await asyncio.sleep(0)  # all enqueue behind the held arm
+        doomed.cancel()
+        try:
+            await doomed
+        except asyncio.CancelledError:
+            pass
+        disk.release()
+        await asyncio.gather(*survivors)
+        return disk, order
+
+    disk, order = asyncio.run(scenario())
+    assert order == ["early", "late"]  # the cancelled chunk never served
+    # Conservation: submitted == served-by-callers + cancelled + queued.
+    assert disk.chunks_submitted == 4
+    assert disk.chunks_cancelled == 1
+    assert disk.queue_depth == 0
+    assert not disk.in_service
+
+
+def test_disk_conserves_chunks_through_cancellation():
     async def scenario():
         disk = live_disk()
         await disk.acquire()  # occupy the arm
@@ -178,13 +257,24 @@ def test_disk_fifo_conserves_chunks_through_cancellation():
 
 def test_disk_service_time_tracks_shared_streams():
     disk = live_disk()
-    cold = disk.service_time(0, 8, True)  # positioning + transfer
-    warm = disk.service_time(8, 8, True)  # continues the tracked stream
+    cold = disk.service_time(0, 8)  # seek + rotate + transfer
+    warm = disk.service_time(8, 8)  # continues the tracked stream
     assert warm < cold
     assert disk.sequential_continuations == 1
-    # A non-sequential access pays per-page positioning.
-    merge = disk.service_time(100, 8, False)
+    # A fresh access elsewhere pays positioning again.
+    merge = disk.service_time(5000, 8)
     assert merge > warm
+
+
+def test_disk_prefetch_cache_serves_recent_transfers():
+    """Pages just transferred are prefetch-cache hits (no arm time),
+    exactly as on the DES disk."""
+    disk = live_disk()
+    assert not disk.read_hit(0, 8)  # cold: nothing cached yet
+    disk.service_time(0, 8)  # the transfer installs pages 0..7
+    assert disk.read_hit(0, 8)
+    assert disk.cache.hits == 1
+    assert not disk.read_hit(8, 8)  # beyond the transferred range
 
 
 def test_gateway_run_conserves_disk_chunks():
