@@ -48,6 +48,9 @@ LIVE_QUERIES_PER_S_FLOOR = 100.0
 #: The compressed-arrival probe is capacity-bound; the live plane must
 #: absorb at least 2x the old paced-replay rate.
 LIVE_CAPACITY_QUERIES_PER_S_FLOOR = 375.0
+#: The overload reject path (shed at the door) must stay far cheaper
+#: than admission -- pinned by scripts/bench_serve.py.
+SHED_PER_S_FLOOR = 5_000
 
 
 class Metric(NamedTuple):
@@ -101,6 +104,13 @@ def serve_metrics(baseline: dict, fresh: dict) -> Iterator[Metric]:
             float(baseline["live_capacity"]["queries_per_sec"]),
             float(fresh["live_capacity"]["queries_per_sec"]),
             LIVE_CAPACITY_QUERIES_PER_S_FLOOR,
+        )
+    if "shed" in baseline and "shed" in fresh:
+        yield Metric(
+            "serve.sheds_per_s",
+            float(baseline["shed"]["sheds_per_sec"]),
+            float(fresh["shed"]["sheds_per_sec"]),
+            SHED_PER_S_FLOOR,
         )
 
 

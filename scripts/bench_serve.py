@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the live serving layer and write ``BENCH_serve.json``.
 
-Three probes:
+Four probes:
 
 * **admission** -- the broker decision path exactly as the gateway
   drives it (register -> reallocate -> enforce through the tracked
@@ -19,6 +19,11 @@ Three probes:
   compressed (slacks untouched) so queries land as fast as the plane
   can absorb them: sustained q/s with the gateway *capacity-bound* --
   the number that actually moves when the data plane gets faster.
+* **shed** -- an overload burst of arrivals whose deadlines are
+  already infeasible: sustained shed decisions/second on the reject
+  path.  Overload survival depends on rejecting doomed work much
+  faster than admitting it; a slow reject path is itself an overload
+  amplifier.
 
 Run locally with::
 
@@ -42,6 +47,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 #: proportional bisection is the historically slowest path and holds
 #: ~10k/s after its grant-exact shortcuts).
 MIN_DECISIONS_PER_SEC = 8000
+
+#: The reject path must stay far cheaper than admission: a shed is a
+#: counter bump and a structured response, no broker registration, no
+#: reallocation (it typically sustains hundreds of thousands/second).
+MIN_SHEDS_PER_SEC = 5000
 
 
 def bench_admission(policy_spec: str, decisions: int, population: int) -> dict:
@@ -161,6 +171,57 @@ def bench_live_capacity(time_scale: float, compress: float) -> dict:
     }
 
 
+def bench_shed(burst: int) -> dict:
+    """Time the overload reject path under a burst of doomed arrivals.
+
+    Every burst arrival carries a deadline below its own stand-alone
+    time, so the feasibility projection sheds each one at the door --
+    the measured rate is pure reject-path cost (projection + counters +
+    structured response state), no broker churn.
+    """
+    from dataclasses import replace
+
+    from repro.scenarios import ScenarioGenerator
+    from repro.serve.gateway import LiveGateway
+    from repro.serve.workload import build_schedule
+
+    scenario = ScenarioGenerator(0).generate("mix", 0)
+
+    async def run():
+        gateway = LiveGateway(
+            scenario.config, "minmax", time_scale=1.0, shed_overload=True
+        )
+        schedule = build_schedule(
+            scenario.config, gateway.dataplane.database, max_arrivals=1
+        )
+        template = schedule.arrivals[0]
+        await gateway.start()
+        try:
+            now = gateway.sim_now()
+            started = time.perf_counter()
+            for qid in range(burst):
+                gateway.submit(
+                    replace(
+                        template,
+                        qid=1_000_000 + qid,
+                        arrival=now,
+                        deadline=now + template.standalone * 0.5,
+                    )
+                )
+            elapsed = time.perf_counter() - started
+        finally:
+            await gateway.close()
+        return gateway.report, elapsed
+
+    report, elapsed = asyncio.run(run())
+    assert report.shed == burst, "a doomed arrival was not shed"
+    return {
+        "burst": burst,
+        "shed": report.shed,
+        "sheds_per_sec": round(burst / elapsed),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_serve.json")
@@ -168,6 +229,7 @@ def main(argv=None) -> int:
     parser.add_argument("--population", type=int, default=24)
     parser.add_argument("--time-scale", type=float, default=0.01)
     parser.add_argument("--compress", type=float, default=16.0)
+    parser.add_argument("--shed-burst", type=int, default=5000)
     parser.add_argument(
         "--skip-live", action="store_true", help="admission probe only"
     )
@@ -183,8 +245,9 @@ def main(argv=None) -> int:
         for spec in DEFAULT_POLICIES
     }
     payload = {
-        "probe": "repro.serve admission + live replay + live capacity",
+        "probe": "repro.serve admission + live replay + live capacity + shed",
         "admission": admission,
+        "shed": bench_shed(args.shed_burst),
         "python": platform.python_version(),
         "uvloop": uvloop_active,
     }
@@ -196,11 +259,17 @@ def main(argv=None) -> int:
 
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     slowest = min(entry["decisions_per_sec"] for entry in admission.values())
+    shed_rate = payload["shed"]["sheds_per_sec"]
     print(json.dumps(payload, indent=2))
     print(f"\nslowest admission path: {slowest} decisions/s "
           f"(floor {MIN_DECISIONS_PER_SEC})")
+    print(f"shed (reject) path: {shed_rate} sheds/s "
+          f"(floor {MIN_SHEDS_PER_SEC})")
     if slowest < MIN_DECISIONS_PER_SEC:
         print("FAIL: admission decision rate below the floor", file=sys.stderr)
+        return 1
+    if shed_rate < MIN_SHEDS_PER_SEC:
+        print("FAIL: shed (reject) rate below the floor", file=sys.stderr)
         return 1
     return 0
 

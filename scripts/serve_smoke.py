@@ -9,6 +9,12 @@ report is sane, and then shuts the server down with SIGINT -- which
 must drain gracefully (in-flight queries depart, clients get their
 responses, exit code 0).
 
+A second leg rehearses the crash path: a fresh server is launched with
+``--journal``, SIGKILLed mid-traffic (no drain, no flush beyond the
+per-op journal writes), and ``python -m repro.serve recover`` must
+replay the journal to a conserved ledger -- exit 0 and the
+"ledger conserved" banner.
+
 Run locally with::
 
     PYTHONPATH=src python scripts/serve_smoke.py
@@ -25,6 +31,7 @@ import re
 import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -35,16 +42,21 @@ REPO = Path(__file__).resolve().parent.parent
 PER_TENANT = 3
 
 
-def launch(time_scale: float) -> tuple:
-    """Start the server subprocess; returns (process, host, port, lines).
-
-    ``lines`` is a queue fed by a stdout-pump thread (``None`` marks
-    EOF); all later output -- the drain banners -- is read from it.
-    """
+def _env() -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    return env
+
+
+def launch(time_scale: float, extra: tuple = ()) -> tuple:
+    """Start the server subprocess; returns (process, host, port, lines).
+
+    ``lines`` is a queue fed by a stdout-pump thread (``None`` marks
+    EOF); all later output -- the drain banners -- is read from it.
+    ``extra`` appends additional CLI flags (e.g. ``--journal``).
+    """
     process = subprocess.Popen(
         [
             sys.executable,
@@ -59,8 +71,9 @@ def launch(time_scale: float) -> tuple:
             "pmm",
             "--time-scale",
             str(time_scale),
+            *extra,
         ],
-        env=env,
+        env=_env(),
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -204,7 +217,83 @@ def main(argv=None) -> int:
     if "drained cleanly" not in output:
         raise SystemExit(f"no drain banner in server output:\n{output}")
     print("serve-smoke: graceful drain ok")
+
+    crash_recovery_leg(args.time_scale)
     return 0
+
+
+async def _pipeline_submissions(host: str, port: int, count: int) -> None:
+    """Pipeline ``count`` long-deadline submissions without waiting.
+
+    Submit responses only arrive when queries *depart*; by writing the
+    requests and never reading, the queries are left in flight so the
+    SIGKILL lands mid-traffic with a populated broker ledger.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(json.dumps({"op": "hello", "tenant": "alpha"}).encode() + b"\n")
+    await writer.drain()
+    hello = json.loads(await reader.readline())
+    assert hello["tenant"] == "alpha", hello
+    for index in range(count):
+        writer.write(
+            json.dumps(
+                {
+                    "op": "submit",
+                    "type": "sort" if index % 2 == 0 else "hash_join",
+                    "pages": 48 + 8 * index,
+                    "slack": 1000.0,
+                }
+            ).encode()
+            + b"\n"
+        )
+    await writer.drain()
+    # Leave the connection open long enough for the submissions to be
+    # admitted and journalled, then abandon it without reading.
+    await asyncio.sleep(0.5)
+    writer.close()
+
+
+def crash_recovery_leg(time_scale: float) -> None:
+    """SIGKILL the server mid-traffic; the journal must replay cleanly."""
+    journal = Path(
+        tempfile.mkdtemp(prefix="serve-smoke-crash-")
+    ) / "broker.jsonl"
+    process, host, port, lines = launch(
+        time_scale, extra=("--journal", str(journal))
+    )
+    try:
+        asyncio.run(
+            asyncio.wait_for(_pipeline_submissions(host, port, 4), timeout=60.0)
+        )
+    except BaseException:
+        process.kill()
+        process.wait()
+        raise
+    process.kill()  # SIGKILL: no drain, no graceful close, no flush
+    process.wait()
+    while True:  # drain the pump thread to its EOF sentinel
+        if lines.get(timeout=10.0) is None:
+            break
+    if not journal.exists() or not journal.read_text().strip():
+        raise SystemExit(f"server never journalled to {journal}")
+
+    recover = subprocess.run(
+        [sys.executable, "-m", "repro.serve", "recover",
+         "--journal", str(journal)],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=120.0,
+    )
+    output = recover.stdout + recover.stderr
+    if recover.returncode != 0:
+        raise SystemExit(
+            f"journal recovery exited {recover.returncode}:\n{output}"
+        )
+    if "ledger conserved" not in output:
+        raise SystemExit(f"no conservation banner in recovery:\n{output}")
+    print("serve-smoke: SIGKILL mid-traffic -> journal replayed to a "
+          "conserved ledger")
 
 
 async def _drive(host: str, port: int) -> dict:

@@ -171,6 +171,21 @@ class MemoryBroker:
         if self.recorder is not None:
             self.recorder.record(("release", qid))
 
+    def set_total_pages(self, pages: int) -> None:
+        """Resize the pool the policy allocates over (memory pressure).
+
+        An external, non-query memory consumer (the MSFT throughput
+        paper's compilation-memory thief) shrinks the pool mid-run; the
+        next :meth:`reallocate` redistributes within the new bound.
+        Recorded as a ``("pool", pages)`` op so trace replay reproduces
+        the decision stream across the resize.
+        """
+        if pages <= 0:
+            raise ValueError(f"buffer pool must be positive, got {pages}")
+        self.total_pages = pages
+        if self.recorder is not None:
+            self.recorder.record(("pool", pages))
+
     def entry(self, qid: int) -> BrokerEntry:
         """The broker's entry for one present query."""
         return self._entries[qid]
@@ -313,21 +328,22 @@ def _stats_tuple(stats: BatchStats) -> tuple:
     )
 
 
-def replay_trace(
+def replay_ops(
     ops: List[tuple],
-    policy: MemoryPolicy,
-    total_pages: int,
-    sample_size: int,
+    broker: MemoryBroker,
+    verify_decisions: bool = False,
 ) -> List[Tuple[Tuple[int, int], ...]]:
-    """Feed a recorded operation stream through a fresh broker.
+    """Feed a recorded operation stream through an existing broker.
 
     Returns the decision sequence (sorted allocation vectors, one per
-    ``reallocate`` op).  Replaying the trace of a simulation run with
-    an identically parameterised policy must reproduce the recorded
-    decisions exactly -- the broker/simulator parity contract.
+    ``reallocate`` op).  With ``verify_decisions=True``, every recorded
+    ``decision`` op is compared to the vector the replay just produced
+    and a mismatch raises ``ValueError`` -- the crash-recovery path
+    uses this to prove the journal replay is faithful, not merely
+    plausible.
     """
-    broker = MemoryBroker(policy, total_pages, sample_size)
     decisions: List[Tuple[Tuple[int, int], ...]] = []
+    last: Optional[Tuple[Tuple[int, int], ...]] = None
     for op in ops:
         kind = op[0]
         if kind == "register":
@@ -336,7 +352,8 @@ def replay_trace(
             broker.release(op[1])
         elif kind == "reallocate":
             decision = broker.reallocate(now=op[1])
-            decisions.append(tuple(sorted(decision.allocation.items())))
+            last = tuple(sorted(decision.allocation.items()))
+            decisions.append(last)
         elif kind == "departure":
             broker.note_departure(missed=op[1][2])
             broker.departure_feedback(DepartureRecord(*op[1]))
@@ -356,8 +373,32 @@ def replay_trace(
                     pool_hit_ratio=pool_hit,
                 )
             )
+        elif kind == "pool":
+            broker.total_pages = int(op[1])
         elif kind == "decision":
-            pass  # recorded output, not an input operation
+            recorded = tuple(tuple(pair) for pair in op[1])
+            if verify_decisions and last is not None and recorded != last:
+                raise ValueError(
+                    f"replay diverged from the recorded decision: "
+                    f"recorded {recorded}, replayed {last}"
+                )
         else:
             raise ValueError(f"unknown trace op {kind!r}")
     return decisions
+
+
+def replay_trace(
+    ops: List[tuple],
+    policy: MemoryPolicy,
+    total_pages: int,
+    sample_size: int,
+) -> List[Tuple[Tuple[int, int], ...]]:
+    """Feed a recorded operation stream through a fresh broker.
+
+    Returns the decision sequence (sorted allocation vectors, one per
+    ``reallocate`` op).  Replaying the trace of a simulation run with
+    an identically parameterised policy must reproduce the recorded
+    decisions exactly -- the broker/simulator parity contract.
+    """
+    broker = MemoryBroker(policy, total_pages, sample_size)
+    return replay_ops(ops, broker)

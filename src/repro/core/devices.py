@@ -194,10 +194,12 @@ class DeviceCore:
         "direction",
         "cache",
         "sequential_continuations",
+        "fault_multiplier",
         "_streams",
         "_max_streams",
         "_rotation_stream",
         "_cylinder_size",
+        "_num_cylinders",
         "_pages_per_disk",
         "_transfer_s",
         "_rotation_s",
@@ -224,9 +226,15 @@ class DeviceCore:
         self._streams: dict = {}
         self._max_streams = max(1, resources.disk_cache_pages // resources.block_size)
         self.sequential_continuations = 0
+        #: Service-time degradation factor (fault injection): 1.0 means
+        #: a healthy device; a degraded window multiplies every priced
+        #: access.  The DES host never touches it, so bit-identity of
+        #: the no-fault path is structural.
+        self.fault_multiplier = 1.0
         self.cache = PrefetchCache(resources.disk_cache_pages)
         self._rotation_stream = rotation_stream
         self._cylinder_size = resources.cylinder_size
+        self._num_cylinders = resources.num_cylinders
         self._pages_per_disk = resources.pages_per_disk
         self._transfer_s = resources.transfer_s_per_page
         self._rotation_s = resources.rotation_s
@@ -262,13 +270,33 @@ class DeviceCore:
         transfer = npages * self._transfer_s
         if start_page in self._streams:
             self.sequential_continuations += 1
+            if self.fault_multiplier != 1.0:
+                return transfer * self.fault_multiplier
             return transfer
         seek = self._seek_time(abs(cylinder - self.head))
         if self._stochastic_rotation and self._rotation_stream is not None:
             rotate = self._rotation_stream.uniform(0.0, self._rotation_s)
         else:
             rotate = self._half_rotation_s
+        if self.fault_multiplier != 1.0:
+            return (seek + rotate + transfer) * self.fault_multiplier
         return seek + rotate + transfer
+
+    def detour_service_time(self, npages: int) -> float:
+        """Price an access without touching head or stream state.
+
+        Used for rerouted reads during a fault window: a replica disk
+        serves a foreign address range, so the usual positional pricing
+        would alias its own geometry.  Charges the average random seek
+        (one third of the cylinder span [Bitt88]) plus the deterministic
+        half rotation plus transfer -- stateless, so the replica's own
+        streams and prefetch contents are unaffected.
+        """
+        seek = self._seek_time(self._num_cylinders // 3)
+        service = seek + self._half_rotation_s + npages * self._transfer_s
+        if self.fault_multiplier != 1.0:
+            return service * self.fault_multiplier
+        return service
 
     def note_transfer(self, start_page: int, npages: int) -> None:
         """Record a served access: head movement, stream tails, cache.

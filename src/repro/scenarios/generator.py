@@ -26,6 +26,12 @@ stress a different axis of the memory-management problem:
 ``heavytail``
     A mix of tiny and huge operands in one workload, so minimum and
     maximum memory demands differ by orders of magnitude.
+``memorythief``
+    Pool-pressure-sensitive workloads: a tight buffer pool and
+    moderate-rate classes whose demands nearly fill it, built to run
+    under an external "non-query memory consumer" that steals pool
+    capacity mid-run (the MSFT throughput paper's compilation-memory
+    thief, injected live by :mod:`repro.serve.faults`).
 
 Every scenario is deterministic in ``(generator_seed, family, index)``
 and is identified by a **content hash** over the walked config record
@@ -70,7 +76,7 @@ from repro.rtdbs.config import (
 from repro.rtdbs.invariants import INVARIANTS_SIGNATURE, attach_invariants
 
 #: The generator families, in round-robin batch order.
-FAMILIES = ("mix", "bursty", "phases", "multitenant", "heavytail")
+FAMILIES = ("mix", "bursty", "phases", "multitenant", "heavytail", "memorythief")
 
 
 def scenario_hash(config: SimulationConfig) -> str:
@@ -437,6 +443,45 @@ class ScenarioGenerator:
             workload=WorkloadParams(classes=(tiny, huge)),
             resources=self._resources(
                 rng, num_disks=int(rng.integers(1, 4)), memory_low=64, memory_high=384
+            ),
+            seed=sim_seed,
+            duration=duration,
+            temp_placement=placement,
+        )
+
+    def _build_memorythief(self, rng: np.random.Generator) -> SimulationConfig:
+        """Tight pools that an external consumer will squeeze further.
+
+        The pool is small relative to the operand sizes, so when the
+        live fault plane's memory thief shrinks it mid-run, the
+        policies genuinely have to redistribute (a roomy pool would
+        absorb the theft without any policy seeing it).  As a DES
+        scenario it is simply a high-pressure mix; the thief itself is
+        a live-plane fault, not a config parameter.
+        """
+        num_groups = int(rng.integers(2, 4))
+        groups = tuple(
+            RelationGroup(
+                rel_per_disk=int(rng.integers(1, 3)),
+                size_range=self._size_range(rng, 24, 120),
+            )
+            for _ in range(num_groups)
+        )
+        classes = self._classes(
+            rng,
+            count=int(rng.integers(2, 4)),
+            num_groups=num_groups,
+            rate_log10=(-0.7, 0.2),
+        )
+        sim_seed, duration, placement = self._common(rng)
+        return SimulationConfig(
+            database=DatabaseParams(groups=groups),
+            workload=WorkloadParams(classes=classes),
+            resources=self._resources(
+                rng,
+                num_disks=int(rng.integers(2, 5)),
+                memory_low=32,
+                memory_high=96,
             ),
             seed=sim_seed,
             duration=duration,

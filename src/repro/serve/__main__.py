@@ -5,14 +5,21 @@
     python -m repro.serve live-shootout                # all six policies
     python -m repro.serve live-shootout --policies max,minmax \\
         --family bursty --index 2 --time-scale 0.02   # quick subset
+    python -m repro.serve chaos-shootout --fault-seed 7   # under faults
     python -m repro.serve replay --policy pmm          # one live run
     python -m repro.serve serve --port 7070 --policy pmm  # TCP server
+    python -m repro.serve recover --journal broker.jsonl  # crash replay
 
 ``live-shootout`` replays one generated scenario through the live
 gateway once per policy and prints the measured miss ratios beside the
 simulator's prediction for the same workload; it exits non-zero if any
-live cross-check fails.  ``serve`` accepts JSON-lines submissions (see
-:mod:`repro.serve.server` for the protocol).
+live cross-check fails.  ``chaos-shootout`` does the same under one
+seeded :class:`~repro.serve.faults.FaultSchedule` (disk outages,
+memory thieves, policy faults) and gates on the survival invariants
+instead of fidelity.  ``serve`` accepts JSON-lines submissions (see
+:mod:`repro.serve.server` for the protocol); with ``--journal`` it
+writes every broker operation to a crash journal that ``recover``
+replays to a conserved ledger after a kill.
 """
 
 from __future__ import annotations
@@ -84,6 +91,44 @@ def _cmd_live_shootout(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos_shootout(args) -> int:
+    from repro.serve.shootout import chaos_shootout
+
+    policies = _split_tokens(args.policies) if args.policies else DEFAULT_POLICIES
+    for spec in policies:
+        make_policy(spec)  # fail on typos before any live run
+    report = chaos_shootout(
+        policies=policies,
+        family=args.family,
+        index=args.index,
+        scenario_seed=args.scenario_seed,
+        fault_seed=args.fault_seed,
+        time_scale=args.time_scale,
+        workers=args.workers,
+        horizon=args.horizon,
+        max_arrivals=args.max_arrivals,
+        invariants=not args.no_invariants,
+    )
+    print(report.render())
+    if not report.ok:
+        print(
+            "\nreproduce with:\n  PYTHONPATH=src python -m repro.serve "
+            f"chaos-shootout --family {args.family} --index {args.index} "
+            f"--scenario-seed {args.scenario_seed} "
+            f"--fault-seed {args.fault_seed} "
+            f"--time-scale {args.time_scale}"
+        )
+    return 0 if report.ok else 1
+
+
+def _cmd_recover(args) -> int:
+    from repro.serve.faults import recover_journal
+
+    ledger = recover_journal(args.journal)
+    print(ledger.render())
+    return 0 if ledger.clean else 1
+
+
 def _cmd_replay(args) -> int:
     from repro.scenarios import ScenarioGenerator
     from repro.serve.gateway import run_live
@@ -140,6 +185,14 @@ def _cmd_serve(args) -> int:
     else:
         scenario = generator.generate(args.family, args.index)
 
+    recorder = None
+    if args.journal:
+        from repro.serve.faults import JournalRecorder
+
+        recorder = JournalRecorder.for_policy(
+            args.journal, args.policy, scenario.config
+        )
+
     async def main() -> None:
         gateway = LiveGateway(
             scenario.config,
@@ -147,6 +200,8 @@ def _cmd_serve(args) -> int:
             time_scale=args.time_scale,
             workers=args.workers,
             invariants=not args.no_invariants,
+            recorder=recorder,
+            shed_overload=args.shed,
         )
         server = LiveServer(gateway)
         host, port = await server.start(args.host, args.port)
@@ -173,10 +228,14 @@ def _cmd_serve(args) -> int:
         await server.close()
         report = gateway.report
         print(f"repro.serve: drained cleanly -- served {report.served} "
-              f"({report.missed} missed), pool hit ratio "
-              f"{gateway.pool.hit_ratio:.3f}", flush=True)
+              f"({report.missed} missed, {report.shed} shed), "
+              f"pool hit ratio {gateway.pool.hit_ratio:.3f}", flush=True)
 
-    asyncio.run(main())
+    try:
+        asyncio.run(main())
+    finally:
+        if recorder is not None:
+            recorder.close()
     return 0
 
 
@@ -210,6 +269,29 @@ def main(argv=None) -> int:
         "exactly N tenants, tagging and cross-checking per-tenant traffic",
     )
 
+    chaos = commands.add_parser(
+        "chaos-shootout",
+        help="all policies serve one scenario under an identical fault schedule",
+    )
+    chaos.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy specs (default: the registry's six)",
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-schedule seed"
+    )
+    _add_scenario_flags(chaos)
+    chaos.set_defaults(family="memorythief")
+    _add_live_flags(chaos)
+
+    recover = commands.add_parser(
+        "recover", help="replay a crash journal to a conserved ledger"
+    )
+    recover.add_argument(
+        "--journal", required=True, help="path to a broker journal (JSON lines)"
+    )
+
     replay = commands.add_parser("replay", help="one policy, one scenario, live")
     replay.add_argument("--policy", default="pmm", help="policy spec")
     _add_scenario_flags(replay)
@@ -226,12 +308,26 @@ def main(argv=None) -> int:
         help="serve the first multitenant scenario with exactly N tenants "
         "(tenant submissions map onto its per-tenant classes)",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        help="write every broker operation to this crash journal "
+        "(replay it with the recover subcommand)",
+    )
+    serve.add_argument(
+        "--shed",
+        action="store_true",
+        help="reject arrivals whose deadlines the projected backlog "
+        "already makes infeasible (structured shed responses)",
+    )
     _add_scenario_flags(serve)
     _add_live_flags(serve)
 
     tokens = list(sys.argv[1:] if argv is None else argv)
     # Default subcommand: bare flags go to live-shootout.
-    if tokens and tokens[0] not in ("live-shootout", "replay", "serve", "-h", "--help"):
+    known = ("live-shootout", "chaos-shootout", "recover", "replay", "serve",
+             "-h", "--help")
+    if tokens and tokens[0] not in known:
         tokens = ["live-shootout"] + tokens
     elif not tokens:
         tokens = ["live-shootout"]
@@ -241,6 +337,10 @@ def main(argv=None) -> int:
     install_uvloop()  # optional: a no-op when uvloop is absent
     if args.command == "live-shootout":
         return _cmd_live_shootout(args)
+    if args.command == "chaos-shootout":
+        return _cmd_chaos_shootout(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "replay":
         return _cmd_replay(args)
     return _cmd_serve(args)

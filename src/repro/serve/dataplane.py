@@ -54,6 +54,10 @@ class GrantOversubscribedError(RuntimeError):
     """An allocation vector violated the memory conservation law."""
 
 
+class GrantLeakError(RuntimeError):
+    """The gateway closed with grants still held in the ledger."""
+
+
 class TrackedAllocator:
     """Independent ledger of live memory grants, pages per query.
 
@@ -104,6 +108,19 @@ class TrackedAllocator:
 
     def release(self, qid: int) -> None:
         self._holdings.pop(qid, None)
+
+    def resize(self, total_pages: int) -> None:
+        """Change the pool bound (an external memory consumer came or
+        went).  Shrinking below the pages currently reserved would turn
+        the ledger inconsistent, so the caller must reallocate first."""
+        if total_pages <= 0:
+            raise ValueError(f"buffer pool must be positive, got {total_pages}")
+        if total_pages < self.reserved_pages:
+            raise GrantOversubscribedError(
+                f"cannot shrink the pool to {total_pages} pages while "
+                f"{self.reserved_pages} are still reserved"
+            )
+        self.total_pages = total_pages
 
 
 class LiveBufferPool:
@@ -160,6 +177,19 @@ class LiveBufferPool:
     def release(self, qid: int) -> None:
         """Drop one query's reservation (departure or abort)."""
         self.allocator.release(qid)
+        self.cache.capacity = self.allocator.free_pages
+        if self.invariants is not None:
+            self.invariants.check_buffers(self)
+
+    def resize(self, total_pages: int) -> None:
+        """Re-bound the pool (memory-pressure window opened or closed).
+
+        Resizes the allocator (which refuses to shrink below current
+        reservations) and re-derives the LRU region from the new free
+        space; the ledger laws are re-checked immediately.
+        """
+        self.allocator.resize(total_pages)
+        self.total_pages = total_pages
         self.cache.capacity = self.allocator.free_pages
         if self.invariants is not None:
             self.invariants.check_buffers(self)
@@ -231,6 +261,10 @@ class LiveDisk:
         self.store = store
         self.core = DeviceCore(resources)
         self.cache = self.core.cache
+        #: Outage-window flag (fault injection).  While set, new chunk
+        #: submissions take the gateway's retry/breaker/reroute path
+        #: instead of queueing; the no-fault path never sets it.
+        self.faulted = False
         self._busy = False
         self._queue: List[Tuple[float, int, _DiskWaiter]] = []
         self._seq = 0
@@ -268,6 +302,16 @@ class LiveDisk:
         service = self.core.service_time(start_page, npages, cylinder)
         self.core.note_transfer(start_page, npages)
         return service
+
+    def detour_service_time(self, npages: int) -> float:
+        """Price a rerouted (foreign-address) access on this disk.
+
+        Stateless on purpose: a replica serving another disk's address
+        range must not pollute its own head position, stream tails or
+        prefetch cache with aliased page numbers.  See
+        :meth:`DeviceCore.detour_service_time`.
+        """
+        return self.core.detour_service_time(npages)
 
     @property
     def in_service(self) -> bool:

@@ -56,10 +56,19 @@ from repro.queries.cost_model import StandAloneCostModel
 from repro.queries.requests import AllocationWait, CPUBurst, DiskAccess, READ
 from repro.rtdbs.config import SimulationConfig
 from repro.serve.dataplane import (
+    GrantLeakError,
     LiveBufferPool,
     LiveDataPlane,
     LiveDisk,
     TrackedAllocator,
+)
+from repro.serve.faults import (
+    CircuitBreaker,
+    DiskFaultError,
+    FaultInjector,
+    FaultSchedule,
+    FaultyPolicy,
+    PolicyFaultError,
 )
 from repro.serve.workload import LiveArrival, LiveSchedule, make_operator
 
@@ -67,6 +76,9 @@ WAITING = "waiting"
 RUNNING = "running"
 DONE = "done"
 ABORTED = "aborted"
+#: Rejected at arrival by overload shedding: never registered, never
+#: granted, answered with a structured ``shed`` response.
+SHED = "shed"
 
 #: Never sleep for less than this (wall seconds): event-loop timers are
 #: only ~millisecond-accurate, so service debt is accumulated and paid
@@ -189,6 +201,8 @@ class LiveClassStats:
     arrivals: int = 0
     served: int = 0
     missed: int = 0
+    #: Rejected at arrival by overload shedding (not served, not missed).
+    shed: int = 0
 
     @property
     def completed(self) -> int:
@@ -231,6 +245,27 @@ class LiveReport:
     #: Per-tenant outcome counters (populated when arrivals carry a
     #: tenant tag -- the multi-tenant server and ``--tenants`` mode).
     per_tenant: Dict[str, LiveClassStats] = field(default_factory=dict)
+    # -- degraded-mode telemetry (all zero on the no-fault path) -------
+    #: Arrivals rejected by overload shedding.
+    shed: int = 0
+    #: Backoff retries against faulted disks.
+    disk_retries: int = 0
+    #: Cacheable reads rerouted to a healthy replica disk.
+    disk_reroutes: int = 0
+    #: Chunks abandoned fast (breaker open with no replica, or the
+    #: deadline budget could not absorb another backoff).
+    disk_fast_fails: int = 0
+    #: Circuit-breaker trips across all disks.
+    breaker_opens: int = 0
+    #: Fault windows opened against the disks.
+    disk_outages: int = 0
+    disk_degrades: int = 0
+    #: Injected policy exceptions survived (previous allocation kept).
+    policy_faults: int = 0
+    #: Queries aborted because their client vanished mid-request.
+    client_cancels: int = 0
+    #: Memory-pressure windows that shrank the effective pool.
+    pool_shrinks: int = 0
 
     @property
     def completed(self) -> int:
@@ -282,14 +317,21 @@ class LiveGateway:
         payload_bytes: int = 256,
         invariants: bool = False,
         recorder: Optional[BrokerTrace] = None,
+        faults: Optional[FaultSchedule] = None,
+        shed_overload: bool = False,
     ):
         config.validate()
         if time_scale <= 0:
             raise ValueError(f"time scale must be positive, got {time_scale}")
         self.config = config
-        self.policy: MemoryPolicy = (
+        resolved_policy: MemoryPolicy = (
             make_policy(policy, config.pmm) if isinstance(policy, str) else policy
         )
+        self.faults = faults
+        self.shed_overload = shed_overload
+        if faults is not None and faults.policy_faults:
+            resolved_policy = FaultyPolicy(resolved_policy, faults.policy_faults)
+        self.policy = resolved_policy
         self.time_scale = time_scale
         #: Worker-pool width defaults to the modelled parallelism: one
         #: CPU plus the disk farm.
@@ -324,6 +366,19 @@ class LiveGateway:
         #: Callbacks invoked with each DepartureRecord (the TCP server
         #: resolves per-client response futures here).
         self.departure_listeners: List = []
+        #: Per-disk circuit breakers for the outage-survival path.  The
+        #: cooldown and retry base are simulated seconds scaled to wall
+        #: clock, so degraded-mode behaviour is time-scale invariant.
+        self._breakers: List[CircuitBreaker] = [
+            CircuitBreaker(threshold=3, cooldown=self._to_wall(2.0))
+            for _ in range(config.resources.num_disks)
+        ]
+        self._retry_base = self._to_wall(0.25)
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(faults, self)
+            if faults is not None and (faults.disk_windows or faults.memory_windows)
+            else None
+        )
         self._gate: Optional[PriorityWorkerGate] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._t0 = 0.0
@@ -370,15 +425,62 @@ class LiveGateway:
         self._drained = asyncio.Event()
         self._drained.set()
         self._t0 = self._loop.time()
+        if self._injector is not None:
+            self._injector.arm()
 
     async def close(self) -> None:
+        """Tear down: abort in-flight queries, then prove the ledger
+        is empty -- a close that would leak grants raises
+        :class:`~repro.serve.dataplane.GrantLeakError`."""
+        if self._injector is not None:
+            self._injector.cancel()
+        had_jobs = bool(self._jobs)
+        self._abort_all()
+        if had_jobs:
+            await asyncio.sleep(0)  # let cancelled tasks unwind
+        if self._loop is not None:
+            # Chunks cancelled mid-service release their disk arm on a
+            # deferred timer (non-preemptive service); give those a
+            # bounded window so the disks reach quiescence.
+            deadline = self._loop.time() + 1.0
+            while (
+                any(disk.in_service for disk in self.disks)
+                and self._loop.time() < deadline
+            ):
+                await asyncio.sleep(0.001)
+        if self.allocator.reserved_pages:
+            raise GrantLeakError(
+                f"gateway closed with {self.allocator.reserved_pages} pages "
+                "still reserved in the grant ledger"
+            )
+
+    def _abort_all(self) -> None:
+        """Abort every in-flight query, releasing grants and chunks.
+
+        Runs on gateway failure and at close: each job's expiry timer
+        and task are cancelled (queued disk chunks unwind through the
+        non-preemptive cancel path) and its grant, temp extents, and
+        broker entry are released so the conservation ledger drains.
+        """
         for job in list(self._jobs.values()):
+            qid = job.arrival.qid
+            if qid not in self._jobs:
+                continue  # departed while a sibling was torn down
             if job.expiry is not None:
                 job.expiry.cancel()
+                job.expiry = None
             if job.task is not None:
                 job.task.cancel()
-        if self._jobs:
-            await asyncio.sleep(0)
+            job.state = ABORTED
+            try:
+                job.operator.release_resources()
+            except Exception as error:
+                self._fail(error)
+            self.pool.release(qid)
+            del self._jobs[qid]
+            self.broker.release(qid)
+        if self._drained is not None:
+            self._drained.set()
 
     async def run_schedule(self, schedule: LiveSchedule) -> LiveReport:
         """Replay a full open-loop schedule and wait for the last
@@ -419,6 +521,11 @@ class LiveGateway:
     def _fail(self, error: BaseException) -> None:
         if self._failure is None:
             self._failure = error
+            if self._loop is not None and self._jobs:
+                # A failed gateway must not sit on grants: tear down
+                # on a fresh loop pass (this path can be reached from
+                # inside a departure, where teardown would reenter).
+                self._loop.call_soon(self._abort_all)
         if self._drained is not None:
             self._drained.set()  # unblock drain() so the error surfaces
 
@@ -444,9 +551,21 @@ class LiveGateway:
     # ------------------------------------------------------------------
     def submit(self, arrival: LiveArrival) -> LiveQuery:
         """A query arrives: register with the broker, arm its deadline,
-        re-allocate.  Must be called on the event loop."""
+        re-allocate.  Must be called on the event loop.
+
+        With ``shed_overload`` on, an arrival whose deadline is already
+        infeasible against the projected wait-queue backlog is rejected
+        here -- state :data:`SHED`, never registered, never granted --
+        instead of queueing doomed work that would steal memory from
+        feasible queries before missing anyway."""
         if arrival.qid in self._jobs:
             raise ValueError(f"duplicate query id {arrival.qid}")
+        if (
+            self.shed_overload
+            and self.config.firm_deadlines
+            and self._projected_completion(arrival) > arrival.deadline
+        ):
+            return self._shed(arrival)
         grant = MemoryGrant(0)
         operator = make_operator(arrival, self.dataplane.context, grant, self.config)
         job = LiveQuery(
@@ -455,7 +574,9 @@ class LiveGateway:
             grant=grant,
             submitted_wall=self._wall(),
         )
-        pool_pages = self.config.resources.memory_pages
+        # Clip demands to the *effective* pool (identical to the config
+        # pool until a memory-pressure fault shrinks it).
+        pool_pages = self.broker.total_pages
         job.demand_max = min(operator.max_pages, pool_pages)
         job.demand_min = min(operator.min_pages, job.demand_max)
         self._jobs[arrival.qid] = job
@@ -487,6 +608,88 @@ class LiveGateway:
         self._reallocate()
         return job
 
+    def _projected_completion(self, arrival: LiveArrival) -> float:
+        """Earliest the arrival could plausibly finish (sim seconds).
+
+        Its own stand-alone service plus the waiting queries' stand-
+        alone backlog spread over the worker pool -- deliberately
+        optimistic (ignores contention stretch), so shedding only fires
+        on arrivals that are infeasible even in the best case.
+        """
+        backlog = sum(
+            job.arrival.standalone
+            for job in self._jobs.values()
+            if job.state == WAITING
+        )
+        return (
+            self.sim_now()
+            + arrival.standalone
+            + backlog / max(1, self.workers)
+        )
+
+    def _shed(self, arrival: LiveArrival) -> LiveQuery:
+        """Reject at arrival: counted, never registered, never granted."""
+        job = LiveQuery(
+            arrival=arrival,
+            operator=None,
+            grant=MemoryGrant(0),
+            state=SHED,
+            submitted_wall=self._wall(),
+        )
+        report = self.report
+        report.arrivals += 1
+        report.shed += 1
+        stats = report.per_class.setdefault(arrival.class_name, LiveClassStats())
+        stats.arrivals += 1
+        stats.shed += 1
+        if arrival.tenant:
+            tenant_stats = report.per_tenant.setdefault(
+                arrival.tenant, LiveClassStats()
+            )
+            tenant_stats.arrivals += 1
+            tenant_stats.shed += 1
+        return job
+
+    def set_pool_pages(self, pages: int) -> None:
+        """Resize the effective buffer pool (memory-pressure fault).
+
+        Shrinking re-allocates *before* the ledger shrinks, so every
+        grant already fits the new bound when the allocator's
+        conservation check runs; growing resizes first so the policy
+        can immediately spend the returned pages.
+        """
+        if pages == self.broker.total_pages:
+            return
+        shrinking = pages < self.broker.total_pages
+        self.broker.set_total_pages(pages)
+        if shrinking:
+            self._reallocate()
+            self.pool.resize(pages)
+        else:
+            self.pool.resize(pages)
+            self._reallocate()
+
+    def cancel_query(self, qid: int) -> bool:
+        """Abort one in-flight query whose client vanished.
+
+        The disconnect analogue of :meth:`_expire`: cancels the task
+        (queued chunks unwind through the non-preemptive path), departs
+        the query as missed, and releases its grant.  Returns ``False``
+        when the query already departed.
+        """
+        job = self._jobs.get(qid)
+        if job is None or job.state in (DONE, ABORTED):
+            return False
+        job.state = ABORTED
+        self.report.client_cancels += 1
+        if job.task is not None:
+            job.task.cancel()
+        try:
+            self._depart(job, missed=True)
+        except Exception as error:  # surface enforcement bugs via drain()
+            self._fail(error)
+        return True
+
     def _reallocate(self) -> None:
         """One broker decision, enforced and enacted in ED order."""
         if self._reallocating:
@@ -494,7 +697,15 @@ class LiveGateway:
         self._reallocating = True
         try:
             started = _time.perf_counter()
-            decision = self.broker.reallocate(now=self.sim_now())
+            try:
+                decision = self.broker.reallocate(now=self.sim_now())
+            except PolicyFaultError:
+                # Transient allocation-path failure: keep the previous
+                # (still-conserved) allocation and retry on the next
+                # arrival or departure.  Real policy bugs are not
+                # PolicyFaultError and still fail the run loudly.
+                self.report.policy_faults += 1
+                return
             self.pool.apply(decision.allocation)
             elapsed = _time.perf_counter() - started
             report = self.report
@@ -547,6 +758,18 @@ class LiveGateway:
             await self._drive(job)
         except asyncio.CancelledError:
             return  # the expiry timer owns the departure
+        except DiskFaultError:
+            # The outage-survival path gave up on this query: a firm
+            # miss, not a gateway failure -- grants released, counters
+            # conserved, every other query keeps running.
+            if job.state != RUNNING:
+                return  # the expiry abort got there first
+            job.state = ABORTED
+            try:
+                self._depart(job, missed=True)
+            except Exception as error:
+                self._fail(error)
+            return
         except Exception as error:  # operator bug: fail the run loudly
             self._fail(error)
             job.state = ABORTED
@@ -616,38 +839,56 @@ class LiveGateway:
                         cpu_debt = await self._cpu_chunk(job, cpu_debt)
                     continue
                 disk = disks[request.disk]
+                serving_index = request.disk
+                if disk.faulted:
+                    # Outage window: bounded retry within the deadline
+                    # budget, then reroute or fail fast.  Raises
+                    # DiskFaultError when the query is doomed.
+                    serving_index = await self._survive_disk_fault(job, request)
                 # The per-block burst + "start an I/O" run on the CPU
                 # (overlapping other queries' disk service), exactly as
                 # the DES charges them -- prefetch hit or not.
                 cpu_debt += (request.cpu + start_io) / cpu_rate * scale
                 if cpu_debt >= MIN_SLEEP:
                     cpu_debt = await self._cpu_chunk(job, cpu_debt)
-                if request.kind == READ and disk.read_hit(
-                    request.start_page, request.npages
-                ):
-                    # Per-disk prefetch-cache hit: no arm time, the
-                    # same short-circuit as ``Disk.submit_op``.
-                    if cacheable_read:
-                        pool.install(
-                            request.disk, request.start_page, request.npages
-                        )
-                    continue
-                service = disk.service_time(request.start_page, request.npages)
-                debt = disk_debt.get(request.disk, 0.0) + service * scale
-                disk_ops.setdefault(request.disk, []).append(
+                if serving_index == request.disk:
+                    if request.kind == READ and disk.read_hit(
+                        request.start_page, request.npages
+                    ):
+                        # Per-disk prefetch-cache hit: no arm time, the
+                        # same short-circuit as ``Disk.submit_op``.
+                        if cacheable_read:
+                            pool.install(
+                                request.disk, request.start_page, request.npages
+                            )
+                        continue
+                    service = disk.service_time(
+                        request.start_page, request.npages
+                    )
+                else:
+                    # Rerouted replica read: priced by the detour rule
+                    # (stateless average seek + half rotation), so a
+                    # foreign address range never pollutes the serving
+                    # disk's head, stream, or prefetch state.
+                    service = disks[serving_index].detour_service_time(
+                        request.npages
+                    )
+                debt = disk_debt.get(serving_index, 0.0) + service * scale
+                disk_ops.setdefault(serving_index, []).append(
                     (
                         request.kind,
                         request.start_page,
                         request.npages,
                         cacheable_read,
+                        request.disk,
                     )
                 )
                 if debt >= MIN_SLEEP:
-                    disk_debt[request.disk] = await self._disk_chunk(
-                        job, request.disk, debt, disk_ops.pop(request.disk)
+                    disk_debt[serving_index] = await self._disk_chunk(
+                        job, serving_index, debt, disk_ops.pop(serving_index)
                     )
                 else:
-                    disk_debt[request.disk] = debt
+                    disk_debt[serving_index] = debt
             elif request_type is CPUBurst:
                 cpu_debt += request.instructions / cpu_rate * scale
                 if cpu_debt >= MIN_SLEEP:
@@ -739,7 +980,7 @@ class LiveGateway:
         loop = self._loop
         started = loop.time()
         store = disk.store
-        for kind, start_page, npages, _cacheable in ops:
+        for kind, start_page, npages, _cacheable, _home in ops:
             if kind == READ:
                 store.replay_read(start_page, npages)
             else:
@@ -768,11 +1009,66 @@ class LiveGateway:
         disk.accesses += len(ops)
         disk.chunks_served += 1
         pool = self.pool
-        for kind, start_page, npages, cacheable in ops:
+        for kind, start_page, npages, cacheable, home_disk in ops:
             if cacheable and kind == READ:
-                pool.install(disk_index, start_page, npages)
+                # Keyed by the *home* disk: a rerouted replica read
+                # still caches under the canonical address.
+                pool.install(home_disk, start_page, npages)
         disk.release()
         return debt_wall - (loop.time() - started)
+
+    async def _survive_disk_fault(self, job: LiveQuery, request) -> int:
+        """Outage survival: bounded retry, then reroute or fail fast.
+
+        Retries with exponential backoff while the firm deadline can
+        still absorb another attempt; failures feed the disk's shared
+        circuit breaker, so once it trips, *every* query skips the
+        backoff burn: cacheable (replicated) reads reroute to the first
+        healthy replica, anything else raises
+        :class:`~repro.serve.faults.DiskFaultError` immediately and the
+        query departs as a miss.  Returns the serving disk index.
+        """
+        home = request.disk
+        disk = self.disks[home]
+        breaker = self._breakers[home]
+        report = self.report
+        loop = self._loop
+        deadline_wall = self._t0 + self._to_wall(job.arrival.deadline)
+        attempt = 0
+        while True:
+            if not disk.faulted:
+                breaker.record_success()
+                return home
+            now = loop.time()
+            if breaker.is_open(now):
+                if request.kind == READ and request.cacheable:
+                    for index, candidate in enumerate(self.disks):
+                        if index != home and not candidate.faulted:
+                            report.disk_reroutes += 1
+                            return index
+                report.disk_fast_fails += 1
+                raise DiskFaultError(
+                    f"disk {home} outage: breaker open, no healthy replica"
+                )
+            opens_before = breaker.opens
+            breaker.record_failure(now)
+            if breaker.opens > opens_before:
+                report.breaker_opens += 1
+            backoff = max(
+                MIN_SLEEP, _quantize(self._retry_base * (2.0**attempt))
+            )
+            if (
+                self.config.firm_deadlines
+                and now + backoff >= deadline_wall
+            ):
+                report.disk_fast_fails += 1
+                raise DiskFaultError(
+                    f"disk {home} outage: deadline budget exhausted "
+                    f"after {attempt} retries"
+                )
+            report.disk_retries += 1
+            attempt += 1
+            await asyncio.sleep(backoff)
 
     # ------------------------------------------------------------------
     # departures
@@ -895,6 +1191,9 @@ async def run_live(
     horizon: Optional[float] = None,
     max_arrivals: Optional[int] = None,
     invariants: bool = False,
+    faults: Optional[FaultSchedule] = None,
+    shed_overload: bool = False,
+    recorder: Optional[BrokerTrace] = None,
 ) -> LiveReport:
     """Convenience: build gateway + schedule, replay, return the report."""
     from repro.serve.workload import build_schedule
@@ -905,6 +1204,9 @@ async def run_live(
         time_scale=time_scale,
         workers=workers,
         invariants=invariants,
+        faults=faults,
+        shed_overload=shed_overload,
+        recorder=recorder,
     )
     schedule = build_schedule(
         config, gateway.dataplane.database, horizon=horizon, max_arrivals=max_arrivals

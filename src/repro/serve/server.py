@@ -61,7 +61,7 @@ from typing import Dict, Optional
 
 from repro.rtdbs.config import EXTERNAL_SORT, HASH_JOIN
 from repro.rtdbs.database import Relation
-from repro.serve.gateway import LiveGateway
+from repro.serve.gateway import SHED, LiveGateway
 from repro.serve.workload import LiveArrival
 
 #: Synthetic relations get ids far above any laid-out relation's.
@@ -213,19 +213,64 @@ class LiveServer:
 
     # ------------------------------------------------------------------
     async def _handle(self, reader, writer) -> None:
+        """One connection: read request lines, serve each in its own task.
+
+        Hardened against hostile or broken clients: malformed and
+        non-object JSON get structured ``error`` responses, an
+        oversized line (framing is unrecoverable) gets one error and a
+        close, and a mid-stream disconnect cancels every request still
+        in flight -- which aborts the queries they own and releases
+        their grants.  Nothing a single client does can kill the
+        accept loop or wedge another tenant's connection.
+        """
         self._writers.add(writer)
-        tenant = ""  # the connection's default, set by "hello"
+        #: Shared connection state: "hello" sets the default tenant for
+        #: every later request (tasks start in arrival order, and hello
+        #: has no await before the mutation, so the order holds).
+        state = {"tenant": ""}
+        lock = asyncio.Lock()  # serialises response writes
+        inflight: set = set()
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Oversized line: the stream's framing is lost.
+                    await self._respond(
+                        writer, lock, {"error": "request line too long"}
+                    )
+                    break
                 if not line:
                     break
-                self._pending += 1
-                try:
+                task = asyncio.ensure_future(
+                    self._serve_request(line, state, writer, lock)
+                )
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass  # server shutdown or client vanished: just end quietly
+        finally:
+            for task in list(inflight):
+                task.cancel()  # aborts the queries these requests own
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _serve_request(self, line, state, writer, lock) -> None:
+        """Parse and serve one request line; always answer something."""
+        self._pending += 1
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                response = {"error": f"malformed JSON: {error}"}
+            else:
+                if not isinstance(request, dict):
+                    response = {"error": "request must be a JSON object"}
+                else:
                     try:
-                        request = json.loads(line)
                         if request.get("op") == "hello":
                             tenant = str(request.get("tenant", ""))
+                            state["tenant"] = tenant
                             response = {
                                 "tenant": tenant,
                                 "class": self.tenant_class(tenant)
@@ -233,18 +278,35 @@ class LiveServer:
                                 else None,
                             }
                         else:
-                            response = await self._dispatch(request, tenant)
-                    except (ValueError, KeyError) as error:
+                            response = await self._dispatch(
+                                request, state["tenant"]
+                            )
+                    except (ValueError, KeyError, TypeError) as error:
                         response = {"error": str(error)}
-                    writer.write(json.dumps(response).encode() + b"\n")
-                    await writer.drain()
-                finally:
-                    self._pending -= 1
-        except (asyncio.CancelledError, ConnectionResetError):
-            pass  # server shutdown or client vanished: just end quietly
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as error:
+                        # A server-side bug must not kill the
+                        # connection loop; the gateway's failure
+                        # channel still surfaces it at drain.
+                        response = {
+                            "error": "internal error: "
+                            f"{type(error).__name__}: {error}"
+                        }
+            await self._respond(writer, lock, response)
+        except asyncio.CancelledError:
+            return  # connection gone: _dispatch cancelled its query
         finally:
-            self._writers.discard(writer)
-            writer.close()
+            self._pending -= 1
+
+    async def _respond(self, writer, lock, response: dict) -> None:
+        payload = json.dumps(response).encode() + b"\n"
+        try:
+            async with lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished before reading its response
 
     def _stats(self) -> dict:
         gateway = self.gateway
@@ -255,6 +317,8 @@ class LiveServer:
             "arrivals": report.arrivals,
             "served": report.served,
             "missed": report.missed,
+            "shed": report.shed,
+            "client_cancels": report.client_cancels,
             "miss_ratio": round(report.miss_ratio, 4),
             "observed_mpl": round(gateway.observed_mpl(), 4),
             "admitted": gateway.broker.admitted_count,
@@ -296,7 +360,23 @@ class LiveServer:
             future = asyncio.get_running_loop().create_future()
             self._waiters[arrival.qid] = future
             job = self.gateway.submit(arrival)
-            record = await future
+            if job.state == SHED:
+                self._waiters.pop(arrival.qid, None)
+                return {
+                    "qid": arrival.qid,
+                    "tenant": arrival.tenant or None,
+                    "shed": True,
+                    "reason": "overload: projected backlog makes the "
+                    "deadline infeasible",
+                }
+            try:
+                record = await future
+            except asyncio.CancelledError:
+                # The client vanished mid-query: abort it so its grant
+                # and disk chunks are released instead of leaking.
+                self._waiters.pop(arrival.qid, None)
+                self.gateway.cancel_query(arrival.qid)
+                raise
             return {
                 "qid": record.qid,
                 "class": record.class_name,

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.report import format_table
 from repro.policies import DEFAULT_POLICIES
 from repro.scenarios import Scenario, ScenarioGenerator
+from repro.serve.faults import FaultSchedule
 from repro.serve.gateway import LiveGateway, LiveReport
 from repro.serve.workload import build_schedule, tag_tenants
 
@@ -340,6 +341,187 @@ def _cross_check(report: LiveShootoutReport) -> None:
                 f"exceeds Max's {max_miss:.3f} by more than "
                 f"{LIVE_ORDERING_TOLERANCE} -- the paper's Section 5.1 "
                 "ordering inverted on live traffic"
+            )
+
+
+@dataclass
+class ChaosShootoutReport:
+    """Every policy's degraded-mode outcome under one fault schedule."""
+
+    scenario: Scenario
+    schedule: FaultSchedule
+    policies: Sequence[str]
+    live: Dict[str, LiveReport]
+    time_scale: float
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        headers = [
+            "policy",
+            "miss",
+            "served",
+            "shed",
+            "retries",
+            "reroutes",
+            "fastfail",
+            "breaker",
+            "pfaults",
+            "shrinks",
+            "mpl",
+        ]
+        rows = []
+        for policy in self.policies:
+            report = self.live[policy]
+            rows.append(
+                [
+                    report.policy,
+                    round(report.miss_ratio, 3),
+                    report.served,
+                    report.shed,
+                    report.disk_retries,
+                    report.disk_reroutes,
+                    report.disk_fast_fails,
+                    report.breaker_opens,
+                    report.policy_faults,
+                    report.pool_shrinks,
+                    round(report.observed_mpl, 2),
+                ]
+            )
+        title = (
+            f"Chaos shootout: {self.scenario.name} "
+            f"({self.scenario.content_hash[:10]}) under faults "
+            f"{self.schedule.content_hash[:10]}, time_scale={self.time_scale}"
+        )
+        table = format_table(headers, rows, title=title)
+        table += "\n\n" + self.schedule.describe()
+        if self.failures:
+            table += "\n\nCHAOS INVARIANT FAILURES:\n" + "\n".join(
+                f"  - {failure}" for failure in self.failures
+            )
+        else:
+            table += (
+                "\n\nAll chaos invariants held: ledgers empty, chunk "
+                "counters conserved, zero grant leaks."
+            )
+        return table
+
+
+def chaos_shootout(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    family: str = "memorythief",
+    index: int = 0,
+    scenario_seed: int = 0,
+    fault_seed: int = 0,
+    time_scale: float = 0.05,
+    workers: Optional[int] = None,
+    horizon: Optional[float] = None,
+    max_arrivals: Optional[int] = None,
+    invariants: bool = True,
+) -> ChaosShootoutReport:
+    """Run every policy under one identical seeded fault schedule.
+
+    No DES prediction column here -- the simulator has no fault plane,
+    so the checks are survival laws, not fidelity: the run completes
+    for every policy (no policy exception, disk outage, or memory
+    spike kills the gateway), arrivals are conserved
+    (``served + shed == arrivals``), the grant ledger and broker are
+    empty after close, and every disk's chunk counters balance.
+    """
+    generator = ScenarioGenerator(scenario_seed)
+    scenario = generator.generate(family, index)
+    config = scenario.config
+    policy_list = tuple(policies)
+    schedule_span = horizon if horizon is not None else config.duration
+    fault_schedule = FaultSchedule.generate(
+        fault_seed, config, horizon=schedule_span
+    )
+
+    live: Dict[str, LiveReport] = {}
+    report = ChaosShootoutReport(
+        scenario=scenario,
+        schedule=fault_schedule,
+        policies=policy_list,
+        live=live,
+        time_scale=time_scale,
+    )
+    for policy in policy_list:
+        gateway = LiveGateway(
+            config,
+            policy,
+            time_scale=time_scale,
+            workers=workers,
+            invariants=invariants,
+            faults=fault_schedule,
+            shed_overload=True,
+        )
+        schedule = build_schedule(
+            config,
+            gateway.dataplane.database,
+            horizon=horizon,
+            max_arrivals=max_arrivals,
+        )
+        try:
+            live[policy] = asyncio.run(gateway.run_schedule(schedule))
+        except Exception as error:
+            report.failures.append(
+                f"{policy}: gateway did not survive the schedule: "
+                f"{type(error).__name__}: {error}"
+            )
+            continue
+        _chaos_check_gateway(report, policy, gateway)
+    _chaos_check(report)
+    return report
+
+
+def _chaos_check_gateway(
+    report: ChaosShootoutReport, policy: str, gateway: LiveGateway
+) -> None:
+    """Post-drain survival laws for one policy's gateway."""
+    if gateway.allocator.reserved_pages:
+        report.failures.append(
+            f"{policy}: grant ledger holds {gateway.allocator.reserved_pages} "
+            "pages after close -- grant leak"
+        )
+    if gateway.broker.present_count:
+        report.failures.append(
+            f"{policy}: broker still tracks {gateway.broker.present_count} "
+            "queries after close"
+        )
+    for index, disk in enumerate(gateway.disks):
+        balanced = disk.chunks_submitted == disk.chunks_served + disk.chunks_cancelled
+        if not balanced or disk.queue_depth or disk.in_service:
+            report.failures.append(
+                f"{policy}: disk {index} chunk counters do not balance "
+                f"(submitted={disk.chunks_submitted} "
+                f"served={disk.chunks_served} "
+                f"cancelled={disk.chunks_cancelled} "
+                f"queued={disk.queue_depth} in_service={disk.in_service})"
+            )
+
+
+def _chaos_check(report: ChaosShootoutReport) -> None:
+    arrival_counts = {
+        policy: result.arrivals for policy, result in report.live.items()
+    }
+    if len(set(arrival_counts.values())) > 1:
+        report.failures.append(
+            f"arrival counts differ across policies: {arrival_counts} -- "
+            "the open-loop schedule is policy-independent"
+        )
+    for policy, result in report.live.items():
+        if result.served + result.shed != result.arrivals:
+            report.failures.append(
+                f"{policy}: {result.arrivals} arrivals but {result.served} "
+                f"served + {result.shed} shed -- queries were lost or "
+                "duplicated under faults"
+            )
+        if not 0.0 <= result.miss_ratio <= 1.0:
+            report.failures.append(
+                f"{policy}: miss ratio {result.miss_ratio} outside [0, 1]"
             )
 
 

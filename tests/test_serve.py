@@ -67,7 +67,10 @@ def test_page_store_deterministic_content_and_roundtrip():
 # ----------------------------------------------------------------------
 # schedule parity with the simulator
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("family", ["mix", "bursty", "phases", "multitenant", "heavytail"])
+@pytest.mark.parametrize(
+    "family",
+    ["mix", "bursty", "phases", "multitenant", "heavytail", "memorythief"],
+)
 def test_schedule_matches_simulator_arrivals(family):
     config = scenario_config(family=family, index=0)
     result = RTDBSystem(config, "max").run()
@@ -399,3 +402,115 @@ def test_server_rejects_malformed_submissions():
         return response
 
     assert "error" in asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# hostile-client hardening
+# ----------------------------------------------------------------------
+async def _served_lines(server_factory, *lines):
+    """Feed raw lines to a fresh server; returns the parsed responses
+    plus a final stats response proving the connection loop survived."""
+    server, gateway = server_factory()
+    host, port = await server.start(port=0)
+    reader, writer = await asyncio.open_connection(host, port)
+    responses = []
+    try:
+        for line in lines:
+            writer.write(line)
+            await writer.drain()
+            responses.append(json.loads(await reader.readline()))
+        writer.write(json.dumps({"op": "stats"}).encode() + b"\n")
+        await writer.drain()
+        responses.append(json.loads(await reader.readline()))
+    finally:
+        writer.close()
+        await server.close()
+    return responses
+
+
+def _make_server():
+    from repro.serve.server import LiveServer
+
+    gateway = LiveGateway(scenario_config(), "max", time_scale=0.01)
+    return LiveServer(gateway), gateway
+
+
+def test_server_survives_malformed_json():
+    responses = asyncio.run(
+        _served_lines(_make_server, b"this is not json\n")
+    )
+    assert "malformed JSON" in responses[0]["error"]
+    assert responses[-1]["policy"] == "Max"  # the loop kept serving
+
+
+def test_server_survives_non_object_json():
+    responses = asyncio.run(_served_lines(_make_server, b"[1, 2, 3]\n"))
+    assert responses[0]["error"] == "request must be a JSON object"
+    assert responses[-1]["policy"] == "Max"
+
+
+def test_server_oversized_line_gets_an_error_then_close():
+    config = scenario_config()
+
+    async def scenario():
+        from repro.serve.server import LiveServer
+
+        gateway = LiveGateway(config, "max", time_scale=0.01)
+        server = LiveServer(gateway)
+        host, port = await server.start(port=0)
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            # Over the stream reader's 64 KiB line limit: framing is
+            # unrecoverable, so one structured error, then EOF.
+            writer.write(b"x" * 100_000 + b"\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            trailing = await reader.read()
+        finally:
+            writer.close()
+            await server.close()
+        return response, trailing
+
+    response, trailing = asyncio.run(scenario())
+    assert response == {"error": "request line too long"}
+    assert trailing == b""  # the server closed the ruined connection
+
+
+def test_server_disconnect_cancels_query_and_releases_grant():
+    config = scenario_config()
+
+    async def scenario():
+        from repro.serve.server import LiveServer
+
+        gateway = LiveGateway(config, "max", time_scale=0.05)
+        server = LiveServer(gateway)
+        host, port = await server.start(port=0)
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            json.dumps(
+                {"op": "submit", "type": "sort", "pages": 40, "slack": 1000.0}
+            ).encode()
+            + b"\n"
+        )
+        await writer.drain()
+        # Wait until the query is genuinely in flight, then vanish
+        # without ever reading the response.
+        for _ in range(200):
+            if gateway.broker.present_count:
+                break
+            await asyncio.sleep(0.005)
+        assert gateway.broker.present_count == 1
+        writer.close()
+        for _ in range(200):
+            if not gateway.broker.present_count:
+                break
+            await asyncio.sleep(0.005)
+        await server.close()
+        return gateway
+
+    gateway = asyncio.run(scenario())
+    assert gateway.report.client_cancels == 1
+    assert gateway.broker.present_count == 0
+    assert gateway.allocator.reserved_pages == 0
+    assert gateway.report.served == 1  # departed (as a miss), not lost
+    assert gateway.report.missed == 1
