@@ -51,6 +51,9 @@ LIVE_CAPACITY_QUERIES_PER_S_FLOOR = 375.0
 #: The overload reject path (shed at the door) must stay far cheaper
 #: than admission -- pinned by scripts/bench_serve.py.
 SHED_PER_S_FLOOR = 5_000
+#: The routed round trip (client -> router -> shard -> back, two TCP
+#: hops + a JSON re-encode per query) -- pinned by scripts/bench_serve.py.
+ROUTER_QUERIES_PER_S_FLOOR = 1_000
 
 
 class Metric(NamedTuple):
@@ -111,6 +114,13 @@ def serve_metrics(baseline: dict, fresh: dict) -> Iterator[Metric]:
             float(baseline["shed"]["sheds_per_sec"]),
             float(fresh["shed"]["sheds_per_sec"]),
             SHED_PER_S_FLOOR,
+        )
+    if "router" in baseline and "router" in fresh:
+        yield Metric(
+            "serve.router_queries_per_s",
+            float(baseline["router"]["routed_per_sec"]),
+            float(fresh["router"]["routed_per_sec"]),
+            ROUTER_QUERIES_PER_S_FLOOR,
         )
 
 

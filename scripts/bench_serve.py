@@ -24,6 +24,12 @@ Four probes:
   path.  Overload survival depends on rejecting doomed work much
   faster than admitting it; a slow reject path is itself an overload
   amplifier.
+* **router** -- a doomed-submit burst through the consistent-hash
+  front end over real TCP: two in-process shed-enabled shards behind a
+  :class:`~repro.serve.router.ShardRouter`, one pipelining client,
+  responses correlated by tag.  Measures the full routed round trip
+  (client -> router -> shard -> router -> client) on the cheapest
+  server path, i.e. pure routing overhead.
 
 Run locally with::
 
@@ -52,6 +58,11 @@ MIN_DECISIONS_PER_SEC = 8000
 #: counter bump and a structured response, no broker registration, no
 #: reallocation (it typically sustains hundreds of thousands/second).
 MIN_SHEDS_PER_SEC = 5000
+
+#: The routed round trip adds two TCP hops and a JSON re-encode per
+#: query on top of the shard's own work; the router must not become
+#: the bottleneck (it typically sustains several thousand/second).
+MIN_ROUTED_PER_SEC = 1000
 
 
 def bench_admission(policy_spec: str, decisions: int, population: int) -> dict:
@@ -222,6 +233,98 @@ def bench_shed(burst: int) -> dict:
     }
 
 
+def bench_router(burst: int) -> dict:
+    """Time the routed reject path: a doomed-submit burst through the
+    consistent-hash front end over real TCP.
+
+    Two in-process shards (each a shed-enabled gateway on half the
+    scenario's disks and pool pages) sit behind a
+    :class:`~repro.serve.router.ShardRouter`; one pipelining client
+    writes the whole burst, then collects the out-of-order responses
+    by tag.  Every submission carries an infeasible deadline, so each
+    shard sheds it at the door and the measured rate is the routed
+    round trip itself -- placement, forward, shard reject, relay.
+    """
+    from repro.scenarios import ScenarioGenerator
+    from repro.serve.gateway import LiveGateway
+    from repro.serve.router import LINE_LIMIT, ShardRouter
+    from repro.serve.server import LiveServer
+    from repro.serve.shard import shard_config
+
+    config = ScenarioGenerator(0).generate("mix", 0).config
+    shards = 2
+    tenants = [f"tenant{i}" for i in range(8)]
+
+    async def run():
+        servers = []
+        endpoints = []
+        for shard_id in range(shards):
+            gateway = LiveGateway(
+                shard_config(config, shard_id, shards),
+                "minmax",
+                time_scale=1.0,
+                shed_overload=True,
+            )
+            server = LiveServer(gateway, shard=(shard_id, shards))
+            host, port = await server.start(port=0)
+            servers.append(server)
+            endpoints.append((host, port))
+        router = ShardRouter(
+            endpoints, ring_seed=config.seed, rebalance_interval=0.0
+        )
+        try:
+            host, port = await router.start()
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=LINE_LIMIT
+            )
+            try:
+
+                async def read_all():
+                    seen = 0
+                    while seen < burst:
+                        response = json.loads(await reader.readline())
+                        assert response.get("shed"), response
+                        seen += 1
+
+                collector = asyncio.ensure_future(read_all())
+                started = time.perf_counter()
+                for index in range(burst):
+                    writer.write(
+                        json.dumps(
+                            {
+                                "op": "submit",
+                                "type": "sort",
+                                "pages": 8,
+                                "slack": 0.01,
+                                "tenant": tenants[index % len(tenants)],
+                                "tag": index,
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                    if index % 64 == 0:
+                        await writer.drain()
+                await writer.drain()
+                await collector
+                elapsed = time.perf_counter() - started
+                conservation = (await router.stats())["conservation"]
+                assert conservation["complete"], conservation
+            finally:
+                writer.close()
+        finally:
+            await router.close()
+            for server in servers:
+                await server.close()
+        return elapsed
+
+    elapsed = asyncio.run(run())
+    return {
+        "burst": burst,
+        "shards": shards,
+        "routed_per_sec": round(burst / elapsed),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_serve.json")
@@ -230,6 +333,7 @@ def main(argv=None) -> int:
     parser.add_argument("--time-scale", type=float, default=0.01)
     parser.add_argument("--compress", type=float, default=16.0)
     parser.add_argument("--shed-burst", type=int, default=5000)
+    parser.add_argument("--router-burst", type=int, default=2000)
     parser.add_argument(
         "--skip-live", action="store_true", help="admission probe only"
     )
@@ -245,9 +349,11 @@ def main(argv=None) -> int:
         for spec in DEFAULT_POLICIES
     }
     payload = {
-        "probe": "repro.serve admission + live replay + live capacity + shed",
+        "probe": "repro.serve admission + live replay + live capacity "
+        "+ shed + router",
         "admission": admission,
         "shed": bench_shed(args.shed_burst),
+        "router": bench_router(args.router_burst),
         "python": platform.python_version(),
         "uvloop": uvloop_active,
     }
@@ -260,16 +366,22 @@ def main(argv=None) -> int:
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     slowest = min(entry["decisions_per_sec"] for entry in admission.values())
     shed_rate = payload["shed"]["sheds_per_sec"]
+    routed_rate = payload["router"]["routed_per_sec"]
     print(json.dumps(payload, indent=2))
     print(f"\nslowest admission path: {slowest} decisions/s "
           f"(floor {MIN_DECISIONS_PER_SEC})")
     print(f"shed (reject) path: {shed_rate} sheds/s "
           f"(floor {MIN_SHEDS_PER_SEC})")
+    print(f"routed round trip: {routed_rate} queries/s "
+          f"(floor {MIN_ROUTED_PER_SEC})")
     if slowest < MIN_DECISIONS_PER_SEC:
         print("FAIL: admission decision rate below the floor", file=sys.stderr)
         return 1
     if shed_rate < MIN_SHEDS_PER_SEC:
         print("FAIL: shed (reject) rate below the floor", file=sys.stderr)
+        return 1
+    if routed_rate < MIN_ROUTED_PER_SEC:
+        print("FAIL: routed round-trip rate below the floor", file=sys.stderr)
         return 1
     return 0
 

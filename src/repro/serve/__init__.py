@@ -20,7 +20,13 @@ Entry points:
   metrics;
 * ``python -m repro.serve serve`` -- a JSON-lines TCP server accepting
   ad-hoc query submissions with deadlines
-  (:class:`~repro.serve.server.LiveServer`).
+  (:class:`~repro.serve.server.LiveServer`);
+* ``python -m repro.serve route`` -- a consistent-hash front-end
+  router over N shard subprocesses, each a full serve stack on a
+  slice of the scenario's disks and pool pages, with a rebalancer
+  migrating tenants off skewed shards
+  (:class:`~repro.serve.router.ShardRouter`,
+  :mod:`repro.serve.shard`).
 """
 
 from repro.serve.dataplane import (
@@ -32,7 +38,9 @@ from repro.serve.dataplane import (
     TrackedAllocator,
 )
 from repro.serve.gateway import LiveGateway, LiveReport, run_live
+from repro.serve.router import HashRing, Migration, ShardLink, ShardRouter
 from repro.serve.server import LiveServer
+from repro.serve.shard import ShardProcess, launch_shards, shard_config
 from repro.serve.shootout import (
     LiveShootoutReport,
     find_multitenant_scenario,
@@ -43,11 +51,13 @@ from repro.serve.workload import (
     LiveSchedule,
     build_schedule,
     make_operator,
+    submit_request,
     tag_tenants,
 )
 
 __all__ = [
     "GrantOversubscribedError",
+    "HashRing",
     "LiveArrival",
     "LiveBufferPool",
     "LiveDataPlane",
@@ -57,12 +67,19 @@ __all__ = [
     "LiveSchedule",
     "LiveServer",
     "LiveShootoutReport",
+    "Migration",
     "PageStore",
+    "ShardLink",
+    "ShardProcess",
+    "ShardRouter",
     "TrackedAllocator",
     "build_schedule",
     "find_multitenant_scenario",
+    "launch_shards",
     "live_shootout",
     "make_operator",
     "run_live",
+    "shard_config",
+    "submit_request",
     "tag_tenants",
 ]

@@ -8,6 +8,7 @@
     python -m repro.serve chaos-shootout --fault-seed 7   # under faults
     python -m repro.serve replay --policy pmm          # one live run
     python -m repro.serve serve --port 7070 --policy pmm  # TCP server
+    python -m repro.serve route --shards 2 --tenants 2 # routed shard farm
     python -m repro.serve recover --journal broker.jsonl  # crash replay
 
 ``live-shootout`` replays one generated scenario through the live
@@ -86,6 +87,7 @@ def _cmd_live_shootout(args) -> int:
         predict=not args.no_predict,
         jobs=args.jobs,
         tenants=args.tenants,
+        shards=args.shards,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -185,17 +187,23 @@ def _cmd_serve(args) -> int:
     else:
         scenario = generator.generate(args.family, args.index)
 
+    config = scenario.config
+    shard = None
+    if args.of > 1:
+        from repro.serve.shard import shard_config
+
+        config = shard_config(config, args.shard_id, args.of)
+        shard = (args.shard_id, args.of)
+
     recorder = None
     if args.journal:
         from repro.serve.faults import JournalRecorder
 
-        recorder = JournalRecorder.for_policy(
-            args.journal, args.policy, scenario.config
-        )
+        recorder = JournalRecorder.for_policy(args.journal, args.policy, config)
 
     async def main() -> None:
         gateway = LiveGateway(
-            scenario.config,
+            config,
             args.policy,
             time_scale=args.time_scale,
             workers=args.workers,
@@ -203,10 +211,11 @@ def _cmd_serve(args) -> int:
             recorder=recorder,
             shed_overload=args.shed,
         )
-        server = LiveServer(gateway)
+        server = LiveServer(gateway, shard=shard)
         host, port = await server.start(args.host, args.port)
+        shard_note = f"shard={shard[0]}/{shard[1]} " if shard else ""
         print(f"repro.serve: policy={gateway.policy.name} "
-              f"scenario={scenario.name} listening on "
+              f"scenario={scenario.name} {shard_note}listening on "
               f"{host}:{port} (JSON lines; see repro/serve/server.py)",
               flush=True)
         stop = asyncio.Event()
@@ -239,6 +248,95 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_route(args) -> int:
+    import signal
+
+    from repro.scenarios import ScenarioGenerator
+    from repro.serve.router import ShardRouter
+    from repro.serve.shard import launch_shards
+    from repro.serve.shootout import find_multitenant_scenario
+
+    if args.shards < 1:
+        print(f"repro.serve: --shards must be positive, got {args.shards}")
+        return 2
+    # The ring seeds from the *scenario's* config seed (not the
+    # generator seed), so the shootout, a restarted router, and this
+    # CLI all place a tenant identically.
+    generator = ScenarioGenerator(args.scenario_seed)
+    if args.tenants is not None:
+        scenario = find_multitenant_scenario(generator, args.tenants, args.index)
+    else:
+        scenario = generator.generate(args.family, args.index)
+
+    shards = launch_shards(
+        args.shards,
+        policy=args.policy,
+        tenants=args.tenants,
+        family=args.family,
+        index=args.index,
+        scenario_seed=args.scenario_seed,
+        time_scale=args.time_scale,
+        shed=args.shed,
+    )
+
+    async def main() -> int:
+        router = ShardRouter(
+            [shard.address for shard in shards],
+            ring_seed=scenario.config.seed,
+            rebalance_interval=args.rebalance_interval,
+            skew_threshold=args.skew_threshold,
+        )
+        host, port = await router.start(args.host, args.port)
+        print(f"repro.serve: router policy={args.policy} "
+              f"scenario={scenario.name} shards={args.shards} "
+              f"listening on {host}:{port} "
+              "(JSON lines; see repro/serve/router.py)",
+              flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                signal.signal(
+                    signum,
+                    lambda *_args: loop.call_soon_threadsafe(stop.set),
+                )
+        await stop.wait()
+        print("repro.serve: router draining", flush=True)
+        final = await router.drain_stats()
+        await router.close()
+        conservation = final["conservation"]
+        ok = bool(conservation["complete"])
+        verdict = "ok" if ok else f"VIOLATED {conservation}"
+        print(f"repro.serve: router drained cleanly -- routed "
+              f"{final['arrivals']} arrivals across {args.shards} shards, "
+              f"{len(final['migrations'])} migrations, "
+              f"conservation {verdict}", flush=True)
+        return 0 if ok else 1
+
+    exit_code = 1
+    try:
+        exit_code = asyncio.run(main())
+    finally:
+        for shard in shards:
+            try:
+                code = shard.drain()
+            except Exception as error:
+                print(f"repro.serve: shard {shard.shard_id} failed to "
+                      f"drain: {error}", flush=True)
+                shard.kill()
+                exit_code = exit_code or 1
+                continue
+            if code != 0 or not shard.drained_cleanly:
+                print(f"repro.serve: shard {shard.shard_id} exited {code} "
+                      "without draining cleanly; output:\n  "
+                      + "\n  ".join(shard.lines), flush=True)
+                exit_code = exit_code or 1
+    return exit_code
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.serve", description=__doc__)
     commands = parser.add_subparsers(dest="command")
@@ -267,6 +365,15 @@ def main(argv=None) -> int:
         default=None,
         help="multi-tenant mode: serve the first multitenant scenario with "
         "exactly N tenants, tagging and cross-checking per-tenant traffic",
+    )
+    shootout.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="routed mode (requires --tenants): replay through N in-process "
+        "shard servers behind the consistent-hash router, starting from a "
+        "deliberately packed placement so the rebalancer must migrate; "
+        "cross-checks switch from DES fidelity to conservation",
     )
 
     chaos = commands.add_parser(
@@ -302,6 +409,20 @@ def main(argv=None) -> int:
     serve.add_argument("--port", type=int, default=7070)
     serve.add_argument("--policy", default="pmm", help="policy spec")
     serve.add_argument(
+        "--shard-id",
+        type=int,
+        default=0,
+        help="serve shard I of a routed farm (slice of the scenario's "
+        "disks and pool pages; requires --of > 1)",
+    )
+    serve.add_argument(
+        "--of",
+        type=int,
+        default=1,
+        help="total shard count of the routed farm (1 = standalone, "
+        "the identity: no resource split at all)",
+    )
+    serve.add_argument(
         "--tenants",
         type=int,
         default=None,
@@ -323,10 +444,54 @@ def main(argv=None) -> int:
     _add_scenario_flags(serve)
     _add_live_flags(serve)
 
+    route = commands.add_parser(
+        "route",
+        help="consistent-hash router over N shard subprocesses "
+        "(each a full serve stack on a slice of the resources)",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=7071)
+    route.add_argument("--shards", type=int, default=2, help="shard count")
+    route.add_argument("--policy", default="pmm", help="policy spec")
+    route.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="shards serve the first multitenant scenario with exactly "
+        "N tenants (tenant tags drive the hash-ring placement)",
+    )
+    route.add_argument(
+        "--rebalance-interval",
+        type=float,
+        default=0.5,
+        help="wall seconds between rebalancer passes over the shards' "
+        "batch feedback (0 disables migration)",
+    )
+    route.add_argument(
+        "--skew-threshold",
+        type=float,
+        default=0.5,
+        help="migrate when the hottest shard's window load exceeds the "
+        "coldest's by this fraction of the mean",
+    )
+    route.add_argument(
+        "--shed",
+        action="store_true",
+        help="shards reject infeasible arrivals with structured shed "
+        "responses instead of queueing doomed work",
+    )
+    route.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.05,
+        help="wall seconds per simulated second on every shard",
+    )
+    _add_scenario_flags(route)
+
     tokens = list(sys.argv[1:] if argv is None else argv)
     # Default subcommand: bare flags go to live-shootout.
     known = ("live-shootout", "chaos-shootout", "recover", "replay", "serve",
-             "-h", "--help")
+             "route", "-h", "--help")
     if tokens and tokens[0] not in known:
         tokens = ["live-shootout"] + tokens
     elif not tokens:
@@ -343,6 +508,8 @@ def main(argv=None) -> int:
         return _cmd_recover(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "route":
+        return _cmd_route(args)
     return _cmd_serve(args)
 
 

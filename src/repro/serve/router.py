@@ -1,0 +1,606 @@
+"""A consistent-hash front-end router over N live-server shards.
+
+The router speaks the same JSON-lines protocol as
+:class:`~repro.serve.server.LiveServer` -- clients do not know whether
+they connected to a single server or a routed farm.  Every submission
+is forwarded to the shard owning its tenant:
+
+* **Placement** starts on a :class:`HashRing` (sha256 points, virtual
+  nodes, deterministic in the scenario seed), so a tenant lands on the
+  same shard across restarts and across routers.
+* **Rebalancing**: a background task polls every shard's ``stats`` op
+  -- the batch feedback channel that already carries miss ratio, pool
+  hit ratio and queued disk seconds -- and, when the per-shard load
+  skew exceeds a threshold, migrates one tenant from the hottest shard
+  to the coldest.  New submissions route to the new shard immediately;
+  in-flight queries drain on the old shard (their responses come back
+  on its link, correlated by tag).
+
+One TCP connection per shard carries all forwarded traffic: submit
+responses arrive at query *departure* time, wildly out of order, so
+:class:`ShardLink` correlates them with the ``tag`` echo the server
+protocol provides.
+
+Conservation is checked end to end: the router counts what it accepted
+and relays, the shards count what they served, and
+``router arrivals == Σ shard arrivals == Σ shard (served + shed)``
+must hold once the farm is drained (``served`` includes deadline
+misses -- a missed query still departs and still answers its client).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: readline limit on shard links and router connections -- aggregated
+#: stats responses outgrow the 64 KiB asyncio default on big farms.
+LINE_LIMIT = 1 << 20
+
+#: Default wall seconds between rebalancer passes.
+REBALANCE_INTERVAL = 0.5
+
+#: Default skew trigger: migrate when the hottest shard's window load
+#: exceeds the coldest's by more than this fraction of the mean.
+SKEW_THRESHOLD = 0.5
+
+#: Never rebalance on fewer window arrivals than this -- one lone
+#: query is not skew.
+MIN_SKEW_ARRIVALS = 4
+
+
+def _point(seed: int, label: str) -> int:
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent tenant->shard placement, deterministic in ``seed``.
+
+    Each shard contributes ``replicas`` virtual points on a 64-bit
+    ring; a tenant hashes to a point and is owned by the next shard
+    point clockwise.  Pure python, no dependencies; the same
+    ``(seed, shards)`` pair always builds the same ring.
+    """
+
+    def __init__(self, shards: int, seed: int = 0, replicas: int = 64):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        self.seed = seed
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append(
+                    (_point(seed, f"shard:{shard}:{replica}"), shard)
+                )
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def place(self, tenant: str) -> int:
+        """The shard owning ``tenant`` (stable for a fixed ring)."""
+        where = bisect_right(self._points, _point(self.seed, f"tenant:{tenant}"))
+        if where == len(self._points):
+            where = 0
+        return self._owners[where]
+
+
+class ShardLink:
+    """One JSON-lines connection to a shard, multiplexing concurrent
+    requests via the server's ``tag`` echo.
+
+    Many submits are in flight at once and their responses arrive at
+    query departure time -- out of order -- so each request gets a
+    link-private tag and a future; the reader task resolves futures as
+    tagged responses land.  A dead link fails every pending future
+    with :class:`ConnectionError` instead of hanging the callers.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._tags = count()
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=LINE_LIMIT
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def request(self, payload: dict) -> dict:
+        """Send one request and await its (tag-correlated) response."""
+        if self._writer is None:
+            raise ConnectionError(f"shard {self.host}:{self.port} not connected")
+        tag = f"link{next(self._tags)}"
+        message = dict(payload)
+        message["tag"] = tag
+        future = asyncio.get_running_loop().create_future()
+        self._pending[tag] = future
+        data = json.dumps(message).encode() + b"\n"
+        try:
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError) as error:
+            self._pending.pop(tag, None)
+            raise ConnectionError(
+                f"shard {self.host}:{self.port} write failed: {error}"
+            ) from error
+        return await future
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(response, dict):
+                    continue
+                future = self._pending.pop(response.pop("tag", None), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            error = ConnectionError(
+                f"shard link {self.host}:{self.port} closed"
+            )
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One rebalancer decision: ``tenant`` moved ``source -> target``."""
+
+    tenant: str
+    source: int
+    target: int
+    #: Wall seconds since the router started.
+    at_wall: float
+
+    def as_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "from": self.source,
+            "to": self.target,
+            "at_wall": round(self.at_wall, 3),
+        }
+
+
+class ShardRouter:
+    """The asyncio front end: accept client submissions, place them on
+    shards, relay the departure responses, rebalance on skew."""
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        ring_seed: int = 0,
+        rebalance_interval: float = REBALANCE_INTERVAL,
+        skew_threshold: float = SKEW_THRESHOLD,
+        min_skew_arrivals: int = MIN_SKEW_ARRIVALS,
+        placement: Optional[Dict[str, int]] = None,
+    ):
+        if not endpoints:
+            raise ValueError("router needs at least one shard endpoint")
+        self.links = [ShardLink(host, port) for host, port in endpoints]
+        self.ring = HashRing(len(self.links), seed=ring_seed)
+        #: tenant -> shard index.  Seeded from ``placement`` overrides
+        #: (the shootout's skew demo packs every tenant on one shard),
+        #: then filled lazily from the ring, then amended by
+        #: migrations.
+        self._placement: Dict[str, int] = dict(placement or {})
+        for tenant, shard in self._placement.items():
+            if not 0 <= shard < len(self.links):
+                raise ValueError(
+                    f"placement maps {tenant!r} to shard {shard}, but the "
+                    f"farm has {len(self.links)} shards"
+                )
+        self.rebalance_interval = rebalance_interval
+        self.skew_threshold = skew_threshold
+        self.min_skew_arrivals = min_skew_arrivals
+        self.migrations: List[Migration] = []
+        self.rebalance_passes = 0
+        # -- conservation counters ------------------------------------
+        #: Submissions accepted and forwarded to a shard.
+        self.arrivals = 0
+        #: Shard responses relayed back to clients.
+        self.responses = 0
+        self.routed = [0] * len(self.links)
+        self.per_tenant: Dict[str, int] = {}
+        # -- rebalancer window state ----------------------------------
+        self._window_tenant: Dict[str, int] = {}
+        self._last_shard_arrivals = [0] * len(self.links)
+        # -- lifecycle ------------------------------------------------
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._rebalance_task: Optional[asyncio.Task] = None
+        self._writers: set = set()
+        self._draining = False
+        self._closing = False
+        self._closed = asyncio.Event()
+        self._pending = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Connect every shard link, bind the listener, start the
+        rebalancer; returns ``(host, port)``."""
+        for link in self.links:
+            await link.connect()
+        self._t0 = asyncio.get_running_loop().time()
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=LINE_LIMIT
+        )
+        if self.rebalance_interval > 0:
+            self._rebalance_task = asyncio.ensure_future(self._rebalance_loop())
+        address = self._server.sockets[0].getsockname()
+        return address[0], address[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def place(self, tenant: str) -> int:
+        """Current shard for ``tenant``: explicit placement (including
+        migrations) first, ring otherwise; sticky once decided."""
+        shard = self._placement.get(tenant)
+        if shard is None:
+            shard = self.ring.place(tenant)
+            self._placement[tenant] = shard
+        return shard
+
+    # ------------------------------------------------------------------
+    async def drain_stats(self, timeout: float = 60.0) -> dict:
+        """Refuse new submissions, wait for every in-flight one to be
+        answered (firm deadlines bound the wait), and return the final
+        aggregated stats while the shard links are still open."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            pass
+        return await self.stats()
+
+    async def close(self) -> None:
+        """Stop accepting, let in-flight requests answer, close the
+        shard links.  Idempotent, like ``LiveServer.close``."""
+        if self._closing:
+            await self._closed.wait()
+            return
+        self._closing = True
+        self._draining = True
+        try:
+            if self._server is not None:
+                self._server.close()
+            if self._rebalance_task is not None:
+                self._rebalance_task.cancel()
+                try:
+                    await self._rebalance_task
+                except asyncio.CancelledError:
+                    pass
+                self._rebalance_task = None
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=60.0)
+            except asyncio.TimeoutError:
+                pass
+            for writer in list(self._writers):
+                writer.close()
+            if self._server is not None:
+                await self._server.wait_closed()
+                self._server = None
+            for link in self.links:
+                await link.close()
+        finally:
+            self._closed.set()
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        """One client connection, same discipline as ``LiveServer``:
+        every line served in its own task, hostile input answered with
+        structured errors, a disconnect cancels the in-flight relays."""
+        self._writers.add(writer)
+        state = {"tenant": ""}
+        lock = asyncio.Lock()
+        inflight: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._respond(
+                        writer, lock, {"error": "request line too long"}
+                    )
+                    break
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._serve_request(line, state, writer, lock)
+                )
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            for task in list(inflight):
+                task.cancel()
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _serve_request(self, line, state, writer, lock) -> None:
+        self._pending += 1
+        self._idle.clear()
+        tag = None
+        try:
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                response = {"error": f"malformed JSON: {error}"}
+            else:
+                if not isinstance(request, dict):
+                    response = {"error": "request must be a JSON object"}
+                else:
+                    tag = request.get("tag")
+                    try:
+                        response = await self._dispatch(request, state)
+                    except (ValueError, KeyError, TypeError) as error:
+                        response = {"error": str(error)}
+                    except ConnectionError as error:
+                        response = {"error": f"shard unreachable: {error}"}
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as error:
+                        response = {
+                            "error": "internal error: "
+                            f"{type(error).__name__}: {error}"
+                        }
+            if tag is not None:
+                response["tag"] = tag
+            await self._respond(writer, lock, response)
+        except asyncio.CancelledError:
+            return
+        finally:
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.set()
+
+    async def _respond(self, writer, lock, response: dict) -> None:
+        payload = json.dumps(response).encode() + b"\n"
+        try:
+            async with lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _dispatch(self, request: dict, state: dict) -> dict:
+        op = request.get("op", "submit")
+        if op == "hello":
+            tenant = str(request.get("tenant", ""))
+            state["tenant"] = tenant
+            return {
+                "tenant": tenant,
+                "shard": self.place(tenant) if tenant else None,
+            }
+        if op == "stats":
+            return await self.stats()
+        if op == "submit":
+            if self._draining:
+                raise ValueError("router is draining; submission refused")
+            tenant = str(request.get("tenant", state["tenant"]) or "")
+            shard = self.place(tenant)
+            self.arrivals += 1
+            self.routed[shard] += 1
+            self.per_tenant[tenant] = self.per_tenant.get(tenant, 0) + 1
+            self._window_tenant[tenant] = (
+                self._window_tenant.get(tenant, 0) + 1
+            )
+            forward = {
+                key: value for key, value in request.items() if key != "tag"
+            }
+            forward["tenant"] = tenant
+            response = await self.links[shard].request(forward)
+            response["shard"] = shard
+            self.responses += 1
+            return response
+        raise ValueError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    async def stats(self) -> dict:
+        """Router counters, every shard's own stats, the aggregate, and
+        the conservation cross-check."""
+        shard_stats = list(
+            await asyncio.gather(
+                *(link.request({"op": "stats"}) for link in self.links)
+            )
+        )
+        aggregate = {"arrivals": 0, "served": 0, "missed": 0, "shed": 0}
+        for one in shard_stats:
+            for key in aggregate:
+                aggregate[key] += int(one.get(key, 0) or 0)
+        aggregate["miss_ratio"] = round(
+            aggregate["missed"] / aggregate["served"], 4
+        ) if aggregate["served"] else 0.0
+        return {
+            "arrivals": self.arrivals,
+            "responses": self.responses,
+            "routed": list(self.routed),
+            "placement": dict(sorted(self._placement.items())),
+            "per_tenant": dict(sorted(self.per_tenant.items())),
+            "migrations": [m.as_dict() for m in self.migrations],
+            "rebalance_passes": self.rebalance_passes,
+            "shards": shard_stats,
+            "aggregate": aggregate,
+            "conservation": self.conservation(shard_stats),
+            "draining": self._draining,
+        }
+
+    def conservation(self, shard_stats: Sequence[dict]) -> dict:
+        """The cross-check: router arrivals == Σ shard arrivals, and --
+        once the farm is drained -- Σ shard (served + shed) == arrivals
+        (``served`` includes deadline misses; every accepted query
+        departs exactly once)."""
+        shard_arrivals = sum(
+            int(one.get("arrivals", 0) or 0) for one in shard_stats
+        )
+        served = sum(int(one.get("served", 0) or 0) for one in shard_stats)
+        shed = sum(int(one.get("shed", 0) or 0) for one in shard_stats)
+        settled = served + shed
+        return {
+            "router_arrivals": self.arrivals,
+            "shard_arrivals": shard_arrivals,
+            "settled": settled,
+            "responses": self.responses,
+            #: Arrival conservation holds at any instant.
+            "ok": shard_arrivals == self.arrivals
+            and settled <= shard_arrivals,
+            #: True once drained: every arrival settled and answered.
+            "complete": shard_arrivals == self.arrivals
+            and settled == shard_arrivals
+            and self.responses == self.arrivals,
+        }
+
+    # ------------------------------------------------------------------
+    async def _rebalance_loop(self) -> None:
+        """Poll every shard's batch feedback and migrate on skew."""
+        while True:
+            await asyncio.sleep(self.rebalance_interval)
+            try:
+                shard_stats = await asyncio.gather(
+                    *(link.request({"op": "stats"}) for link in self.links)
+                )
+            except ConnectionError:
+                continue
+            self.rebalance_passes += 1
+            self._maybe_migrate(list(shard_stats))
+
+    def _maybe_migrate(self, shard_stats: List[dict]) -> None:
+        """One rebalance pass over one batch-feedback window.
+
+        Load per shard = window arrivals weighted by the degradation
+        the shard itself reports (miss ratio, queued disk seconds from
+        the ``stats`` op).  When the hottest exceeds the coldest by
+        more than ``skew_threshold`` of the mean, one tenant moves hot
+        -> cold -- the one whose window traffic best halves the gap.
+        """
+        arrivals = [int(one.get("arrivals", 0) or 0) for one in shard_stats]
+        window = [
+            max(0, now - before)
+            for now, before in zip(arrivals, self._last_shard_arrivals)
+        ]
+        self._last_shard_arrivals = arrivals
+        tenant_window = self._window_tenant
+        self._window_tenant = {}
+        if sum(window) < self.min_skew_arrivals:
+            return
+        loads = [
+            window[i]
+            * (1.0 + float(shard_stats[i].get("miss_ratio", 0.0) or 0.0))
+            + float(shard_stats[i].get("disk_queue_s", 0.0) or 0.0)
+            for i in range(len(window))
+        ]
+        hot = max(range(len(loads)), key=loads.__getitem__)
+        cold = min(range(len(loads)), key=loads.__getitem__)
+        if hot == cold:
+            return
+        mean = sum(loads) / len(loads)
+        if loads[hot] - loads[cold] <= self.skew_threshold * max(mean, 1.0):
+            return
+        tenant = self._pick_tenant(
+            hot, cold, tenant_window, window[hot] - window[cold]
+        )
+        if tenant is None:
+            return
+        self._placement[tenant] = cold
+        self.migrations.append(
+            Migration(
+                tenant=tenant,
+                source=hot,
+                target=cold,
+                at_wall=asyncio.get_running_loop().time() - self._t0,
+            )
+        )
+
+    def _pick_tenant(
+        self,
+        hot: int,
+        cold: int,
+        tenant_window: Dict[str, int],
+        arrival_gap: int,
+    ) -> Optional[str]:
+        """The hot shard's tenant whose migration best halves the
+        window-arrival gap; ``None`` when no move strictly improves.
+
+        A zero-traffic tenant is still a valid move when the cold
+        shard hosts nothing at all (the packed cold-start case) --
+        spreading placement is the improvement there.
+        """
+        candidates = sorted(
+            tenant
+            for tenant, shard in self._placement.items()
+            if shard == hot
+        )
+        if not candidates:
+            return None
+        cold_hosts_any = any(
+            shard == cold for shard in self._placement.values()
+        )
+        best: Optional[str] = None
+        best_score: Optional[float] = None
+        for tenant in candidates:
+            load = tenant_window.get(tenant, 0)
+            improves = 0 < load < arrival_gap
+            spreads = not cold_hosts_any and len(candidates) >= 2
+            if not improves and not spreads:
+                continue
+            score = abs(arrival_gap - 2 * load)
+            if best_score is None or score < best_score:
+                best, best_score = tenant, score
+        return best

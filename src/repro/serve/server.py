@@ -40,6 +40,11 @@ the per-tenant breakdown included)::
         "observed_mpl": 2.4, "decisions": 25, "pool_hit_ratio": 0.13,
         "disk_queue_s": 0.8, "per_tenant": {"acme": {...}}, ...}
 
+Any request may carry a ``"tag"`` (any JSON value); the server echoes
+it in the response.  Submit responses arrive at query *departure*
+time -- out of order on a pipelining connection -- so the tag is how a
+multiplexing client (e.g. :mod:`repro.serve.router`) correlates them.
+
 ``pages`` is the operand size in model pages (a sort's relation, a
 join's inner relation); the server synthesises a relation of that size
 on a round-robin disk, prices the deadline with the same stand-alone
@@ -57,7 +62,7 @@ from __future__ import annotations
 import asyncio
 import json
 from itertools import count
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.rtdbs.config import EXTERNAL_SORT, HASH_JOIN
 from repro.rtdbs.database import Relation
@@ -71,8 +76,17 @@ _SYNTHETIC_BASE = 1_000_000
 class LiveServer:
     """Accept query submissions over TCP and push them to the gateway."""
 
-    def __init__(self, gateway: LiveGateway):
+    def __init__(
+        self,
+        gateway: LiveGateway,
+        shard: Optional[Tuple[int, int]] = None,
+    ):
         self.gateway = gateway
+        #: ``(shard_id, shard_count)`` when this server is one shard of
+        #: a routed deployment (``serve --shard-id I --of N``); ``None``
+        #: for a standalone server.  Purely identity -- the resource
+        #: split happened in :func:`repro.serve.shard.shard_config`.
+        self.shard = shard
         self._qids = count()
         self._rel_ids = count(_SYNTHETIC_BASE)
         self._disk_cursor = 0
@@ -80,11 +94,20 @@ class LiveServer:
         self._server: Optional[asyncio.AbstractServer] = None
         #: tenant name -> query-class name (policy-facing identity).
         self._tenant_classes: Dict[str, str] = {}
+        #: The scenario's classes, computed once -- tenant_class is on
+        #: the submit path and a routed deployment fans many tenants
+        #: through it.
+        self._classes = tuple(gateway.config.workload.classes)
+        self._class_names = frozenset(qc.name for qc in self._classes)
         self._class_cursor = 0
         self._writers: set = set()
         self._draining = False
+        self._closing = False
+        self._closed = asyncio.Event()
         #: Requests mid-flight in a handler (read, not yet responded).
         self._pending = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
         gateway.departure_listeners.append(self._on_departure)
 
     # ------------------------------------------------------------------
@@ -97,23 +120,35 @@ class LiveServer:
 
     async def close(self) -> None:
         """Graceful drain: refuse new work, let in-flight queries depart
-        (answering their clients), then tear the gateway down."""
+        (answering their clients), then tear the gateway down.
+
+        Idempotent: concurrent or repeated calls wait for the first
+        drain to finish instead of re-draining a closed gateway.
+        """
+        if self._closing:
+            await self._closed.wait()
+            return
+        self._closing = True
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-        await self.gateway.drain()
-        # The departures resolved every waiter; wait until the handler
-        # tasks have written those final responses out (bounded, in
-        # case a client's transport wedges mid-write).
-        deadline = asyncio.get_running_loop().time() + 10.0
-        while self._pending and asyncio.get_running_loop().time() < deadline:
-            await asyncio.sleep(0.01)
-        for writer in list(self._writers):
-            writer.close()
-        if self._server is not None:
-            await self._server.wait_closed()
-            self._server = None
-        await self.gateway.close()
+        try:
+            if self._server is not None:
+                self._server.close()
+            await self.gateway.drain()
+            # The departures resolved every waiter; wait until the
+            # handler tasks have written those final responses out
+            # (bounded, in case a client's transport wedges mid-write).
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=10.0)
+            except asyncio.TimeoutError:
+                pass
+            for writer in list(self._writers):
+                writer.close()
+            if self._server is not None:
+                await self._server.wait_closed()
+                self._server = None
+            await self.gateway.close()
+        finally:
+            self._closed.set()
 
     @property
     def draining(self) -> bool:
@@ -129,12 +164,12 @@ class LiveServer:
         """
         mapped = self._tenant_classes.get(tenant)
         if mapped is None:
-            classes = self.gateway.config.workload.classes
-            names = {query_class.name for query_class in classes}
-            if tenant in names:
+            if tenant in self._class_names:
                 mapped = tenant
             else:
-                mapped = classes[self._class_cursor % len(classes)].name
+                mapped = self._classes[
+                    self._class_cursor % len(self._classes)
+                ].name
                 self._class_cursor += 1
             self._tenant_classes[tenant] = mapped
         return mapped
@@ -256,8 +291,17 @@ class LiveServer:
             writer.close()
 
     async def _serve_request(self, line, state, writer, lock) -> None:
-        """Parse and serve one request line; always answer something."""
+        """Parse and serve one request line; always answer something.
+
+        A request carrying a ``"tag"`` gets it echoed in the response:
+        submit responses arrive at query *departure* time, so a client
+        multiplexing many in-flight submits on one connection (the
+        shard router does exactly this) needs the tag to correlate the
+        out-of-order responses.
+        """
         self._pending += 1
+        self._idle.clear()
+        tag = None
         try:
             try:
                 request = json.loads(line)
@@ -267,6 +311,7 @@ class LiveServer:
                 if not isinstance(request, dict):
                     response = {"error": "request must be a JSON object"}
                 else:
+                    tag = request.get("tag")
                     try:
                         if request.get("op") == "hello":
                             tenant = str(request.get("tenant", ""))
@@ -293,11 +338,15 @@ class LiveServer:
                             "error": "internal error: "
                             f"{type(error).__name__}: {error}"
                         }
+            if tag is not None:
+                response["tag"] = tag
             await self._respond(writer, lock, response)
         except asyncio.CancelledError:
             return  # connection gone: _dispatch cancelled its query
         finally:
             self._pending -= 1
+            if self._pending == 0:
+                self._idle.set()
 
     async def _respond(self, writer, lock, response: dict) -> None:
         payload = json.dumps(response).encode() + b"\n"
@@ -347,6 +396,11 @@ class LiveServer:
                 for tenant, stats in sorted(report.per_tenant.items())
             },
             "draining": self._draining,
+            "shard": (
+                {"id": self.shard[0], "of": self.shard[1]}
+                if self.shard is not None
+                else None
+            ),
         }
 
     async def _dispatch(self, request: dict, tenant: str = "") -> dict:
@@ -359,7 +413,13 @@ class LiveServer:
             arrival = self._build_arrival(request, tenant)
             future = asyncio.get_running_loop().create_future()
             self._waiters[arrival.qid] = future
-            job = self.gateway.submit(arrival)
+            try:
+                job = self.gateway.submit(arrival)
+            except BaseException:
+                # A failed submit never departs, so nothing would ever
+                # pop this waiter -- it must not outlive the request.
+                self._waiters.pop(arrival.qid, None)
+                raise
             if job.state == SHED:
                 self._waiters.pop(arrival.qid, None)
                 return {

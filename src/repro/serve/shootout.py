@@ -30,15 +30,21 @@ the cached parallel experiment engine).  Cross-checks:
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.policies import DEFAULT_POLICIES
 from repro.scenarios import Scenario, ScenarioGenerator
 from repro.serve.faults import FaultSchedule
-from repro.serve.gateway import LiveGateway, LiveReport
-from repro.serve.workload import build_schedule, tag_tenants
+from repro.serve.gateway import (
+    LiveClassStats,
+    LiveGateway,
+    LiveReport,
+    _quantize,
+)
+from repro.serve.workload import build_schedule, submit_request, tag_tenants
 
 #: Hard per-policy bound on |live miss ratio - DES prediction|.  The
 #: primary fidelity gate: both hosts share one DeviceCore, so anything
@@ -97,6 +103,12 @@ class LiveShootoutReport:
     #: predictions then saw different traffic and the fidelity gate
     #: does not apply.
     clipped: bool = False
+    #: Shard count when the shootout ran through the consistent-hash
+    #: router (``--shards N``); ``None`` on the single-process path.
+    shards: Optional[int] = None
+    #: Per-policy final router stats (placement, migrations, per-shard
+    #: stats, conservation) in sharded mode.
+    router_stats: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -153,9 +165,13 @@ class LiveShootoutReport:
         )
         if self.tenants:
             title += f", tenants={self.tenants}"
+        if self.shards:
+            title += f", shards={self.shards} (routed)"
         table = format_table(headers, rows, title=title)
         if self.tenants:
             table += "\n\n" + self._render_tenants()
+        if self.shards:
+            table += "\n\n" + self._render_shards()
         if self.failures:
             table += "\n\nCROSS-CHECK FAILURES:\n" + "\n".join(
                 f"  - {failure}" for failure in self.failures
@@ -188,6 +204,62 @@ class LiveShootoutReport:
             headers, rows, title="Per-tenant served/missed (shared pool + disks)"
         )
 
+    def _render_shards(self) -> str:
+        """Per-shard miss ratios, conservation, and the migration log,
+        one block per policy (sharded mode)."""
+        headers = [
+            "policy",
+            "shard",
+            "arrivals",
+            "served",
+            "missed",
+            "miss",
+            "pool_hit",
+            "disk_q_s",
+        ]
+        rows = []
+        for policy in self.policies:
+            stats = self.router_stats.get(policy, {})
+            for shard_stats in stats.get("shards", []):
+                shard = shard_stats.get("shard") or {}
+                rows.append(
+                    [
+                        policy,
+                        f"{shard.get('id', '?')}/{shard.get('of', '?')}",
+                        shard_stats.get("arrivals", 0),
+                        shard_stats.get("served", 0),
+                        shard_stats.get("missed", 0),
+                        shard_stats.get("miss_ratio", 0.0),
+                        shard_stats.get("pool_hit_ratio", 0.0),
+                        shard_stats.get("disk_queue_s", 0.0),
+                    ]
+                )
+        table = format_table(
+            headers, rows, title="Per-shard outcomes (routed farm)"
+        )
+        lines = []
+        for policy in self.policies:
+            stats = self.router_stats.get(policy, {})
+            conservation = stats.get("conservation", {})
+            migrations = stats.get("migrations", [])
+            moved = (
+                "; ".join(
+                    f"{m['tenant']}: shard{m['from']}->shard{m['to']} "
+                    f"@{m['at_wall']}s"
+                    for m in migrations
+                )
+                or "none"
+            )
+            lines.append(
+                f"  {policy}: router arrivals "
+                f"{conservation.get('router_arrivals')} == shard arrivals "
+                f"{conservation.get('shard_arrivals')} == settled "
+                f"{conservation.get('settled')} "
+                f"(conserved={conservation.get('complete')}); "
+                f"migrations: {moved}"
+            )
+        return table + "\n\nConservation + rebalancing:\n" + "\n".join(lines)
+
 
 def live_shootout(
     policies: Sequence[str] = DEFAULT_POLICIES,
@@ -202,6 +274,7 @@ def live_shootout(
     predict: bool = True,
     jobs: Optional[int] = None,
     tenants: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> LiveShootoutReport:
     """Serve one scenario live under every policy and cross-check.
 
@@ -216,6 +289,20 @@ def live_shootout(
     query classes), tags every arrival with its owning tenant, and
     adds per-tenant cross-checks: all tenants share one broker, one
     buffer pool, and one disk farm.
+
+    ``shards=N`` (N >= 2, requires ``tenants``) serves the same
+    schedule through N in-process shard servers -- each a full
+    gateway over a :func:`~repro.serve.shard.shard_config` slice of
+    the disks and pool pages -- behind the consistent-hash
+    :class:`~repro.serve.router.ShardRouter`.  Every tenant starts
+    deliberately *packed on one shard* (the worst-case cold start) so
+    the run demonstrates the rebalancer migrating off the skew; the
+    cross-checks switch from DES fidelity (the simulator has no
+    sharded topology) to conservation: router arrivals == Σ shard
+    arrivals == Σ shard (served + shed), per-tenant traffic equal
+    across policies, and at least one migration on unclipped runs.
+    ``shards=1`` (and ``None``) is the identity: no router, no
+    resource split, fidelity gate unchanged.
     """
     generator = ScenarioGenerator(scenario_seed)
     if tenants is not None:
@@ -224,6 +311,15 @@ def live_shootout(
         scenario = generator.generate(family, index)
     config = scenario.config
     policy_list = tuple(policies)
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    routed = shards is not None and shards >= 2
+    if routed:
+        if tenants is None:
+            raise ValueError(
+                "--shards needs --tenants N: placement is per tenant"
+            )
+        predict = False  # no DES prediction models a sharded topology
 
     predicted: Dict[str, float] = {}
     predicted_pool_hit: Dict[str, float] = {}
@@ -252,7 +348,40 @@ def live_shootout(
             )
 
     live: Dict[str, LiveReport] = {}
+    router_stats: Dict[str, dict] = {}
     for policy in policy_list:
+        if routed:
+            from repro.rtdbs.database import Database
+            from repro.sim.rng import Streams
+
+            database = Database(
+                config.database, config.resources, Streams(config.seed)
+            )
+            schedule = tag_tenants(
+                build_schedule(
+                    config,
+                    database,
+                    horizon=horizon,
+                    max_arrivals=max_arrivals,
+                )
+            )
+            # ~6 rebalance windows per run, whatever the time scale.
+            rebalance_interval = max(
+                0.25, schedule.horizon * time_scale / 6.0
+            )
+            live[policy], router_stats[policy] = asyncio.run(
+                _run_sharded_policy(
+                    policy,
+                    config,
+                    schedule,
+                    shards,
+                    time_scale=time_scale,
+                    workers=workers,
+                    invariants=invariants,
+                    rebalance_interval=rebalance_interval,
+                )
+            )
+            continue
         gateway = LiveGateway(
             config,
             policy,
@@ -279,8 +408,12 @@ def live_shootout(
         predicted_pool_hit=predicted_pool_hit,
         tenants=tenants,
         clipped=max_arrivals is not None,
+        shards=shards if routed else None,
+        router_stats=router_stats,
     )
     _cross_check(report)
+    if routed:
+        _cross_check_sharded(report)
     return report
 
 
@@ -332,7 +465,10 @@ def _cross_check(report: LiveShootoutReport) -> None:
                     f"(|delta| > {FIDELITY_TOLERANCE}) -- the live plane "
                     "diverged from the shared-core physics"
                 )
-    if "minmax" in report.live and "max" in report.live:
+    # The ordering check needs the full single-pool sample; a routed
+    # farm halves (or worse) each broker's traffic, so the small-sample
+    # tolerance no longer applies -- conservation is the gate there.
+    if report.shards is None and "minmax" in report.live and "max" in report.live:
         minmax_miss = report.live["minmax"].miss_ratio
         max_miss = report.live["max"].miss_ratio
         if minmax_miss > max_miss + LIVE_ORDERING_TOLERANCE:
@@ -341,6 +477,229 @@ def _cross_check(report: LiveShootoutReport) -> None:
                 f"exceeds Max's {max_miss:.3f} by more than "
                 f"{LIVE_ORDERING_TOLERANCE} -- the paper's Section 5.1 "
                 "ordering inverted on live traffic"
+            )
+
+
+async def _run_sharded_policy(
+    policy: str,
+    config,
+    schedule,
+    shards: int,
+    time_scale: float,
+    workers: Optional[int],
+    invariants: bool,
+    rebalance_interval: float,
+) -> Tuple[LiveReport, dict]:
+    """One policy's schedule through N in-process shards + the router.
+
+    Every tenant starts packed on the ring shard of the first tenant
+    -- the worst-case placement -- so the rebalancer has real skew to
+    fix; the returned router stats carry the migration log the
+    cross-checks assert on.
+    """
+    from repro.serve.router import HashRing, ShardRouter
+    from repro.serve.server import LiveServer
+    from repro.serve.shard import shard_config
+
+    servers: List[LiveServer] = []
+    try:
+        endpoints = []
+        for shard_id in range(shards):
+            gateway = LiveGateway(
+                shard_config(config, shard_id, shards),
+                policy,
+                time_scale=time_scale,
+                workers=workers,
+                invariants=invariants,
+            )
+            server = LiveServer(gateway, shard=(shard_id, shards))
+            host, port = await server.start(port=0)
+            servers.append(server)
+            endpoints.append((host, port))
+        tenant_names = sorted(
+            {arrival.tenant for arrival in schedule.arrivals if arrival.tenant}
+        )
+        ring = HashRing(shards, seed=config.seed)
+        hot = ring.place(tenant_names[0]) if tenant_names else 0
+        packed = {tenant: hot for tenant in tenant_names}
+        router = ShardRouter(
+            endpoints,
+            ring_seed=config.seed,
+            rebalance_interval=rebalance_interval,
+            min_skew_arrivals=2,
+            placement=packed,
+        )
+        router_host, router_port = await router.start()
+        try:
+            await _route_schedule(router_host, router_port, schedule, time_scale)
+            final_stats = await router.drain_stats()
+        finally:
+            await router.close()
+    finally:
+        for server in servers:
+            await server.close()
+            server.gateway._finish_report()
+    reports = [server.gateway.report for server in servers]
+    return _merge_reports(reports, time_scale), final_stats
+
+
+async def _route_schedule(host, port, schedule, time_scale: float):
+    """Replay the open-loop schedule through the router over real TCP.
+
+    One pipelining connection carries every submission; responses come
+    back at departure time (out of order) and are matched by the
+    request tag.  Returns ``{qid: response}`` once every submission is
+    answered.
+    """
+    from repro.serve.router import LINE_LIMIT
+
+    reader, writer = await asyncio.open_connection(host, port, limit=LINE_LIMIT)
+    expected = len(schedule.arrivals)
+    responses: Dict[int, dict] = {}
+
+    async def read_responses() -> None:
+        while len(responses) < expected:
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("router connection closed mid-run")
+            response = json.loads(line)
+            if "error" in response:
+                raise RuntimeError(f"router refused a submission: {response}")
+            responses[int(response["tag"])] = response
+
+    reader_task = asyncio.ensure_future(read_responses())
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    try:
+        for arrival in schedule.arrivals:
+            # Same floored pacing as the in-process gateway replay.
+            target = t0 + arrival.arrival * time_scale
+            while True:
+                delay = target - loop.time()
+                if delay <= 0.0002:
+                    break
+                await asyncio.sleep(_quantize(delay))
+            request = submit_request(arrival)
+            request["tag"] = arrival.qid
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+        await reader_task
+    finally:
+        if not reader_task.done():
+            reader_task.cancel()
+        writer.close()
+    return responses
+
+
+def _merge_reports(
+    reports: Sequence[LiveReport], time_scale: float
+) -> LiveReport:
+    """Aggregate per-shard live reports into one farm-wide report.
+
+    Counters sum; wall/sim spans take the max (shards ran
+    concurrently); MPL sums (each broker's admitted population is
+    disjoint); disk telemetry concatenates in shard order.
+    """
+    merged = LiveReport(
+        policy=reports[0].policy,
+        time_scale=time_scale,
+        workers=sum(report.workers for report in reports),
+    )
+    for report in reports:
+        merged.arrivals += report.arrivals
+        merged.served += report.served
+        merged.missed += report.missed
+        merged.shed += report.shed
+        merged.client_cancels += report.client_cancels
+        merged.decisions += report.decisions
+        merged.decision_seconds += report.decision_seconds
+        merged.decision_max_seconds = max(
+            merged.decision_max_seconds, report.decision_max_seconds
+        )
+        merged.wall_seconds = max(merged.wall_seconds, report.wall_seconds)
+        merged.sim_seconds = max(merged.sim_seconds, report.sim_seconds)
+        merged.observed_mpl += report.observed_mpl
+        merged.pages_read += report.pages_read
+        merged.pages_written += report.pages_written
+        merged.bytes_moved += report.bytes_moved
+        merged.pool_hits += report.pool_hits
+        merged.pool_misses += report.pool_misses
+        merged.disk_busy += report.disk_busy
+        merged.disk_queue += report.disk_queue
+        _merge_class_stats(merged.per_class, report.per_class)
+        _merge_class_stats(merged.per_tenant, report.per_tenant)
+    return merged
+
+
+def _merge_class_stats(
+    target: Dict[str, LiveClassStats], source: Dict[str, LiveClassStats]
+) -> None:
+    for name, stats in source.items():
+        slot = target.setdefault(name, LiveClassStats())
+        slot.arrivals += stats.arrivals
+        slot.served += stats.served
+        slot.missed += stats.missed
+        slot.shed += stats.shed
+
+
+def _cross_check_sharded(report: LiveShootoutReport) -> None:
+    """The routed farm's laws, replacing the fidelity gate:
+
+    * conservation per policy -- router arrivals == Σ shard arrivals
+      == Σ shard (served + shed), and every arrival was answered;
+    * router and shard per-tenant arrival counts agree (no traffic
+      mis-attributed across the migration);
+    * router traffic identical across policies (the schedule is
+      policy-independent);
+    * on unclipped runs with real traffic, the rebalancer migrated at
+      least one tenant off the packed cold-start.
+    """
+    arrivals_by_policy: Dict[str, int] = {}
+    for policy in report.policies:
+        stats = report.router_stats.get(policy)
+        if not stats:
+            report.failures.append(f"{policy}: no router stats collected")
+            continue
+        conservation = stats.get("conservation", {})
+        if not conservation.get("complete"):
+            report.failures.append(
+                f"{policy}: conservation violated after drain -- "
+                f"router arrivals {conservation.get('router_arrivals')}, "
+                f"shard arrivals {conservation.get('shard_arrivals')}, "
+                f"settled {conservation.get('settled')}, "
+                f"responses {conservation.get('responses')}"
+            )
+        arrivals_by_policy[policy] = int(stats.get("arrivals", 0))
+        shard_tenant: Dict[str, int] = {}
+        for shard_stats in stats.get("shards", []):
+            for tenant, tenant_stats in shard_stats.get(
+                "per_tenant", {}
+            ).items():
+                shard_tenant[tenant] = shard_tenant.get(tenant, 0) + int(
+                    tenant_stats.get("arrivals", 0)
+                )
+        if shard_tenant != stats.get("per_tenant"):
+            report.failures.append(
+                f"{policy}: router per-tenant counts "
+                f"{stats.get('per_tenant')} disagree with the shards' "
+                f"{shard_tenant} -- tenant traffic mis-attributed"
+            )
+    if len(set(arrivals_by_policy.values())) > 1:
+        report.failures.append(
+            f"router arrivals differ across policies: {arrivals_by_policy} "
+            "-- the open-loop schedule is policy-independent"
+        )
+    if report.clipped:
+        return  # clipped runs may end before a rebalance window fires
+    for policy in report.policies:
+        stats = report.router_stats.get(policy) or {}
+        if int(stats.get("arrivals", 0)) < 8:
+            continue  # too little traffic to call anything skew
+        if not stats.get("migrations"):
+            report.failures.append(
+                f"{policy}: every tenant started packed on one shard but "
+                "the rebalancer never migrated -- skew detection is dead "
+                f"(passes={stats.get('rebalance_passes')})"
             )
 
 

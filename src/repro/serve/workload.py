@@ -215,6 +215,33 @@ def tag_tenants(schedule: LiveSchedule) -> LiveSchedule:
     )
 
 
+def submit_request(arrival: LiveArrival) -> dict:
+    """The JSON-lines ``submit`` request replaying one scheduled
+    arrival through the TCP front end (server or shard router).
+
+    The tenant tag is what feeds the router's consistent-hash
+    placement; the class tag keeps the policy-facing identity the
+    schedule assigned (the receiving shard would otherwise re-derive
+    it from the tenant name).  Slack is expressed relative to the
+    stand-alone time so the receiving server reprices the deadline
+    with its own cost model -- stand-alone times assume maximum
+    memory, so they are identical on every shard regardless of the
+    resource split.
+    """
+    request = {
+        "op": "submit",
+        "type": "hash_join" if arrival.query_type == HASH_JOIN else "sort",
+        "pages": arrival.inner.pages,
+        "slack": arrival.time_constraint / arrival.standalone,
+        "class": arrival.class_name,
+    }
+    if arrival.outer is not None:
+        request["outer_pages"] = arrival.outer.pages
+    if arrival.tenant:
+        request["tenant"] = arrival.tenant
+    return request
+
+
 def make_operator(
     arrival: LiveArrival,
     context: OperatorContext,

@@ -514,3 +514,106 @@ def test_server_disconnect_cancels_query_and_releases_grant():
     assert gateway.allocator.reserved_pages == 0
     assert gateway.report.served == 1  # departed (as a miss), not lost
     assert gateway.report.missed == 1
+
+
+# ----------------------------------------------------------------------
+# front-end lifecycle regressions
+# ----------------------------------------------------------------------
+def test_submit_failure_does_not_leak_waiter():
+    """A ``gateway.submit`` that raises mid-dispatch must not leave the
+    qid's departure waiter behind: nothing would ever pop it, and the
+    map would grow by one dead future per failed submission."""
+
+    async def scenario():
+        from repro.serve.server import LiveServer
+
+        gateway = LiveGateway(scenario_config(), "max", time_scale=0.01)
+        server = LiveServer(gateway)
+        host, port = await server.start(port=0)
+
+        def exploding_submit(arrival):
+            raise RuntimeError("broker on fire")
+
+        gateway.submit = exploding_submit
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                json.dumps(
+                    {"op": "submit", "type": "sort", "pages": 8, "slack": 30.0}
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            response = json.loads(await reader.readline())
+        finally:
+            writer.close()
+        waiters = dict(server._waiters)
+        await server.close()
+        return response, waiters
+
+    response, waiters = asyncio.run(scenario())
+    assert "broker on fire" in response["error"]
+    assert waiters == {}  # the failed submit cleaned up after itself
+
+
+def test_server_close_is_idempotent():
+    """Repeated and concurrent ``close()`` calls drain the gateway
+    exactly once; late callers wait for the first drain instead of
+    re-draining a closed gateway."""
+
+    async def scenario():
+        from repro.serve.server import LiveServer
+
+        gateway = LiveGateway(scenario_config(), "max", time_scale=0.01)
+        server = LiveServer(gateway)
+        await server.start(port=0)
+        closes = {"count": 0}
+        original = gateway.close
+
+        async def counted_close():
+            closes["count"] += 1
+            await original()
+
+        gateway.close = counted_close
+        await asyncio.gather(server.close(), server.close())
+        await server.close()
+        return closes["count"]
+
+    assert asyncio.run(scenario()) == 1
+
+
+def test_tenant_class_mapping_is_precomputed():
+    """``tenant_class`` sits on the submit path: the class tables are
+    computed once at construction, never re-derived from the config."""
+    from repro.serve.server import LiveServer
+
+    gateway = LiveGateway(scenario_config(), "max", time_scale=0.01)
+    server = LiveServer(gateway)
+    names = [qc.name for qc in gateway.config.workload.classes]
+    # A tenant named after a scenario class keeps that class.
+    assert server.tenant_class(names[0]) == names[0]
+    # Sabotage the config: lookups must keep working off the
+    # precomputed tables (the regression rebuilt a set from the config
+    # for every unseen tenant).
+    gateway.config = None
+    first = server.tenant_class("acme")
+    assert first in names
+    assert server.tenant_class("acme") == first  # sticky
+    assert server.tenant_class("globex") in names
+
+
+def test_server_echoes_request_tags():
+    """Any request may carry a ``tag``; the response echoes it (the
+    router multiplexes out-of-order submit responses on this)."""
+    responses = asyncio.run(
+        _served_lines(
+            _make_server,
+            json.dumps({"op": "stats", "tag": 7}).encode() + b"\n",
+            json.dumps({"op": "bogus", "tag": "t-1"}).encode() + b"\n",
+        )
+    )
+    assert responses[0]["tag"] == 7
+    assert responses[0]["policy"] == "Max"
+    assert responses[1]["tag"] == "t-1"  # errors are tagged too
+    assert "error" in responses[1]
+    assert "tag" not in responses[-1]  # untagged requests stay untagged
