@@ -25,6 +25,7 @@ Usage (either or both)::
     python scripts/bench_gate.py --kernel BENCH_kernel.fresh.json
     python scripts/bench_gate.py --serve BENCH_serve.fresh.json \
         --baseline-serve BENCH_serve.json --rel 0.25
+    python scripts/bench_gate.py --oracle BENCH_oracle.fresh.json
 """
 
 from __future__ import annotations
@@ -54,6 +55,10 @@ SHED_PER_S_FLOOR = 5_000
 #: The routed round trip (client -> router -> shard -> back, two TCP
 #: hops + a JSON re-encode per query) -- pinned by scripts/bench_serve.py.
 ROUTER_QUERIES_PER_S_FLOOR = 1_000
+#: The oracle's heuristic solver (the regret column's per-cell cost)
+#: must stay interactive: a full 15x6 shootout matrix is ~90 solves,
+#: so even at the floor the regret pass adds under ten seconds.
+ORACLE_TRACES_PER_S_FLOOR = 10.0
 
 
 class Metric(NamedTuple):
@@ -124,6 +129,15 @@ def serve_metrics(baseline: dict, fresh: dict) -> Iterator[Metric]:
         )
 
 
+def oracle_metrics(baseline: dict, fresh: dict) -> Iterator[Metric]:
+    yield Metric(
+        "oracle.traces_per_s",
+        float(baseline["traces_per_s"]),
+        float(fresh["traces_per_s"]),
+        ORACLE_TRACES_PER_S_FLOOR,
+    )
+
+
 def gate(metrics: list, rel: float) -> int:
     """Print the delta table; return the number of failed metrics."""
     failures = 0
@@ -156,6 +170,9 @@ def main(argv=None) -> int:
         "--serve", type=Path, default=None, help="fresh BENCH_serve.json"
     )
     parser.add_argument(
+        "--oracle", type=Path, default=None, help="fresh BENCH_oracle.json"
+    )
+    parser.add_argument(
         "--baseline-kernel",
         type=Path,
         default=Path("BENCH_kernel.json"),
@@ -168,14 +185,20 @@ def main(argv=None) -> int:
         help="committed serve baseline (default: ./BENCH_serve.json)",
     )
     parser.add_argument(
+        "--baseline-oracle",
+        type=Path,
+        default=Path("BENCH_oracle.json"),
+        help="committed oracle baseline (default: ./BENCH_oracle.json)",
+    )
+    parser.add_argument(
         "--rel",
         type=float,
         default=DEFAULT_REL,
         help=f"relative floor as a fraction of baseline (default {DEFAULT_REL})",
     )
     args = parser.parse_args(argv)
-    if args.kernel is None and args.serve is None:
-        parser.error("nothing to gate: pass --kernel and/or --serve")
+    if args.kernel is None and args.serve is None and args.oracle is None:
+        parser.error("nothing to gate: pass --kernel, --serve, and/or --oracle")
     if not 0.0 < args.rel <= 1.0:
         parser.error(f"--rel must be in (0, 1], got {args.rel}")
 
@@ -187,6 +210,10 @@ def main(argv=None) -> int:
     if args.serve is not None:
         metrics.extend(
             serve_metrics(_load(args.baseline_serve), _load(args.serve))
+        )
+    if args.oracle is not None:
+        metrics.extend(
+            oracle_metrics(_load(args.baseline_oracle), _load(args.oracle))
         )
 
     failures = gate(metrics, args.rel)

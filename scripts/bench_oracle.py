@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Time the oracle's heuristic solver and write ``BENCH_oracle.json``.
+
+The regret column's cost is one heuristic solve per (scenario, policy)
+cell, so this probe times exactly that path: three recorded scenario
+traces (mix, bursty, phases -- the same generator seed the oracle
+smoke job pins) solved with the exact solver disabled
+(``exact_limit=0``), repeated a few times on run-only wall clock
+(trace recording excluded).  Records traces/second and queries/second
+so future PRs can diff the trajectory; ``scripts/bench_gate.py
+--oracle`` fails CI when the fresh numbers drop below the committed
+baseline's floor.  Run locally with::
+
+    PYTHONPATH=src python scripts/bench_oracle.py [--repeats 5] [--output BENCH_oracle.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+#: (family, index) cells recorded at generator seed 1 -- a spread of
+#: trace sizes, matching the oracle-smoke job's pinned seed.
+CELLS = (("mix", 0), ("bursty", 0), ("phases", 0))
+SCENARIO_SEED = 1
+POLICY = "minmax"
+
+
+def build_problems():
+    from repro.oracle import OracleProblem, trace_scenario
+    from repro.scenarios import ScenarioGenerator
+
+    generator = ScenarioGenerator(SCENARIO_SEED)
+    problems = []
+    for family, index in CELLS:
+        scenario = generator.generate(family, index)
+        trace, _result = trace_scenario(scenario, POLICY)
+        problems.append(OracleProblem.from_trace(trace))
+    return problems
+
+
+def time_heuristic(problems, repeats: int):
+    from repro.oracle import solve
+
+    samples = []
+    reference = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = tuple(
+            solve(problem, exact_limit=0) for problem in problems
+        )
+        samples.append(time.perf_counter() - start)
+        if reference is None:
+            reference = results
+        else:
+            # Content-hash caching requires a deterministic solver; a
+            # drifting solution means it changed under us mid-measurement.
+            assert results == reference, "non-deterministic solve"
+    return samples, reference
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default="BENCH_oracle.json")
+    args = parser.parse_args(argv)
+
+    problems = build_problems()
+    samples, results = time_heuristic(problems, args.repeats)
+    median = statistics.median(samples)
+    queries = sum(problem.query_count for problem in problems)
+    payload = {
+        "experiment": (
+            f"heuristic solve (exact_limit=0) over {CELLS} at scenario "
+            f"seed {SCENARIO_SEED}, policy {POLICY}"
+        ),
+        "timing_scope": "solve() only (trace recording excluded)",
+        "repeats": args.repeats,
+        "wall_clock_s": {
+            "median": round(median, 4),
+            "min": round(min(samples), 4),
+        },
+        "traces": len(problems),
+        "queries": queries,
+        "oracle_misses": sum(result.misses for result in results),
+        "traces_per_s": round(len(problems) / median, 2),
+        "queries_per_s": round(queries / median, 1),
+        "python": platform.python_version(),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

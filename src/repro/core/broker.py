@@ -38,8 +38,11 @@ nothing outside its own operation stream.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.allocation import QueryDemand
 from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
@@ -47,6 +50,17 @@ from repro.policies.base import BatchStats, DepartureRecord, MemoryPolicy
 #: Population states (a query is *admitted* once it holds pages).
 WAITING = "waiting"
 RUNNING = "running"
+
+#: On-disk trace identity: the header line of every saved trace names
+#: this format and version; :meth:`BrokerTrace.load` refuses anything
+#: else rather than silently replaying a stream it may misparse.
+TRACE_FORMAT = "repro-broker-trace"
+TRACE_FORMAT_VERSION = 1
+
+#: Anything the replay / oracle entry points accept as "a trace":
+#: an in-memory :class:`BrokerTrace`, a bare op list, or a path to a
+#: file written by :meth:`BrokerTrace.save`.
+TraceLike = Union["BrokerTrace", Sequence[tuple], str, "os.PathLike"]
 
 
 @dataclass
@@ -93,9 +107,15 @@ class BrokerTrace:
     be replayed against a freshly built broker and policy; decisions
     are recorded as sorted ``(qid, pages)`` tuples for stable
     comparison.
+
+    ``meta`` carries run context that is *not* part of the op stream
+    (initial pool size, sample size, policy name) -- the broker stamps
+    it when a recorder is attached, so replay parity is untouched but a
+    saved trace is self-describing enough for the clairvoyant oracle.
     """
 
     ops: List[tuple] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
 
     def record(self, op: tuple) -> None:
         self.ops.append(op)
@@ -104,6 +124,89 @@ class BrokerTrace:
     def decisions(self) -> List[Tuple[Tuple[int, int], ...]]:
         """Every recorded allocation vector, in decision order."""
         return [op[1] for op in self.ops if op[0] == "decision"]
+
+    # ------------------------------------------------------------------
+    # stable on-disk artifact (JSON lines, versioned)
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, os.PathLike]) -> Path:
+        """Write the trace as JSON lines: one header, one line per op.
+
+        The header pins :data:`TRACE_FORMAT` / :data:`TRACE_FORMAT_VERSION`
+        and carries ``meta``; every op serialises as a JSON array.
+        ``save`` -> :meth:`load` -> ``save`` is byte-identical (JSON
+        floats round-trip exactly through ``repr``).
+        """
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {
+                "format": TRACE_FORMAT,
+                "version": TRACE_FORMAT_VERSION,
+                "ops": len(self.ops),
+                "meta": dict(sorted(self.meta.items())),
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for op in self.ops:
+                handle.write(json.dumps(op) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "BrokerTrace":
+        """Read a trace written by :meth:`save`.
+
+        Raises ``ValueError`` when the file does not announce the
+        expected format/version -- a version bump must be handled
+        explicitly, never replayed on faith.
+        """
+        path = Path(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+            try:
+                header = json.loads(first) if first.strip() else {}
+            except json.JSONDecodeError:
+                header = {}
+            if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+                raise ValueError(
+                    f"{path} is not a {TRACE_FORMAT} file (bad or missing header)"
+                )
+            version = header.get("version")
+            if version != TRACE_FORMAT_VERSION:
+                raise ValueError(
+                    f"{path} has trace format version {version!r}; this build "
+                    f"reads version {TRACE_FORMAT_VERSION} -- refusing to guess"
+                )
+            ops = [
+                _as_tuples(json.loads(line))
+                for line in handle
+                if line.strip()
+            ]
+        declared = header.get("ops")
+        if declared is not None and declared != len(ops):
+            raise ValueError(
+                f"{path} declares {declared} ops but contains {len(ops)} "
+                "-- truncated or corrupted trace"
+            )
+        return cls(ops=ops, meta=dict(header.get("meta", {})))
+
+
+def _as_tuples(value):
+    """JSON arrays back to the tuples the recorder originally stored."""
+    if isinstance(value, list):
+        return tuple(_as_tuples(item) for item in value)
+    return value
+
+
+def coerce_trace_ops(trace: TraceLike) -> List[tuple]:
+    """The op list of a trace given in any accepted form.
+
+    Accepts a :class:`BrokerTrace`, a bare op sequence, or a path to a
+    saved trace file -- the common front door of :func:`replay_ops`,
+    :func:`replay_trace`, and the clairvoyant oracle.
+    """
+    if isinstance(trace, BrokerTrace):
+        return trace.ops
+    if isinstance(trace, (str, os.PathLike)):
+        return BrokerTrace.load(trace).ops
+    return list(trace)
 
 
 class MemoryBroker:
@@ -128,6 +231,7 @@ class MemoryBroker:
         self.policy = policy
         self.total_pages = total_pages
         self.sample_size = sample_size
+        self._recorder: Optional[BrokerTrace] = None
         self.recorder = recorder
         #: Optional :class:`repro.rtdbs.invariants.InvariantChecker`;
         #: ``None`` (the default) keeps the decision path hook-free.
@@ -142,6 +246,28 @@ class MemoryBroker:
         self._batch_start_departures = 0
         self._batch_misses = 0
         self.batches_delivered = 0
+
+    @property
+    def recorder(self) -> Optional[BrokerTrace]:
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value) -> None:
+        """Attach a recorder, stamping run context into its ``meta``.
+
+        Hosts attach recorders both at construction and after the fact
+        (``broker.recorder = trace``); stamping here covers both paths.
+        ``meta`` is context, not an op, so the decision-replay parity
+        contract is untouched.  Recorders without a ``meta`` dict (the
+        crash journal) are attached as-is.
+        """
+        self._recorder = value
+        if value is not None and isinstance(getattr(value, "meta", None), dict):
+            value.meta.setdefault("total_pages", self.total_pages)
+            value.meta.setdefault("sample_size", self.sample_size)
+            value.meta.setdefault(
+                "policy", getattr(self.policy, "name", type(self.policy).__name__)
+            )
 
     # ------------------------------------------------------------------
     # population
@@ -329,22 +455,23 @@ def _stats_tuple(stats: BatchStats) -> tuple:
 
 
 def replay_ops(
-    ops: List[tuple],
+    ops: TraceLike,
     broker: MemoryBroker,
     verify_decisions: bool = False,
 ) -> List[Tuple[Tuple[int, int], ...]]:
     """Feed a recorded operation stream through an existing broker.
 
-    Returns the decision sequence (sorted allocation vectors, one per
-    ``reallocate`` op).  With ``verify_decisions=True``, every recorded
-    ``decision`` op is compared to the vector the replay just produced
-    and a mismatch raises ``ValueError`` -- the crash-recovery path
-    uses this to prove the journal replay is faithful, not merely
-    plausible.
+    ``ops`` may be a bare op list, a :class:`BrokerTrace`, or a path
+    to a saved trace file.  Returns the decision sequence (sorted
+    allocation vectors, one per ``reallocate`` op).  With
+    ``verify_decisions=True``, every recorded ``decision`` op is
+    compared to the vector the replay just produced and a mismatch
+    raises ``ValueError`` -- the crash-recovery path uses this to prove
+    the journal replay is faithful, not merely plausible.
     """
     decisions: List[Tuple[Tuple[int, int], ...]] = []
     last: Optional[Tuple[Tuple[int, int], ...]] = None
-    for op in ops:
+    for op in coerce_trace_ops(ops):
         kind = op[0]
         if kind == "register":
             broker.register(*op[1:])
@@ -388,17 +515,19 @@ def replay_ops(
 
 
 def replay_trace(
-    ops: List[tuple],
+    ops: TraceLike,
     policy: MemoryPolicy,
     total_pages: int,
     sample_size: int,
 ) -> List[Tuple[Tuple[int, int], ...]]:
     """Feed a recorded operation stream through a fresh broker.
 
-    Returns the decision sequence (sorted allocation vectors, one per
-    ``reallocate`` op).  Replaying the trace of a simulation run with
-    an identically parameterised policy must reproduce the recorded
-    decisions exactly -- the broker/simulator parity contract.
+    ``ops`` may be a bare op list, a :class:`BrokerTrace`, or a path to
+    a saved trace file.  Returns the decision sequence (sorted
+    allocation vectors, one per ``reallocate`` op).  Replaying the
+    trace of a simulation run with an identically parameterised policy
+    must reproduce the recorded decisions exactly -- the
+    broker/simulator parity contract.
     """
     broker = MemoryBroker(policy, total_pages, sample_size)
-    return replay_ops(ops, broker)
+    return replay_ops(coerce_trace_ops(ops), broker)

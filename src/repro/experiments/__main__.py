@@ -14,6 +14,9 @@ Examples
     python -m repro.experiments fig3 --scale 1.0 --duration 20000  # full size
     python -m repro.experiments fig3 --jobs 8                      # parallel grid
     python -m repro.experiments fig3 --no-cache                    # force re-runs
+    python -m repro.experiments scenario-shootout --regret         # + oracle gap
+    python -m repro.experiments scenario-shootout --json out.json  # machine API
+    python -m repro.experiments oracle --family mix --policy max   # one schedule
 
 Execution knobs (flags override the environment):
 
@@ -117,9 +120,64 @@ def _run_shootout(args) -> bool:
         jobs=args.jobs,
         cache=not args.no_cache,
         invariants=not args.no_invariants,
+        regret=args.regret,
     )
     print(report.render())
+    if args.json:
+        report.save_json(args.json)
+        print(f"[json] report written to {args.json}")
     return report.ok
+
+
+def _run_oracle(args) -> bool:
+    """Clairvoyant optimum for one (scenario, policy) cell."""
+    from repro.analysis.report import format_table
+    from repro.oracle import solve_scenario
+    from repro.scenarios import ScenarioGenerator
+
+    scenario = ScenarioGenerator(args.scenario_seed).generate(
+        args.family, args.index
+    )
+    result = solve_scenario(
+        scenario,
+        args.policy,
+        cache=not args.no_cache,
+        invariants=not args.no_invariants,
+    )
+    print(
+        f"Oracle ({result.tag}): scenario {scenario.name} "
+        f"({scenario.content_hash[:10]}) x {args.policy}"
+    )
+    print(
+        f"  pool {result.pool_pages} pages, {result.query_count} departed "
+        f"queries; policy missed {result.recorded_misses}, oracle missed "
+        f"{result.misses} (regret {result.regret}), "
+        f"total wait {result.total_wait:.1f}s"
+    )
+    rows = [
+        [item.qid, item.class_name, item.grant, item.start, item.finish,
+         item.deadline, item.wait]
+        for item in result.schedule
+    ]
+    print(
+        format_table(
+            ["qid", "class", "grant", "start", "finish", "deadline", "wait"],
+            rows,
+            title="Optimal schedule (admission order):",
+        )
+    )
+    if result.missed_qids:
+        print(
+            "sacrificed (missed even with hindsight): "
+            f"{sorted(result.missed_qids)}"
+        )
+    if result.regret < 0:
+        print(
+            f"NEGATIVE REGRET: oracle missed {result.misses} > policy's "
+            f"{result.recorded_misses} -- the relaxation is broken",
+            file=sys.stderr,
+        )
+    return result.regret >= 0
 
 
 def main(argv=None) -> int:
@@ -176,6 +234,34 @@ def main(argv=None) -> int:
         action="store_true",
         help="run the matrix without the runtime invariant checker",
     )
+    shootout_group.add_argument(
+        "--regret",
+        action="store_true",
+        help="trace every cell and add the clairvoyant-oracle regret "
+        "columns (policy misses - oracle misses; >= 0 when the oracle "
+        "is sound) plus the regret cross-check laws",
+    )
+    shootout_group.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the schema-versioned unified report as JSON "
+        "(the supported machine interface; see repro/analysis/report.py)",
+    )
+    oracle_group = parser.add_argument_group(
+        "oracle", "options for the clairvoyant-optimum oracle"
+    )
+    oracle_group.add_argument(
+        "--family", default="mix", help="scenario family to solve"
+    )
+    oracle_group.add_argument(
+        "--index", type=int, default=0, help="scenario index within the family"
+    )
+    oracle_group.add_argument(
+        "--policy",
+        default="max",
+        help="policy whose recorded trace the oracle solves against",
+    )
     args = parser.parse_args(argv)
 
     runner.configure(
@@ -188,6 +274,10 @@ def main(argv=None) -> int:
     everything["scenario-shootout"] = (
         "Scenario shootout: generated matrix x all policies, cross-checked",
         lambda _settings: _run_shootout(args),
+    )
+    everything["oracle"] = (
+        "Clairvoyant oracle: hindsight-optimal schedule for one scenario",
+        lambda _settings: _run_oracle(args),
     )
     if args.list:
         for key, (description, _fn) in everything.items():

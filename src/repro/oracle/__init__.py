@@ -1,0 +1,63 @@
+"""Clairvoyant-optimum oracle over recorded broker traces.
+
+Answers the question no online shootout can: *how far is each policy
+from optimal on this exact workload?*  Given a recorded
+:class:`~repro.core.broker.BrokerTrace`, the oracle chooses -- with
+full hindsight -- which queries to serve, when to admit each, and how
+many pages to grant it, minimising missed deadlines (ties broken by
+total admission wait) subject to pool capacity over time.
+
+* :mod:`repro.oracle.problem` -- the formulation: a deliberate
+  relaxation of the broker's online semantics whose optimum
+  lower-bounds every realisable schedule, so ``regret = policy misses
+  - oracle misses`` is a sound upper bound on the true gap.
+* :mod:`repro.oracle.solver` -- ``solve(trace, budget)``: exact
+  branch-and-bound on small traces (tagged ``exact``), greedy + local
+  search everywhere else (tagged ``bound``), plus the brute-force
+  cross-checker.
+* :mod:`repro.oracle.scenario` -- ``solve_scenario``: record + solve
+  one generated scenario, content-hash cached in ``.repro_cache/``.
+
+See ``src/repro/oracle/README.md`` for the full formulation and how
+to read the regret column.
+"""
+
+from repro.oracle.problem import (
+    EPS,
+    ORACLE_VERSION,
+    SPEEDUP,
+    OracleProblem,
+    OracleQuery,
+)
+from repro.oracle.scenario import (
+    oracle_cache_key,
+    solve_scenario,
+    trace_scenario,
+)
+from repro.oracle.solver import (
+    DEFAULT_EVAL_BUDGET,
+    DEFAULT_EXACT_LIMIT,
+    DEFAULT_NODE_LIMIT,
+    OracleResult,
+    ScheduledQuery,
+    brute_force,
+    solve,
+)
+
+__all__ = [
+    "EPS",
+    "ORACLE_VERSION",
+    "SPEEDUP",
+    "OracleProblem",
+    "OracleQuery",
+    "OracleResult",
+    "ScheduledQuery",
+    "DEFAULT_EVAL_BUDGET",
+    "DEFAULT_EXACT_LIMIT",
+    "DEFAULT_NODE_LIMIT",
+    "brute_force",
+    "solve",
+    "solve_scenario",
+    "trace_scenario",
+    "oracle_cache_key",
+]

@@ -1,0 +1,260 @@
+"""From a recorded broker trace to a clairvoyant scheduling problem.
+
+The oracle answers "how well could *any* admission/allocation policy
+have done on this exact workload?" -- with hindsight, and freed from
+the broker's online constraints.  The problem it solves is a
+deliberate *relaxation* of the recorded run:
+
+* **Decision variables.**  For every query that departed in the trace:
+  whether to serve it at all, when to admit it (any time at or after
+  its arrival), and a fixed page grant from its ``{min, mid, max}``
+  demand menu.  Admission is non-preemptive: a served query holds its
+  grant from admission to completion.
+* **Constraints.**  At every instant the grants of concurrently
+  running queries must fit in the buffer pool (the *largest* pool the
+  trace ever saw -- mid-run shrinks by the memory thief are relaxed
+  away, which only helps the oracle).  A served query must finish by
+  its deadline; queries the oracle sacrifices consume nothing (a
+  clairvoyant scheduler never starts work it knows is doomed, while
+  the online broker must burn pool on queries that later abort).
+* **Service model.**  A query's run time at its minimum grant is its
+  *observed* execution time in the trace (which therefore bakes in the
+  recorded disk/CPU contention); extra memory above the minimum speeds
+  it up linearly, by :data:`SPEEDUP` at the maximum grant -- the
+  direction hash joins and external sorts actually respond to
+  workspace.  Queries the recorded run never admitted have no observed
+  execution time, so theirs is estimated from their class's observed
+  seconds-per-operand-IO (global fallback, then the time constraint).
+* **Objective.**  Lexicographic: first minimise missed deadlines, then
+  total admission wait (sum of ``admit - arrival`` over served
+  queries).
+
+Because the model is a relaxation, the oracle's miss count lower-bounds
+every realisable schedule's, so ``regret = policy misses - oracle
+misses`` upper-bounds the policy's true optimality gap and is >= 0 by
+construction (the realized schedule projects into the model; see
+:mod:`repro.oracle.solver`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.broker import TraceLike, coerce_trace_ops
+
+#: Bump whenever the formulation, service model, or solver semantics
+#: change: the scenario-level oracle cache keys are salted with it.
+ORACLE_VERSION = 1
+
+#: Fractional speed-up of a query's service time at its maximum grant
+#: relative to its minimum grant (linear in between).
+SPEEDUP = 0.25
+
+#: Deadline slack tolerance: completions within EPS of the deadline
+#: count as on time (guards float round-off, not semantics).
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class OracleQuery:
+    """One departed query, as the clairvoyant scheduler sees it."""
+
+    qid: int
+    class_name: str
+    arrival: float
+    #: Absolute deadline (arrival + time constraint).
+    deadline: float
+    min_pages: int
+    max_pages: int
+    #: Service seconds at the minimum grant (observed, or estimated
+    #: for queries the recorded run never admitted).
+    base_seconds: float
+    #: True when the recorded run admitted the query (first grant).
+    admitted: bool
+    #: Recorded first-admission time (``None`` if never admitted).
+    realized_start: Optional[float]
+    #: True when the recorded run missed the query's deadline.
+    realized_missed: bool
+
+    def duration(self, grant: int) -> float:
+        """Service seconds at ``grant`` pages (linear speed-up model)."""
+        span = self.max_pages - self.min_pages
+        if span <= 0:
+            return self.base_seconds
+        fraction = (grant - self.min_pages) / span
+        return self.base_seconds * (1.0 - SPEEDUP * fraction)
+
+    def grant_menu(self) -> Tuple[int, ...]:
+        """The grants the oracle considers: min, midpoint, max."""
+        mid = (self.min_pages + self.max_pages) // 2
+        return tuple(sorted({self.min_pages, mid, self.max_pages}))
+
+    def latest_start(self, grant: int) -> float:
+        """Latest admission that still meets the deadline at ``grant``."""
+        return self.deadline - self.duration(grant)
+
+
+@dataclass(frozen=True)
+class OracleProblem:
+    """A complete clairvoyant instance extracted from one trace."""
+
+    queries: Tuple[OracleQuery, ...]
+    #: Pool capacity the oracle packs grants into (max pool the trace
+    #: ever saw -- see the module docstring on why max, not min).
+    pool_pages: int
+    #: Policy that produced the trace (metadata only).
+    policy: str
+    #: Missed-deadline count of the recorded run (over the same
+    #: departed-query population), for regret.
+    recorded_misses: int
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    @classmethod
+    def from_trace(
+        cls, trace: TraceLike, pool_pages: Optional[int] = None
+    ) -> "OracleProblem":
+        """Extract the problem from a recorded broker op stream.
+
+        ``trace`` may be a :class:`~repro.core.broker.BrokerTrace`, a
+        bare op list, or a path to a saved trace file.  Only queries
+        with a departure record enter the problem (queries still in
+        flight at the horizon were never charged to any policy).
+        ``pool_pages`` overrides the capacity when the trace carries no
+        pool metadata (bare op lists from old recordings).
+        """
+        meta: Dict[str, object] = {}
+        if hasattr(trace, "meta") and isinstance(trace.meta, dict):
+            meta = trace.meta
+        ops = coerce_trace_ops(trace)
+        if not meta:
+            for candidate in (trace,):
+                # A path: load once for the header metadata too.
+                if isinstance(candidate, (str, bytes)) or hasattr(
+                    candidate, "__fspath__"
+                ):
+                    from repro.core.broker import BrokerTrace
+
+                    meta = BrokerTrace.load(candidate).meta
+
+        registered: Dict[int, tuple] = {}
+        departures: List[tuple] = []
+        pool_candidates: List[int] = []
+        if pool_pages is not None:
+            pool_candidates.append(int(pool_pages))
+        meta_pool = meta.get("total_pages")
+        if isinstance(meta_pool, int):
+            pool_candidates.append(meta_pool)
+        for op in ops:
+            kind = op[0]
+            if kind == "register":
+                _kind, qid, class_name, priority, min_pages, max_pages = op
+                registered[qid] = (class_name, priority, min_pages, max_pages)
+            elif kind == "departure":
+                departures.append(op[1])
+            elif kind == "pool":
+                pool_candidates.append(int(op[1]))
+        if not pool_candidates:
+            raise ValueError(
+                "trace carries no pool capacity (no meta, no pool ops); "
+                "pass pool_pages explicitly"
+            )
+        pool = max(pool_candidates)
+
+        io_rates = _class_io_rates(departures)
+        queries: List[OracleQuery] = []
+        recorded_misses = 0
+        for record in departures:
+            (
+                qid,
+                class_name,
+                missed,
+                arrival,
+                _departure,
+                waiting_time,
+                execution_time,
+                time_constraint,
+                max_demand,
+                min_demand,
+                operand_io_count,
+                _fluctuations,
+            ) = record
+            if missed:
+                recorded_misses += 1
+            admitted = execution_time > 0.0
+            if admitted:
+                base = float(execution_time)
+                realized_start = float(arrival) + float(waiting_time)
+            else:
+                base = _estimate_base_seconds(
+                    class_name, operand_io_count, time_constraint, io_rates
+                )
+                realized_start = None
+            min_pages = int(min_demand)
+            max_pages = max(int(max_demand), min_pages)
+            queries.append(
+                OracleQuery(
+                    qid=int(qid),
+                    class_name=str(class_name),
+                    arrival=float(arrival),
+                    deadline=float(arrival) + float(time_constraint),
+                    min_pages=min_pages,
+                    max_pages=max_pages,
+                    base_seconds=base,
+                    admitted=admitted,
+                    realized_start=realized_start,
+                    realized_missed=bool(missed),
+                )
+            )
+        # Stable order: by arrival, qid -- the solvers re-sort as needed.
+        queries.sort(key=lambda q: (q.arrival, q.qid))
+        return cls(
+            queries=tuple(queries),
+            pool_pages=pool,
+            policy=str(meta.get("policy", "?")),
+            recorded_misses=recorded_misses,
+        )
+
+
+def _class_io_rates(departures: List[tuple]) -> Dict[str, float]:
+    """Mean observed seconds-per-operand-IO per class (admitted runs)."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for record in departures:
+        class_name, execution_time, operand_io_count = (
+            record[1],
+            record[6],
+            record[10],
+        )
+        if execution_time > 0.0:
+            sums[class_name] = sums.get(class_name, 0.0) + (
+                float(execution_time) / max(1, int(operand_io_count))
+            )
+            counts[class_name] = counts.get(class_name, 0) + 1
+    rates = {name: sums[name] / counts[name] for name in sums}
+    if rates:
+        rates["*"] = sum(sums.values()) / sum(counts.values())
+    return rates
+
+
+def _estimate_base_seconds(
+    class_name: str,
+    operand_io_count: int,
+    time_constraint: float,
+    io_rates: Dict[str, float],
+) -> float:
+    """Service-time estimate for a query the run never admitted.
+
+    Class-mean seconds-per-operand-IO scaled by the query's own IO
+    count; global mean when the class never ran; the full time
+    constraint when nothing ran at all.  Pessimism here is safe: an
+    overestimate can only make the oracle serve fewer queries, which
+    keeps the reported regret an upper bound on the true gap.
+    """
+    rate = io_rates.get(str(class_name), io_rates.get("*"))
+    if rate is None:
+        return float(time_constraint)
+    return rate * max(1, int(operand_io_count))

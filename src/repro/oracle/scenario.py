@@ -1,0 +1,112 @@
+"""Oracle over generated scenarios, cached in the experiment engine.
+
+``solve_scenario`` is the shootout's entry point: run the scenario's
+DES simulation with a broker recorder attached, extract the
+clairvoyant problem from the trace, solve it, and content-hash the
+:class:`~repro.oracle.solver.OracleResult` into the same persistent
+``.repro_cache/`` store the experiment engine uses -- keyed on the
+walked scenario config, the policy, and every solver knob, salted with
+:data:`~repro.oracle.problem.ORACLE_VERSION` and the engine's
+``CACHE_VERSION``.  A warm shootout therefore never re-simulates *or*
+re-solves for its regret column.
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+from typing import Optional, Tuple
+
+from repro.core.broker import BrokerTrace
+from repro.experiments import runner
+from repro.oracle.problem import ORACLE_VERSION, OracleProblem
+from repro.oracle.solver import (
+    DEFAULT_EVAL_BUDGET,
+    DEFAULT_EXACT_LIMIT,
+    DEFAULT_NODE_LIMIT,
+    OracleResult,
+    solve,
+)
+from repro.rtdbs.system import SimulationResult
+
+
+def trace_scenario(
+    scenario, policy: str, invariants: bool = True
+) -> Tuple[BrokerTrace, SimulationResult]:
+    """Run one scenario in-process with a broker recorder attached.
+
+    Mirrors the engine's execution of ``scenario.run_spec(policy)``
+    (same config, horizon, and invariant hook), so the trace's
+    departure stream must agree with the cached
+    :class:`~repro.rtdbs.system.SimulationResult` for the same cell --
+    the shootout cross-checks exactly that.
+    """
+    from repro.rtdbs.invariants import attach_invariants
+    from repro.rtdbs.system import RTDBSystem
+
+    system = RTDBSystem(scenario.config, policy)
+    if invariants:
+        attach_invariants(system)
+    trace = BrokerTrace()
+    system.query_manager.broker.recorder = trace
+    result = system.run(duration=scenario.config.duration)
+    return trace, result
+
+
+def oracle_cache_key(
+    scenario,
+    policy: str,
+    invariants: bool,
+    exact_limit: int,
+    node_limit: int,
+    eval_budget: int,
+) -> str:
+    """Content-hash key of one scenario's oracle solution."""
+    material = (
+        "repro-oracle",
+        ORACLE_VERSION,
+        runner.CACHE_VERSION,
+        runner.canonical_record(scenario.config),
+        str(policy),
+        bool(invariants),
+        int(exact_limit),
+        int(node_limit),
+        int(eval_budget),
+    )
+    return sha256(repr(material).encode("utf-8")).hexdigest()
+
+
+def solve_scenario(
+    scenario,
+    policy: str,
+    cache: bool = True,
+    invariants: bool = True,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    eval_budget: int = DEFAULT_EVAL_BUDGET,
+) -> OracleResult:
+    """The clairvoyant optimum for one (scenario, policy) cell, cached.
+
+    On a cache hit the DES run is skipped entirely; on a miss the
+    scenario is simulated with a recorder, solved, and the result
+    stored under :func:`oracle_cache_key`.
+    """
+    key = oracle_cache_key(
+        scenario, policy, invariants, exact_limit, node_limit, eval_budget
+    )
+    store: Optional[runner.ResultCache] = None
+    if cache and runner.cache_enabled():
+        store = runner.ResultCache(runner.cache_dir())
+        hit = store.get(key)
+        if isinstance(hit, OracleResult):
+            return hit
+    trace, _result = trace_scenario(scenario, policy, invariants=invariants)
+    problem = OracleProblem.from_trace(trace)
+    oracle = solve(
+        problem,
+        exact_limit=exact_limit,
+        node_limit=node_limit,
+        eval_budget=eval_budget,
+    )
+    if store is not None:
+        store.put(key, oracle)
+    return oracle

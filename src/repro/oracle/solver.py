@@ -1,0 +1,547 @@
+"""Clairvoyant solvers: exact branch-and-bound and greedy + local search.
+
+Both solvers share one schedule evaluator built on a theorem about the
+relaxed problem (see :mod:`repro.oracle.problem` for the model):
+
+    For any feasible schedule, order its served queries by start time
+    and re-place them one at a time, each at the *earliest*
+    capacity-feasible start at or after its arrival.  By induction the
+    re-placed starts are componentwise no later than the originals
+    (earlier placements only ever free capacity earlier), so the
+    re-placed schedule serves the same set on time with no more total
+    wait.
+
+Hence the optimum is attained over (placement order, grant vector)
+pairs evaluated greedily -- a finite space -- and both solvers search
+exactly that space:
+
+* :func:`_branch_and_bound` explores it exhaustively for small
+  instances: at each node either place one remaining query (any of
+  them, any menu grant) at its earliest on-time start, or sacrifice
+  everything still unplaced.  The bound is admissible because capacity
+  only shrinks down a branch: a query that cannot start on time *now*
+  never can later, so ``misses >= current + |unplaceable|``.  Completed
+  searches are tagged ``exact``; hitting the node cap degrades the
+  result to the best incumbent, tagged ``bound``.
+* :func:`_heuristic` evaluates a few constructive seeds -- earliest
+  deadline first at min and at max grants, plus the *realized
+  projection* (the recorded run's own on-time queries in recorded
+  admission order at min grants, which re-places the policy's actual
+  schedule inside the relaxation and anchors ``regret >= 0``) -- then
+  improves the best by deterministic local search: grant re-packing,
+  admit-order (adjacent) swaps, and re-insertion of sacrificed
+  queries.  Always tagged ``bound``.
+
+:func:`brute_force` enumerates every (permutation x grant vector) for
+cross-checking the branch-and-bound on tiny instances.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, replace
+from itertools import permutations, product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.broker import TraceLike
+from repro.oracle.problem import EPS, OracleProblem, OracleQuery
+
+#: Traces with at most this many queries get the exact solver.
+DEFAULT_EXACT_LIMIT = 30
+
+#: Branch-and-bound node budget before degrading to ``bound``.
+DEFAULT_NODE_LIMIT = 5000
+
+#: Local-search evaluation budget (schedule evaluations, not time --
+#: the solver must stay deterministic because results are content-hash
+#: cached).
+DEFAULT_EVAL_BUDGET = 1500
+
+#: Refuse brute force beyond this many (permutation x grant) leaves.
+BRUTE_FORCE_LEAF_LIMIT = 500_000
+
+
+@dataclass(frozen=True)
+class ScheduledQuery:
+    """One query the oracle serves: when, how much, and the slack."""
+
+    qid: int
+    class_name: str
+    arrival: float
+    deadline: float
+    grant: int
+    start: float
+    finish: float
+
+    @property
+    def wait(self) -> float:
+        return self.start - self.arrival
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """A clairvoyant solution over one trace's departed queries."""
+
+    #: ``exact`` (provably optimal) or ``bound`` (heuristic / capped).
+    tag: str
+    query_count: int
+    pool_pages: int
+    served: int
+    misses: int
+    total_wait: float
+    schedule: Tuple[ScheduledQuery, ...]
+    missed_qids: Tuple[int, ...]
+    #: Missed count of the recorded run over the same queries.
+    recorded_misses: int
+    #: Branch-and-bound nodes explored (0 on the heuristic path).
+    nodes: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.query_count if self.query_count else 0.0
+
+    @property
+    def regret(self) -> int:
+        """Recorded misses minus oracle misses (>= 0 when sound)."""
+        return self.recorded_misses - self.misses
+
+
+# ----------------------------------------------------------------------
+# capacity profile: a step function over time, mutated in place
+# ----------------------------------------------------------------------
+def _insert_run(
+    times: List[float], usage: List[int], start: float, end: float, grant: int
+) -> None:
+    """Add ``grant`` pages over ``[start, end)`` to the step function.
+
+    ``usage[i]`` holds on ``[times[i], times[i+1])``; usage is 0 before
+    ``times[0]`` and after the last breakpoint's level decays to 0.
+    """
+    i = bisect_right(times, start)
+    if i == 0 or times[i - 1] != start:
+        times.insert(i, start)
+        usage.insert(i, usage[i - 1] if i > 0 else 0)
+    else:
+        i -= 1
+    j = bisect_right(times, end)
+    if j == 0 or times[j - 1] != end:
+        times.insert(j, end)
+        usage.insert(j, usage[j - 1] if j > 0 else 0)
+    else:
+        j -= 1
+    for k in range(i, j):
+        usage[k] += grant
+
+
+def _fits(
+    times: List[float],
+    usage: List[int],
+    start: float,
+    end: float,
+    limit: int,
+) -> bool:
+    """True when usage stays <= ``limit`` throughout ``[start, end)``."""
+    i = bisect_right(times, start) - 1
+    if i >= 0 and usage[i] > limit:
+        return False
+    j = i + 1
+    while j < len(times) and times[j] < end:
+        if usage[j] > limit:
+            return False
+        j += 1
+    return True
+
+
+def _earliest_on_time_start(
+    times: List[float],
+    usage: List[int],
+    query: OracleQuery,
+    grant: int,
+    pool: int,
+) -> Optional[float]:
+    """Earliest capacity-feasible start that still meets the deadline.
+
+    The earliest feasible start is either the arrival or a breakpoint
+    of the usage step function (usage is constant in between, so an
+    infeasible instant stays infeasible until the next breakpoint).
+    """
+    limit = pool - grant
+    if limit < 0:
+        return None
+    duration = query.duration(grant)
+    latest = query.deadline - duration
+    if query.arrival > latest + EPS:
+        return None
+    if _fits(times, usage, query.arrival, query.arrival + duration, limit):
+        return query.arrival
+    for k in range(bisect_right(times, query.arrival), len(times)):
+        t = times[k]
+        if t > latest + EPS:
+            return None
+        if _fits(times, usage, t, t + duration, limit):
+            return t
+    return None
+
+
+# ----------------------------------------------------------------------
+# the shared evaluator: placement order + grants -> schedule
+# ----------------------------------------------------------------------
+@dataclass
+class _Candidate:
+    """One evaluated (order, grants) point in the search space."""
+
+    order: List[Tuple[OracleQuery, int]]
+    #: qid -> (start, finish, grant) for the on-time subset.
+    scheduled: Dict[int, Tuple[float, float, int]]
+    misses: int
+    wait: float
+
+    @property
+    def key(self) -> Tuple[int, float]:
+        return (self.misses, self.wait)
+
+
+def _evaluate(
+    order: Sequence[Tuple[OracleQuery, int]], pool: int
+) -> _Candidate:
+    """Greedily place each (query, grant) at its earliest on-time start.
+
+    Queries that cannot be served on time under the placements made so
+    far are sacrificed (consume nothing) -- the sacrifice-set model.
+    """
+    times: List[float] = []
+    usage: List[int] = []
+    scheduled: Dict[int, Tuple[float, float, int]] = {}
+    misses = 0
+    wait = 0.0
+    for query, grant in order:
+        start = _earliest_on_time_start(times, usage, query, grant, pool)
+        if start is None:
+            misses += 1
+            continue
+        finish = start + query.duration(grant)
+        _insert_run(times, usage, start, finish, grant)
+        scheduled[query.qid] = (start, finish, grant)
+        wait += start - query.arrival
+    return _Candidate(list(order), scheduled, misses, wait)
+
+
+# ----------------------------------------------------------------------
+# heuristic: constructive seeds + deterministic local search
+# ----------------------------------------------------------------------
+def _edf(queries: Sequence[OracleQuery]) -> List[OracleQuery]:
+    return sorted(queries, key=lambda q: (q.deadline, q.arrival, q.qid))
+
+
+def _seed_orders(
+    problem: OracleProblem,
+) -> List[List[Tuple[OracleQuery, int]]]:
+    edf = _edf(problem.queries)
+    seeds = [
+        [(q, q.min_pages) for q in edf],
+        [(q, q.max_pages) for q in edf],
+    ]
+    realized = sorted(
+        (q for q in problem.queries if q.admitted and not q.realized_missed),
+        key=lambda q: (q.realized_start, q.qid),
+    )
+    if realized:
+        rest = _edf(
+            q for q in problem.queries if q.realized_missed or not q.admitted
+        )
+        seeds.append([(q, q.min_pages) for q in realized + rest])
+    return seeds
+
+
+class _Budget:
+    """Deterministic evaluation counter shared across search phases."""
+
+    def __init__(self, evaluations: int):
+        self.left = int(evaluations)
+
+    def take(self) -> bool:
+        self.left -= 1
+        return self.left >= 0
+
+
+def _local_search(
+    candidate: _Candidate, pool: int, budget: _Budget
+) -> _Candidate:
+    """First-improvement hill climbing over order + grant moves."""
+    best = candidate
+    improved = True
+    while improved and budget.left > 0:
+        improved = False
+        # Grant re-packing: try every other menu grant per position.
+        for i in range(len(best.order)):
+            query, grant = best.order[i]
+            for other in query.grant_menu():
+                if other == grant:
+                    continue
+                if not budget.take():
+                    return best
+                trial_order = list(best.order)
+                trial_order[i] = (query, other)
+                trial = _evaluate(trial_order, pool)
+                if trial.key < best.key:
+                    best = trial
+                    improved = True
+                    break
+        # Re-insert sacrificed queries near their deadline rank, at
+        # every menu grant, and at the front.  One accepted move ends
+        # the pass (positions are stale after any reorder).
+        while budget.left > 0:
+            trial = _reinsert_missed(best, pool, budget)
+            if trial is None:
+                break
+            best = trial
+            improved = True
+        # Admit-order adjacent swaps.
+        for i in range(len(best.order) - 1):
+            if not budget.take():
+                return best
+            trial_order = list(best.order)
+            trial_order[i], trial_order[i + 1] = (
+                trial_order[i + 1],
+                trial_order[i],
+            )
+            trial = _evaluate(trial_order, pool)
+            if trial.key < best.key:
+                best = trial
+                improved = True
+    return best
+
+
+def _reinsert_missed(
+    best: _Candidate, pool: int, budget: _Budget
+) -> Optional[_Candidate]:
+    """First improving re-insertion of a sacrificed query, or None."""
+    for i, (query, _grant) in enumerate(best.order):
+        if query.qid in best.scheduled:
+            continue
+        ranks = [0]
+        for j, (other, _g) in enumerate(best.order):
+            if other.deadline >= query.deadline:
+                ranks.extend((max(0, j - 1), j))
+                break
+        for position in dict.fromkeys(ranks):
+            for grant in query.grant_menu():
+                if not budget.take():
+                    return None
+                trial_order = list(best.order)
+                trial_order.pop(i)
+                trial_order.insert(min(position, len(trial_order)), (query, grant))
+                trial = _evaluate(trial_order, pool)
+                if trial.key < best.key:
+                    return trial
+    return None
+
+
+def _heuristic(
+    problem: OracleProblem, eval_budget: int = DEFAULT_EVAL_BUDGET
+) -> _Candidate:
+    """Best seed, locally improved; always includes the realized
+    projection seed so the heuristic never loses to the recorded run
+    by construction (modulo the documented suspension corner)."""
+    budget = _Budget(eval_budget)
+    evaluated = []
+    for order in _seed_orders(problem):
+        budget.take()
+        evaluated.append(_evaluate(order, problem.pool_pages))
+    # The projection seed (when present) is the regret anchor: the
+    # winning candidate is at least as good as it even with no budget.
+    projection = evaluated[-1] if len(evaluated) > 2 else None
+    best_seed = min(evaluated, key=lambda c: c.key)
+    best = _local_search(best_seed, problem.pool_pages, budget)
+    if projection is not None and projection is not best_seed:
+        improved = _local_search(projection, problem.pool_pages, budget)
+        if improved.key < best.key:
+            best = improved
+    return best
+
+
+# ----------------------------------------------------------------------
+# exact branch-and-bound
+# ----------------------------------------------------------------------
+def _branch_and_bound(
+    problem: OracleProblem,
+    incumbent: _Candidate,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> Tuple[_Candidate, bool, int]:
+    """Exhaustive search over (placement order, grants), pruned.
+
+    Returns ``(best, complete, nodes)``; ``complete`` is False when the
+    node cap stopped the search (the result is then only a bound).
+    """
+    pool = problem.pool_pages
+    best_key = incumbent.key
+    best_sched = dict(incumbent.scheduled)
+    nodes = 0
+    complete = True
+
+    def recurse(
+        remaining: Tuple[OracleQuery, ...],
+        times: List[float],
+        usage: List[int],
+        misses: int,
+        wait: float,
+        scheduled: Dict[int, Tuple[float, float, int]],
+    ) -> None:
+        nonlocal best_key, best_sched, nodes, complete
+        nodes += 1
+        if nodes > node_limit:
+            complete = False
+            return
+        # Leaf option: sacrifice everything still unplaced.
+        leaf_key = (misses + len(remaining), wait)
+        if leaf_key < best_key:
+            best_key = leaf_key
+            best_sched = dict(scheduled)
+        if not remaining:
+            return
+        options = []
+        for index, query in enumerate(remaining):
+            placements = []
+            for grant in query.grant_menu():
+                start = _earliest_on_time_start(times, usage, query, grant, pool)
+                if start is not None:
+                    placements.append((grant, start))
+            if placements:
+                # Fastest grant first: shorter runs free capacity sooner
+                # and tend to reach good incumbents early.
+                placements.sort(key=lambda p: query.duration(p[0]))
+                options.append((index, query, placements))
+        # Admissible bound: a query unplaceable now stays unplaceable
+        # (capacity only shrinks down a branch); wait only grows.
+        bound_key = (misses + len(remaining) - len(options), wait)
+        if bound_key >= best_key:
+            return
+        for index, query, placements in options:
+            rest = remaining[:index] + remaining[index + 1:]
+            for grant, start in placements:
+                finish = start + query.duration(grant)
+                child_times = list(times)
+                child_usage = list(usage)
+                _insert_run(child_times, child_usage, start, finish, grant)
+                scheduled[query.qid] = (start, finish, grant)
+                recurse(
+                    rest,
+                    child_times,
+                    child_usage,
+                    misses,
+                    wait + (start - query.arrival),
+                    scheduled,
+                )
+                del scheduled[query.qid]
+                if not complete:
+                    return
+
+    recurse(tuple(_edf(problem.queries)), [], [], 0, 0.0, {})
+    best = _Candidate(
+        order=[], scheduled=best_sched, misses=best_key[0], wait=best_key[1]
+    )
+    return best, complete, nodes
+
+
+def brute_force(problem: OracleProblem) -> OracleResult:
+    """Exhaustive (permutation x grant vector) enumeration.
+
+    The independent cross-check for :func:`_branch_and_bound` on tiny
+    instances -- no pruning, no bounds, no incumbents.  Refuses
+    instances beyond :data:`BRUTE_FORCE_LEAF_LIMIT` leaves.
+    """
+    queries = list(problem.queries)
+    menus = [q.grant_menu() for q in queries]
+    leaves = 1
+    for index in range(len(queries)):
+        leaves *= (index + 1) * len(menus[index])
+        if leaves > BRUTE_FORCE_LEAF_LIMIT:
+            raise ValueError(
+                f"brute force over {len(queries)} queries exceeds "
+                f"{BRUTE_FORCE_LEAF_LIMIT} leaves; shrink the instance"
+            )
+    best: Optional[_Candidate] = None
+    for perm in permutations(range(len(queries))):
+        for grants in product(*(menus[i] for i in perm)):
+            order = [(queries[i], g) for i, g in zip(perm, grants)]
+            candidate = _evaluate(order, problem.pool_pages)
+            if best is None or candidate.key < best.key:
+                best = candidate
+    assert best is not None or not queries
+    if best is None:
+        best = _Candidate([], {}, 0, 0.0)
+    return _result(problem, best, tag="exact", nodes=0)
+
+
+# ----------------------------------------------------------------------
+# the entry point
+# ----------------------------------------------------------------------
+def solve(
+    trace: TraceLike,
+    budget: Optional[int] = None,
+    *,
+    exact_limit: int = DEFAULT_EXACT_LIMIT,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    eval_budget: int = DEFAULT_EVAL_BUDGET,
+) -> OracleResult:
+    """Solve the clairvoyant problem behind one trace.
+
+    ``trace`` is anything :class:`~repro.oracle.problem.OracleProblem`
+    accepts (an in-memory trace, a bare op list, a saved-trace path) or
+    an already-built problem; ``budget`` overrides the pool capacity in
+    pages.  Instances with at most ``exact_limit`` queries go through
+    branch-and-bound seeded with the heuristic incumbent (``exact``
+    when the search completes, ``bound`` when the node cap fires);
+    larger instances return the heuristic solution tagged ``bound``.
+    """
+    if isinstance(trace, OracleProblem):
+        problem = trace
+        if budget is not None and budget != problem.pool_pages:
+            problem = replace(problem, pool_pages=int(budget))
+    else:
+        problem = OracleProblem.from_trace(trace, pool_pages=budget)
+    heuristic = _heuristic(problem, eval_budget)
+    if problem.query_count <= exact_limit:
+        best, complete, nodes = _branch_and_bound(
+            problem, heuristic, node_limit
+        )
+        return _result(
+            problem, best, tag="exact" if complete else "bound", nodes=nodes
+        )
+    return _result(problem, heuristic, tag="bound", nodes=0)
+
+
+def _result(
+    problem: OracleProblem, candidate: _Candidate, tag: str, nodes: int
+) -> OracleResult:
+    by_qid = {query.qid: query for query in problem.queries}
+    schedule = []
+    for qid, (start, finish, grant) in candidate.scheduled.items():
+        query = by_qid[qid]
+        schedule.append(
+            ScheduledQuery(
+                qid=qid,
+                class_name=query.class_name,
+                arrival=query.arrival,
+                deadline=query.deadline,
+                grant=grant,
+                start=start,
+                finish=finish,
+            )
+        )
+    schedule.sort(key=lambda s: (s.start, s.qid))
+    missed = tuple(
+        sorted(qid for qid in by_qid if qid not in candidate.scheduled)
+    )
+    return OracleResult(
+        tag=tag,
+        query_count=problem.query_count,
+        pool_pages=problem.pool_pages,
+        served=len(schedule),
+        misses=len(missed),
+        total_wait=candidate.wait,
+        schedule=tuple(schedule),
+        missed_qids=missed,
+        recorded_misses=problem.recorded_misses,
+        nodes=nodes,
+    )

@@ -17,7 +17,9 @@ simulator's prediction for the same workload; it exits non-zero if any
 live cross-check fails.  ``chaos-shootout`` does the same under one
 seeded :class:`~repro.serve.faults.FaultSchedule` (disk outages,
 memory thieves, policy faults) and gates on the survival invariants
-instead of fidelity.  ``serve`` accepts JSON-lines submissions (see
+instead of fidelity.  Both shootouts take ``--json PATH`` to also
+write the schema-versioned unified report -- the supported machine
+interface for scripting against shootout results.  ``serve`` accepts JSON-lines submissions (see
 :mod:`repro.serve.server` for the protocol); with ``--journal`` it
 writes every broker operation to a crash journal that ``recover``
 replays to a conserved ledger after a kill.
@@ -68,6 +70,16 @@ def _add_live_flags(parser) -> None:
     )
 
 
+def _add_json_flag(parser) -> None:
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the schema-versioned unified report as JSON "
+        "(the supported machine interface; see repro/analysis/report.py)",
+    )
+
+
 def _cmd_live_shootout(args) -> int:
     from repro.serve.shootout import live_shootout
 
@@ -90,6 +102,9 @@ def _cmd_live_shootout(args) -> int:
         shards=args.shards,
     )
     print(report.render())
+    if args.json:
+        report.save_json(args.json)
+        print(f"\n[json] report written to {args.json}")
     return 0 if report.ok else 1
 
 
@@ -112,6 +127,9 @@ def _cmd_chaos_shootout(args) -> int:
         invariants=not args.no_invariants,
     )
     print(report.render())
+    if args.json:
+        report.save_json(args.json)
+        print(f"\n[json] report written to {args.json}")
     if not report.ok:
         print(
             "\nreproduce with:\n  PYTHONPATH=src python -m repro.serve "
@@ -375,6 +393,7 @@ def main(argv=None) -> int:
         "deliberately packed placement so the rebalancer must migrate; "
         "cross-checks switch from DES fidelity to conservation",
     )
+    _add_json_flag(shootout)
 
     chaos = commands.add_parser(
         "chaos-shootout",
@@ -391,6 +410,7 @@ def main(argv=None) -> int:
     _add_scenario_flags(chaos)
     chaos.set_defaults(family="memorythief")
     _add_live_flags(chaos)
+    _add_json_flag(chaos)
 
     recover = commands.add_parser(
         "recover", help="replay a crash journal to a conserved ledger"

@@ -34,7 +34,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.report import format_table
+from repro.analysis.report import (
+    Column,
+    PolicyRow,
+    ShootoutReport,
+    check_fail,
+    check_pass,
+    format_table,
+)
 from repro.policies import DEFAULT_POLICIES
 from repro.scenarios import Scenario, ScenarioGenerator
 from repro.serve.faults import FaultSchedule
@@ -94,6 +101,8 @@ class LiveShootoutReport:
     predicted: Dict[str, float]
     time_scale: float
     failures: List[str] = field(default_factory=list)
+    #: Cross-check verdicts (``{name, ok, detail}``) for ``--json``.
+    checks: List[Dict[str, object]] = field(default_factory=list)
     #: DES-predicted shared-pool hit ratio per policy (the live pool's
     #: contention cross-check column).
     predicted_pool_hit: Dict[str, float] = field(default_factory=dict)
@@ -122,41 +131,45 @@ class LiveShootoutReport:
             return float("nan")
         return self.live[policy].miss_ratio - predicted
 
-    def render(self) -> str:
-        headers = [
-            "policy",
-            "live_miss",
-            "sim_miss",
-            "delta",
-            "pool_hit",
-            "sim_hit",
-            "disk_q_s",
-            "served",
-            "completed",
-            "mpl",
-            "qps",
-            "decisions/s",
-            "decide_us",
+    def unified(self) -> ShootoutReport:
+        """Project into the shared :class:`ShootoutReport` surface."""
+        columns = [
+            Column("live_miss", digits=3),
+            Column("sim_miss", digits=3),
+            Column("delta", digits=3),
+            Column("pool_hit", digits=3),
+            Column("sim_hit", digits=3),
+            Column("disk_q_s", digits=1),
+            Column("served"),
+            Column("completed"),
+            Column("mpl", digits=2),
+            Column("qps", digits=1),
+            Column("decisions_per_sec", header="decisions/s", digits=1),
+            Column("decide_us", digits=1),
         ]
         rows = []
         for policy in self.policies:
             report = self.live[policy]
             rows.append(
-                [
-                    report.policy,
-                    round(report.miss_ratio, 3),
-                    round(self.predicted.get(policy, float("nan")), 3),
-                    round(self.miss_delta(policy), 3),
-                    round(report.pool_hit_ratio, 3),
-                    round(self.predicted_pool_hit.get(policy, float("nan")), 3),
-                    round(report.disk_queue_sim_seconds, 1),
-                    report.served,
-                    report.completed,
-                    round(report.observed_mpl, 2),
-                    round(report.queries_per_sec, 1),
-                    round(report.decisions_per_sec, 1),
-                    round(report.decision_latency_mean_us, 1),
-                ]
+                PolicyRow(
+                    policy=report.policy,
+                    values={
+                        "live_miss": report.miss_ratio,
+                        "sim_miss": self.predicted.get(policy, float("nan")),
+                        "delta": self.miss_delta(policy),
+                        "pool_hit": report.pool_hit_ratio,
+                        "sim_hit": self.predicted_pool_hit.get(
+                            policy, float("nan")
+                        ),
+                        "disk_q_s": report.disk_queue_sim_seconds,
+                        "served": report.served,
+                        "completed": report.completed,
+                        "mpl": report.observed_mpl,
+                        "qps": report.queries_per_sec,
+                        "decisions_per_sec": report.decisions_per_sec,
+                        "decide_us": report.decision_latency_mean_us,
+                    },
+                )
             )
         title = (
             f"Live shootout: {self.scenario.name} "
@@ -167,18 +180,38 @@ class LiveShootoutReport:
             title += f", tenants={self.tenants}"
         if self.shards:
             title += f", shards={self.shards} (routed)"
-        table = format_table(headers, rows, title=title)
+        sections = []
         if self.tenants:
-            table += "\n\n" + self._render_tenants()
+            sections.append(self._render_tenants())
         if self.shards:
-            table += "\n\n" + self._render_shards()
-        if self.failures:
-            table += "\n\nCROSS-CHECK FAILURES:\n" + "\n".join(
-                f"  - {failure}" for failure in self.failures
-            )
-        else:
-            table += "\n\nAll live cross-checks passed."
-        return table
+            sections.append(self._render_shards())
+        return ShootoutReport(
+            kind="live-shootout",
+            title=title,
+            columns=columns,
+            rows=rows,
+            meta={
+                "scenario": self.scenario.name,
+                "scenario_hash": self.scenario.content_hash,
+                "time_scale": self.time_scale,
+                "tenants": self.tenants,
+                "shards": self.shards,
+                "clipped": self.clipped,
+            },
+            sections=sections,
+            checks=self.checks,
+            failures=self.failures,
+            success_line="All live cross-checks passed.",
+        )
+
+    def render(self) -> str:
+        return self.unified().render()
+
+    def to_json(self) -> Dict[str, object]:
+        return self.unified().to_json()
+
+    def save_json(self, path) -> None:
+        self.unified().save_json(path)
 
     def _render_tenants(self) -> str:
         """Per-tenant live served/missed counts, one row per policy."""
@@ -422,29 +455,39 @@ def _cross_check(report: LiveShootoutReport) -> None:
         policy: result.served for policy, result in report.live.items()
     }
     if len(set(served_counts.values())) > 1:
-        report.failures.append(
+        check_fail(
+            report,
+            "traffic-determinism",
             f"served counts differ across policies: {served_counts} -- the "
             "open-loop schedule is policy-independent, so every policy must "
-            "serve the identical traffic"
+            "serve the identical traffic",
         )
     for policy, result in report.live.items():
         if result.served != result.arrivals:
-            report.failures.append(
+            check_fail(
+                report,
+                "arrival-conservation",
                 f"{policy}: {result.arrivals} arrivals but {result.served} "
-                "departures -- queries were lost or duplicated"
+                "departures -- queries were lost or duplicated",
             )
         if not 0.0 <= result.miss_ratio <= 1.0:
-            report.failures.append(
-                f"{policy}: miss ratio {result.miss_ratio} outside [0, 1]"
+            check_fail(
+                report,
+                "report-sanity",
+                f"{policy}: miss ratio {result.miss_ratio} outside [0, 1]",
             )
         if not 0.0 <= result.pool_hit_ratio <= 1.0:
-            report.failures.append(
+            check_fail(
+                report,
+                "report-sanity",
                 f"{policy}: shared-pool hit ratio {result.pool_hit_ratio} "
-                "outside [0, 1]"
+                "outside [0, 1]",
             )
         if any(queued < 0.0 for queued in result.disk_queue):
-            report.failures.append(
-                f"{policy}: negative per-disk queue time {result.disk_queue}"
+            check_fail(
+                report,
+                "report-sanity",
+                f"{policy}: negative per-disk queue time {result.disk_queue}",
             )
     if report.tenants:
         _cross_check_tenants(report)
@@ -457,14 +500,17 @@ def _cross_check(report: LiveShootoutReport) -> None:
             if delta != delta:  # NaN: no prediction for this policy
                 continue
             if abs(delta) > FIDELITY_TOLERANCE:
-                report.failures.append(
+                check_fail(
+                    report,
+                    "fidelity",
                     f"{policy}: live miss ratio "
                     f"{report.live[policy].miss_ratio:.3f} is "
                     f"{delta:+.3f} from the DES prediction "
                     f"{report.predicted[policy]:.3f} "
                     f"(|delta| > {FIDELITY_TOLERANCE}) -- the live plane "
-                    "diverged from the shared-core physics"
+                    "diverged from the shared-core physics",
                 )
+        check_pass(report, "fidelity")
     # The ordering check needs the full single-pool sample; a routed
     # farm halves (or worse) each broker's traffic, so the small-sample
     # tolerance no longer applies -- conservation is the gate there.
@@ -472,12 +518,17 @@ def _cross_check(report: LiveShootoutReport) -> None:
         minmax_miss = report.live["minmax"].miss_ratio
         max_miss = report.live["max"].miss_ratio
         if minmax_miss > max_miss + LIVE_ORDERING_TOLERANCE:
-            report.failures.append(
+            check_fail(
+                report,
+                "live-ordering",
                 f"live ordering violated: MinMax miss ratio {minmax_miss:.3f} "
                 f"exceeds Max's {max_miss:.3f} by more than "
                 f"{LIVE_ORDERING_TOLERANCE} -- the paper's Section 5.1 "
-                "ordering inverted on live traffic"
+                "ordering inverted on live traffic",
             )
+        check_pass(report, "live-ordering")
+    for name in ("traffic-determinism", "arrival-conservation", "report-sanity"):
+        check_pass(report, name)
 
 
 async def _run_sharded_policy(
@@ -658,16 +709,22 @@ def _cross_check_sharded(report: LiveShootoutReport) -> None:
     for policy in report.policies:
         stats = report.router_stats.get(policy)
         if not stats:
-            report.failures.append(f"{policy}: no router stats collected")
+            check_fail(
+                report,
+                "shard-conservation",
+                f"{policy}: no router stats collected",
+            )
             continue
         conservation = stats.get("conservation", {})
         if not conservation.get("complete"):
-            report.failures.append(
+            check_fail(
+                report,
+                "shard-conservation",
                 f"{policy}: conservation violated after drain -- "
                 f"router arrivals {conservation.get('router_arrivals')}, "
                 f"shard arrivals {conservation.get('shard_arrivals')}, "
                 f"settled {conservation.get('settled')}, "
-                f"responses {conservation.get('responses')}"
+                f"responses {conservation.get('responses')}",
             )
         arrivals_by_policy[policy] = int(stats.get("arrivals", 0))
         shard_tenant: Dict[str, int] = {}
@@ -679,28 +736,41 @@ def _cross_check_sharded(report: LiveShootoutReport) -> None:
                     tenant_stats.get("arrivals", 0)
                 )
         if shard_tenant != stats.get("per_tenant"):
-            report.failures.append(
+            check_fail(
+                report,
+                "tenant-attribution",
                 f"{policy}: router per-tenant counts "
                 f"{stats.get('per_tenant')} disagree with the shards' "
-                f"{shard_tenant} -- tenant traffic mis-attributed"
+                f"{shard_tenant} -- tenant traffic mis-attributed",
             )
     if len(set(arrivals_by_policy.values())) > 1:
-        report.failures.append(
+        check_fail(
+            report,
+            "router-determinism",
             f"router arrivals differ across policies: {arrivals_by_policy} "
-            "-- the open-loop schedule is policy-independent"
+            "-- the open-loop schedule is policy-independent",
         )
-    if report.clipped:
-        return  # clipped runs may end before a rebalance window fires
-    for policy in report.policies:
-        stats = report.router_stats.get(policy) or {}
-        if int(stats.get("arrivals", 0)) < 8:
-            continue  # too little traffic to call anything skew
-        if not stats.get("migrations"):
-            report.failures.append(
-                f"{policy}: every tenant started packed on one shard but "
-                "the rebalancer never migrated -- skew detection is dead "
-                f"(passes={stats.get('rebalance_passes')})"
-            )
+    if not report.clipped:
+        # Clipped runs may end before a rebalance window fires.
+        for policy in report.policies:
+            stats = report.router_stats.get(policy) or {}
+            if int(stats.get("arrivals", 0)) < 8:
+                continue  # too little traffic to call anything skew
+            if not stats.get("migrations"):
+                check_fail(
+                    report,
+                    "rebalance",
+                    f"{policy}: every tenant started packed on one shard but "
+                    "the rebalancer never migrated -- skew detection is dead "
+                    f"(passes={stats.get('rebalance_passes')})",
+                )
+        check_pass(report, "rebalance")
+    for name in (
+        "shard-conservation",
+        "tenant-attribution",
+        "router-determinism",
+    ):
+        check_pass(report, name)
 
 
 @dataclass
@@ -713,60 +783,84 @@ class ChaosShootoutReport:
     live: Dict[str, LiveReport]
     time_scale: float
     failures: List[str] = field(default_factory=list)
+    #: Cross-check verdicts (``{name, ok, detail}``) for ``--json``.
+    checks: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
-    def render(self) -> str:
-        headers = [
-            "policy",
-            "miss",
-            "served",
-            "shed",
-            "retries",
-            "reroutes",
-            "fastfail",
-            "breaker",
-            "pfaults",
-            "shrinks",
-            "mpl",
+    def unified(self) -> ShootoutReport:
+        """Project into the shared :class:`ShootoutReport` surface."""
+        columns = [
+            Column("miss", digits=3),
+            Column("served"),
+            Column("shed"),
+            Column("retries"),
+            Column("reroutes"),
+            Column("fastfail"),
+            Column("breaker"),
+            Column("pfaults"),
+            Column("shrinks"),
+            Column("mpl", digits=2),
         ]
         rows = []
         for policy in self.policies:
-            report = self.live[policy]
+            report = self.live.get(policy)
+            if report is None:  # gateway did not survive: failure row
+                rows.append(PolicyRow(policy=policy, values={}))
+                continue
             rows.append(
-                [
-                    report.policy,
-                    round(report.miss_ratio, 3),
-                    report.served,
-                    report.shed,
-                    report.disk_retries,
-                    report.disk_reroutes,
-                    report.disk_fast_fails,
-                    report.breaker_opens,
-                    report.policy_faults,
-                    report.pool_shrinks,
-                    round(report.observed_mpl, 2),
-                ]
+                PolicyRow(
+                    policy=report.policy,
+                    values={
+                        "miss": report.miss_ratio,
+                        "served": report.served,
+                        "shed": report.shed,
+                        "retries": report.disk_retries,
+                        "reroutes": report.disk_reroutes,
+                        "fastfail": report.disk_fast_fails,
+                        "breaker": report.breaker_opens,
+                        "pfaults": report.policy_faults,
+                        "shrinks": report.pool_shrinks,
+                        "mpl": report.observed_mpl,
+                    },
+                )
             )
-        title = (
-            f"Chaos shootout: {self.scenario.name} "
-            f"({self.scenario.content_hash[:10]}) under faults "
-            f"{self.schedule.content_hash[:10]}, time_scale={self.time_scale}"
-        )
-        table = format_table(headers, rows, title=title)
-        table += "\n\n" + self.schedule.describe()
-        if self.failures:
-            table += "\n\nCHAOS INVARIANT FAILURES:\n" + "\n".join(
-                f"  - {failure}" for failure in self.failures
-            )
-        else:
-            table += (
-                "\n\nAll chaos invariants held: ledgers empty, chunk "
+        return ShootoutReport(
+            kind="chaos-shootout",
+            title=(
+                f"Chaos shootout: {self.scenario.name} "
+                f"({self.scenario.content_hash[:10]}) under faults "
+                f"{self.schedule.content_hash[:10]}, "
+                f"time_scale={self.time_scale}"
+            ),
+            columns=columns,
+            rows=rows,
+            meta={
+                "scenario": self.scenario.name,
+                "scenario_hash": self.scenario.content_hash,
+                "fault_schedule_hash": self.schedule.content_hash,
+                "time_scale": self.time_scale,
+            },
+            sections=[self.schedule.describe()],
+            checks=self.checks,
+            failures=self.failures,
+            failure_heading="CHAOS INVARIANT FAILURES",
+            success_line=(
+                "All chaos invariants held: ledgers empty, chunk "
                 "counters conserved, zero grant leaks."
-            )
-        return table
+            ),
+        )
+
+    def render(self) -> str:
+        return self.unified().render()
+
+    def to_json(self) -> Dict[str, object]:
+        return self.unified().to_json()
+
+    def save_json(self, path) -> None:
+        self.unified().save_json(path)
 
 
 def chaos_shootout(
@@ -826,9 +920,11 @@ def chaos_shootout(
         try:
             live[policy] = asyncio.run(gateway.run_schedule(schedule))
         except Exception as error:
-            report.failures.append(
+            check_fail(
+                report,
+                "gateway-survival",
                 f"{policy}: gateway did not survive the schedule: "
-                f"{type(error).__name__}: {error}"
+                f"{type(error).__name__}: {error}",
             )
             continue
         _chaos_check_gateway(report, policy, gateway)
@@ -841,24 +937,30 @@ def _chaos_check_gateway(
 ) -> None:
     """Post-drain survival laws for one policy's gateway."""
     if gateway.allocator.reserved_pages:
-        report.failures.append(
+        check_fail(
+            report,
+            "grant-ledger",
             f"{policy}: grant ledger holds {gateway.allocator.reserved_pages} "
-            "pages after close -- grant leak"
+            "pages after close -- grant leak",
         )
     if gateway.broker.present_count:
-        report.failures.append(
+        check_fail(
+            report,
+            "broker-empty",
             f"{policy}: broker still tracks {gateway.broker.present_count} "
-            "queries after close"
+            "queries after close",
         )
     for index, disk in enumerate(gateway.disks):
         balanced = disk.chunks_submitted == disk.chunks_served + disk.chunks_cancelled
         if not balanced or disk.queue_depth or disk.in_service:
-            report.failures.append(
+            check_fail(
+                report,
+                "disk-conservation",
                 f"{policy}: disk {index} chunk counters do not balance "
                 f"(submitted={disk.chunks_submitted} "
                 f"served={disk.chunks_served} "
                 f"cancelled={disk.chunks_cancelled} "
-                f"queued={disk.queue_depth} in_service={disk.in_service})"
+                f"queued={disk.queue_depth} in_service={disk.in_service})",
             )
 
 
@@ -867,21 +969,37 @@ def _chaos_check(report: ChaosShootoutReport) -> None:
         policy: result.arrivals for policy, result in report.live.items()
     }
     if len(set(arrival_counts.values())) > 1:
-        report.failures.append(
+        check_fail(
+            report,
+            "arrival-determinism",
             f"arrival counts differ across policies: {arrival_counts} -- "
-            "the open-loop schedule is policy-independent"
+            "the open-loop schedule is policy-independent",
         )
     for policy, result in report.live.items():
         if result.served + result.shed != result.arrivals:
-            report.failures.append(
+            check_fail(
+                report,
+                "arrival-conservation",
                 f"{policy}: {result.arrivals} arrivals but {result.served} "
                 f"served + {result.shed} shed -- queries were lost or "
-                "duplicated under faults"
+                "duplicated under faults",
             )
         if not 0.0 <= result.miss_ratio <= 1.0:
-            report.failures.append(
-                f"{policy}: miss ratio {result.miss_ratio} outside [0, 1]"
+            check_fail(
+                report,
+                "report-sanity",
+                f"{policy}: miss ratio {result.miss_ratio} outside [0, 1]",
             )
+    for name in (
+        "gateway-survival",
+        "grant-ledger",
+        "broker-empty",
+        "disk-conservation",
+        "arrival-determinism",
+        "arrival-conservation",
+        "report-sanity",
+    ):
+        check_pass(report, name)
 
 
 def _cross_check_tenants(report: LiveShootoutReport) -> None:
@@ -892,17 +1010,21 @@ def _cross_check_tenants(report: LiveShootoutReport) -> None:
     per_tenant_counts: Dict[str, Dict[str, int]] = {}
     for policy, result in report.live.items():
         if len(result.per_tenant) != report.tenants:
-            report.failures.append(
+            check_fail(
+                report,
+                "tenant-accounting",
                 f"{policy}: report covers {len(result.per_tenant)} tenants, "
-                f"expected {report.tenants}"
+                f"expected {report.tenants}",
             )
         tenant_served = sum(stats.served for stats in result.per_tenant.values())
         tenant_missed = sum(stats.missed for stats in result.per_tenant.values())
         if tenant_served != result.served or tenant_missed != result.missed:
-            report.failures.append(
+            check_fail(
+                report,
+                "tenant-accounting",
                 f"{policy}: per-tenant counts ({tenant_served} served, "
                 f"{tenant_missed} missed) do not sum to the totals "
-                f"({result.served} served, {result.missed} missed)"
+                f"({result.served} served, {result.missed} missed)",
             )
         per_tenant_counts[policy] = {
             tenant: stats.served for tenant, stats in result.per_tenant.items()
@@ -911,8 +1033,11 @@ def _cross_check_tenants(report: LiveShootoutReport) -> None:
         tuple(sorted(counts.items())) for counts in per_tenant_counts.values()
     }
     if len(distinct) > 1:
-        report.failures.append(
+        check_fail(
+            report,
+            "tenant-accounting",
             f"per-tenant served counts differ across policies: "
             f"{per_tenant_counts} -- tenant traffic is policy-independent "
-            "by construction"
+            "by construction",
         )
+    check_pass(report, "tenant-accounting")

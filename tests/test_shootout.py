@@ -8,7 +8,7 @@ from repro.experiments import runner
 from repro.experiments.__main__ import main as cli_main
 from repro.experiments.shootout import (
     ORDERING_TOLERANCE,
-    ShootoutReport,
+    ScenarioShootoutReport,
     _cross_check,
     scenario_shootout,
 )
@@ -138,6 +138,104 @@ def test_shootout_without_invariants_uses_plain_specs():
 
 
 def test_empty_report_renders():
-    report = ShootoutReport(scenarios=[], policies=("max",), results=[])
+    report = ScenarioShootoutReport(scenarios=[], policies=("max",), results=[])
     _cross_check(report)
     assert report.ok
+
+
+def test_shootout_regret_columns_nonnegative():
+    report = small_shootout(count=2, regret=True)
+    assert report.ok, report.failures
+    rendered = report.render()
+    assert "regret" in rendered
+    for policy in report.policies:
+        assert report.regret(policy) >= 0
+        assert report.regret_ratio(policy) >= -1e-9
+    check_names = {check["name"] for check in report.checks}
+    assert {"regret-nonnegative", "oracle-consistency"} <= check_names
+
+
+def test_cross_check_flags_negative_regret():
+    report = small_shootout(count=2, regret=True)
+    # Doctor one cell so the "recorded" run beats the oracle's optimum.
+    cell = report.oracle[0]["max"]
+    report.oracle[0]["max"] = dataclasses.replace(
+        cell, misses=cell.recorded_misses + 1
+    )
+    report.failures.clear()
+    _cross_check(report)
+    assert any("negative regret" in failure for failure in report.failures)
+
+
+def test_report_json_schema():
+    import json as jsonlib
+
+    report = small_shootout(count=2, regret=True)
+    payload = report.to_json()
+    jsonlib.dumps(payload)  # JSON-safe end to end
+    assert payload["schema_version"] == 1
+    assert payload["kind"] == "scenario-shootout"
+    assert payload["ok"] is True
+    assert payload["policies"] == ["max", "minmax"]
+    assert "regret" in payload["columns"]
+    for row in payload["rows"]:
+        assert row["regret"] >= 0
+        assert row["served"] == row["completed"] + row["missed"]
+    assert all(check["ok"] for check in payload["checks"])
+
+
+def test_cli_scenario_shootout_regret_and_json(tmp_path, capsys):
+    import json as jsonlib
+
+    out = tmp_path / "report.json"
+    status = cli_main(
+        [
+            "scenario-shootout",
+            "--scenarios",
+            "2",
+            "--policies",
+            "max,minmax",
+            "--scenario-seed",
+            "1",
+            "--jobs",
+            "1",
+            "--regret",
+            "--json",
+            str(out),
+        ]
+    )
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "regret" in output
+    assert f"[json] report written to {out}" in output
+    payload = jsonlib.loads(out.read_text())
+    assert payload["schema_version"] == 1
+    assert {"regret-nonnegative", "oracle-consistency"} <= {
+        check["name"] for check in payload["checks"]
+    }
+
+
+def test_cli_list_includes_oracle(capsys):
+    assert cli_main(["--list"]) == 0
+    assert "oracle" in capsys.readouterr().out
+
+
+def test_cli_oracle_prints_schedule(capsys):
+    status = cli_main(
+        [
+            "oracle",
+            "--family",
+            "bursty",
+            "--index",
+            "0",
+            "--scenario-seed",
+            "1",
+            "--policy",
+            "minmax",
+        ]
+    )
+    output = capsys.readouterr().out
+    assert status == 0
+    assert "Oracle (" in output
+    assert "Optimal schedule" in output
+    assert "regret" in output
